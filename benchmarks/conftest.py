@@ -1,0 +1,33 @@
+"""Shared benchmark helpers.
+
+Benchmarks run the paper's experiments at reduced scale (shorter
+horizons, fewer sweep points) so the whole suite completes in a couple
+of minutes; the full-scale reproduction is ``repro-reproduce`` (see
+EXPERIMENTS.md).  Every benchmark stores the artifact's headline numbers
+in ``benchmark.extra_info`` so the saved benchmark JSON doubles as a
+record of the reproduced shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimulationConfig, WorkloadSpec, run_simulation
+
+#: Reduced-scale defaults shared by the artifact benchmarks.
+BENCH_HORIZON = 600.0
+BENCH_SEED = 7
+
+
+def bench_config(algorithm: str = "basic", rate: float = 180.0, **kw) -> SimulationConfig:
+    workload = kw.pop("workload", None)
+    if workload is None:
+        workload = WorkloadSpec(rate_per_60tu=rate, horizon=kw.pop("horizon", BENCH_HORIZON))
+    return SimulationConfig(algorithm=algorithm, seed=BENCH_SEED, workload=workload, **kw)
+
+
+def run_all_algorithms(rate: float, horizon: float = BENCH_HORIZON, **kw):
+    return {
+        algorithm: run_simulation(bench_config(algorithm, rate, horizon=horizon, **kw))
+        for algorithm in ("random", "basic", "tradeoff")
+    }

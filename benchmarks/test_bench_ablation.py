@@ -1,0 +1,67 @@
+"""Design-choice ablations flagged in DESIGN.md.
+
+* contention-index definition (paper footnote 2): the ratio definition
+  vs headroom and log variants -- all contention-aware, all should beat
+  random; their relative order is recorded, not asserted;
+* the §4.1.2 Dijkstra tie-breaking rule on vs off;
+* the tradeoff averaging window T (paper uses T=3).
+"""
+
+from conftest import bench_config
+
+from repro.sim import run_simulation
+
+
+def test_bench_contention_index_ablation(benchmark):
+    rate = 200.0
+
+    def study():
+        out = {"random": run_simulation(bench_config("random", rate))}
+        for index in ("ratio", "headroom", "log"):
+            out[index] = run_simulation(
+                bench_config("basic", rate, contention_index=index)
+            )
+        return out
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+    success = {name: r.success_rate for name, r in results.items()}
+    for index in ("ratio", "headroom", "log"):
+        assert success[index] > success["random"], (index, success)
+    benchmark.extra_info["success"] = success
+
+
+def test_bench_tie_break_ablation(benchmark):
+    rate = 200.0
+
+    def study():
+        return {
+            "with-tie-break": run_simulation(bench_config("basic", rate, tie_break=True)),
+            "without-tie-break": run_simulation(bench_config("basic", rate, tie_break=False)),
+        }
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+    success = {name: r.success_rate for name, r in results.items()}
+    # the rule is a secondary refinement: it must not hurt materially
+    assert success["with-tie-break"] >= success["without-tie-break"] - 0.03
+    benchmark.extra_info["success"] = success
+
+
+def test_bench_trend_window_ablation(benchmark):
+    rate = 200.0
+
+    def study():
+        return {
+            f"T={window:g}": run_simulation(
+                bench_config("tradeoff", rate, trend_window=window)
+            )
+            for window in (1.0, 3.0, 10.0)
+        }
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+    summary = {
+        name: (r.success_rate, r.avg_qos_level) for name, r in results.items()
+    }
+    # all windows keep the tradeoff character: QoS sacrificed below 2.9
+    for name, (success, qos) in summary.items():
+        assert qos < 2.9, (name, qos)
+    benchmark.extra_info["summary"] = summary

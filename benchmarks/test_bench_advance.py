@@ -1,0 +1,72 @@
+"""Benchmarks for the advance-reservation extension (timeline brokers)."""
+
+import numpy as np
+
+from repro.brokers import AdvanceRegistry, TimelineBroker
+from repro.core.errors import AdmissionError
+
+
+def test_bench_timeline_booking_churn(benchmark):
+    """Book/cancel 500 overlapping windows on one timeline."""
+    rng = np.random.default_rng(0)
+    windows = [
+        (float(start), float(start + span), float(amount))
+        for start, span, amount in zip(
+            rng.uniform(0, 1000, 500), rng.uniform(1, 50, 500), rng.uniform(1, 5, 500)
+        )
+    ]
+
+    def churn():
+        broker = TimelineBroker("cpu:bench", 10_000.0)
+        held = []
+        for start, end, amount in windows:
+            held.append(broker.reserve(amount, "s", start, end))
+        for reservation in held:
+            broker.cancel(reservation)
+        return broker.outstanding()
+
+    assert benchmark(churn) == 0
+
+
+def test_bench_window_queries(benchmark):
+    """available_over() on a timeline with ~1000 breakpoints."""
+    rng = np.random.default_rng(1)
+    broker = TimelineBroker("cpu:bench", 100_000.0)
+    for start, span, amount in zip(
+        rng.uniform(0, 1000, 500), rng.uniform(1, 50, 500), rng.uniform(1, 5, 500)
+    ):
+        broker.reserve(float(amount), "s", float(start), float(start + span))
+    probes = rng.uniform(0, 900, 200)
+
+    def query():
+        total = 0.0
+        for start in probes:
+            total += broker.available_over(float(start), float(start) + 25.0)
+        return total
+
+    benchmark(query)
+
+
+def test_bench_admission_saturation(benchmark):
+    """Admission control near saturation: mix of accepts and rejects."""
+    rng = np.random.default_rng(2)
+    windows = [
+        (float(start), float(start + span), float(amount))
+        for start, span, amount in zip(
+            rng.uniform(0, 200, 400), rng.uniform(5, 40, 400), rng.uniform(5, 30, 400)
+        )
+    ]
+
+    def saturate():
+        broker = TimelineBroker("cpu:bench", 300.0)
+        accepted = rejected = 0
+        for start, end, amount in windows:
+            try:
+                broker.reserve(amount, "s", start, end)
+                accepted += 1
+            except AdmissionError:
+                rejected += 1
+        return accepted, rejected
+
+    accepted, rejected = benchmark(saturate)
+    assert accepted > 0 and rejected > 0

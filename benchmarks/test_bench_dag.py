@@ -1,0 +1,73 @@
+"""DAG planning benchmarks + the §4.3.2 heuristic-quality ablation.
+
+Times the two-pass heuristic against the exhaustive optimum and records
+how often the heuristic is optimal (the paper acknowledges it may not
+be -- limitation 2 -- but gives no numbers; this bench supplies them).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ExhaustiveDagPlanner, TwoPassDagPlanner, build_qrg
+from repro.core.synthetic import random_availability, synthetic_diamond_dag
+
+
+@pytest.mark.parametrize("branches,q", [(2, 2), (2, 3), (3, 2)])
+def test_bench_two_pass_heuristic(benchmark, branches, q):
+    service, binding, snapshot = synthetic_diamond_dag(
+        branches, q, rng=np.random.default_rng(0)
+    )
+    qrg = build_qrg(service, binding, snapshot)
+    planner = TwoPassDagPlanner()
+    plan = benchmark(lambda: planner.plan(qrg))
+    assert plan is not None
+
+
+@pytest.mark.parametrize("branches,q", [(2, 2), (2, 3), (3, 2)])
+def test_bench_exhaustive_reference(benchmark, branches, q):
+    service, binding, snapshot = synthetic_diamond_dag(
+        branches, q, rng=np.random.default_rng(0)
+    )
+    qrg = build_qrg(service, binding, snapshot)
+    planner = ExhaustiveDagPlanner()
+    plan = benchmark(lambda: planner.plan(qrg))
+    assert plan is not None
+
+
+def test_bench_heuristic_quality_ablation(benchmark):
+    """Optimality statistics of the heuristic over 120 random diamonds."""
+
+    def study():
+        rng = np.random.default_rng(3)
+        heuristic, exact = TwoPassDagPlanner(), ExhaustiveDagPlanner()
+        stats = {"trials": 0, "feasible": 0, "optimal_sink": 0, "optimal_psi": 0}
+        gaps = []
+        for _ in range(120):
+            branches = int(rng.integers(2, 4))
+            q = int(rng.integers(2, 4))
+            service, binding, snapshot = synthetic_diamond_dag(branches, q, rng=rng)
+            snapshot = random_availability(snapshot, rng, low=4.0, high=60.0)
+            qrg = build_qrg(service, binding, snapshot)
+            exact_plan = exact.plan(qrg)
+            if exact_plan is None:
+                continue
+            stats["trials"] += 1
+            heuristic_plan = heuristic.plan(qrg)
+            if heuristic_plan is None:
+                continue
+            stats["feasible"] += 1
+            if heuristic_plan.end_to_end_label == exact_plan.end_to_end_label:
+                stats["optimal_sink"] += 1
+                if abs(heuristic_plan.psi - exact_plan.psi) < 1e-9:
+                    stats["optimal_psi"] += 1
+                if exact_plan.psi > 0:
+                    gaps.append(heuristic_plan.psi / exact_plan.psi)
+        stats["mean_psi_ratio"] = float(np.mean(gaps)) if gaps else 1.0
+        stats["max_psi_ratio"] = float(np.max(gaps)) if gaps else 1.0
+        return stats
+
+    stats = benchmark.pedantic(study, rounds=1, iterations=1)
+    assert stats["feasible"] / stats["trials"] > 0.9
+    assert stats["optimal_sink"] / stats["feasible"] > 0.8
+    assert stats["mean_psi_ratio"] < 1.25
+    benchmark.extra_info.update(stats)

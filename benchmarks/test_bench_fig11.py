@@ -1,0 +1,46 @@
+"""Figure 11 (a)+(b): success rate and average QoS vs generation rate.
+
+Reduced-scale regeneration of the paper's headline figure.  The shape
+assertions encode what figure 11 shows: *tradeoff >= basic > random* in
+overall success rate at every contended rate, *basic* and *random*
+staying near the top QoS level, and *tradeoff* sacrificing QoS.
+"""
+
+from conftest import BENCH_HORIZON, run_all_algorithms
+
+
+def test_fig11_success_and_qos_series(benchmark):
+    rates = [80.0, 160.0, 240.0]
+
+    def regenerate():
+        return {rate: run_all_algorithms(rate) for rate in rates}
+
+    by_rate = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    success = {
+        algorithm: [by_rate[rate][algorithm].success_rate for rate in rates]
+        for algorithm in ("random", "basic", "tradeoff")
+    }
+    qos = {
+        algorithm: [by_rate[rate][algorithm].avg_qos_level for rate in rates]
+        for algorithm in ("random", "basic", "tradeoff")
+    }
+
+    # Figure 11(a): contention-awareness wins, the tradeoff wins more.
+    for i, rate in enumerate(rates[1:], start=1):  # skip the uncontended point
+        assert success["basic"][i] > success["random"][i], rate
+        assert success["tradeoff"][i] >= success["basic"][i] - 0.01, rate
+    # success degrades with load for every algorithm
+    for algorithm in success:
+        assert success[algorithm][0] >= success[algorithm][-1]
+
+    # Figure 11(b): basic/random greedy on QoS, tradeoff trades it away.
+    for i in range(len(rates)):
+        assert qos["basic"][i] > 2.8
+        assert qos["random"][i] > 2.8
+        assert qos["tradeoff"][i] < qos["basic"][i]
+
+    benchmark.extra_info["rates"] = rates
+    benchmark.extra_info["success"] = success
+    benchmark.extra_info["avg_qos"] = qos
+    benchmark.extra_info["horizon"] = BENCH_HORIZON

@@ -1,0 +1,79 @@
+"""Planner micro-benchmarks and the §4.2 complexity claim.
+
+The paper argues the runtime algorithm is O(K * Q^2) and therefore
+cheap enough for online use.  These benchmarks time the three phases
+(QRG construction, minimax Dijkstra, full plan assembly) at the paper's
+"practical" sizes (K < 10, tens of levels) and check the empirical
+scaling exponents.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import BasicPlanner, build_qrg, minimax_dijkstra
+from repro.core.synthetic import synthetic_chain
+
+
+@pytest.mark.parametrize("k,q", [(3, 4), (5, 8), (8, 16)])
+def test_bench_qrg_construction(benchmark, k, q):
+    service, binding, snapshot = synthetic_chain(k, q, rng=np.random.default_rng(0))
+    qrg = benchmark(lambda: build_qrg(service, binding, snapshot))
+    assert qrg.count_nodes() > 0
+    benchmark.extra_info["nodes"] = qrg.count_nodes()
+    benchmark.extra_info["edges"] = qrg.count_edges()
+
+
+@pytest.mark.parametrize("k,q", [(3, 4), (5, 8), (8, 16)])
+def test_bench_minimax_dijkstra(benchmark, k, q):
+    service, binding, snapshot = synthetic_chain(k, q, rng=np.random.default_rng(0))
+    qrg = build_qrg(service, binding, snapshot)
+    result = benchmark(lambda: minimax_dijkstra(qrg.source_node, qrg.successors))
+    assert any(result.reachable(sink) for sink in qrg.sink_nodes())
+
+
+@pytest.mark.parametrize("k,q", [(3, 8), (8, 8)])
+def test_bench_full_plan(benchmark, k, q):
+    service, binding, snapshot = synthetic_chain(k, q, rng=np.random.default_rng(0))
+    planner = BasicPlanner()
+
+    def plan_once():
+        qrg = build_qrg(service, binding, snapshot)
+        return planner.plan(qrg)
+
+    plan = benchmark(plan_once)
+    assert plan is not None
+    benchmark.extra_info["psi"] = plan.psi
+
+
+def test_bench_complexity_scaling(benchmark):
+    """Empirical exponents of planning cost in K and Q (claim: 1 and 2)."""
+
+    def measure():
+        rows = []
+        planner = BasicPlanner()
+        for k in (2, 4, 8, 16):
+            for q in (2, 4, 8, 16):
+                service, binding, snapshot = synthetic_chain(
+                    k, q, rng=np.random.default_rng(1)
+                )
+                qrg = build_qrg(service, binding, snapshot)
+                start = time.perf_counter()
+                for _ in range(3):
+                    planner.plan(qrg)
+                rows.append((k, q, (time.perf_counter() - start) / 3))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    data = np.array(rows)
+    design = np.column_stack([np.log(data[:, 0]), np.log(data[:, 1]), np.ones(len(rows))])
+    coeffs, *_ = np.linalg.lstsq(design, np.log(data[:, 2]), rcond=None)
+    k_exponent, q_exponent = float(coeffs[0]), float(coeffs[1])
+    # O(K*Q^2) is an upper bound: near-linear in K, superlinear but at
+    # most quadratic in Q (Python constant factors depress the measured
+    # Q exponent at small sizes).
+    assert 0.7 < k_exponent < 1.7, k_exponent
+    assert 1.0 < q_exponent <= 2.6, q_exponent
+    benchmark.extra_info["k_exponent"] = k_exponent
+    benchmark.extra_info["q_exponent"] = q_exponent

@@ -1,0 +1,60 @@
+"""Scalability benchmark: the framework beyond figure 9's size.
+
+The paper targets Grid meta-computing environments (§6); this bench
+grows the evaluation grid (hosts x domains) at proportional offered
+load and records session throughput and success, exercising planner +
+brokers + DES at scale.
+"""
+
+import pytest
+
+from repro.core import BasicPlanner
+from repro.des import Environment, RandomStreams
+from repro.runtime.session import ServiceSession
+from repro.sim.scale import build_scaled_grid, scaled_exclusions, scaled_workload_spec
+from repro.sim.workload import WorkloadGenerator
+
+
+def run_scaled(num_hosts: int, horizon: float = 300.0):
+    env = Environment()
+    streams = RandomStreams(2)
+    grid = build_scaled_grid(env, streams, num_hosts=num_hosts, domains_per_host=2)
+    # offered load proportional to environment size
+    spec = scaled_workload_spec(
+        num_hosts, 2, rate_per_60tu=40.0 * num_hosts, horizon=horizon
+    )
+    generator = WorkloadGenerator(
+        spec, streams, excluded_service=scaled_exclusions(num_hosts, 2)
+    )
+    planner = BasicPlanner()
+    outcomes = []
+
+    def arrivals():
+        for request in generator.generate():
+            if request.arrival_time > env.now:
+                yield env.timeout(request.arrival_time - env.now)
+            session = ServiceSession(
+                env, grid.coordinator, request.session_id, request.service,
+                grid.binding_for(request.service, request.domain),
+                planner, request.duration,
+                demand_scale=request.demand_scale,
+                on_finish=outcomes.append,
+            )
+            env.process(session.run())
+
+    env.process(arrivals())
+    env.run()
+    grid.registry.assert_quiescent()
+    return outcomes
+
+
+@pytest.mark.parametrize("num_hosts", [4, 8, 16])
+def test_bench_scaled_grid(benchmark, num_hosts):
+    outcomes = benchmark.pedantic(
+        lambda: run_scaled(num_hosts), rounds=1, iterations=1
+    )
+    assert len(outcomes) > 50 * num_hosts
+    success_rate = sum(o.success for o in outcomes) / len(outcomes)
+    assert success_rate > 0.4
+    benchmark.extra_info["sessions"] = len(outcomes)
+    benchmark.extra_info["success_rate"] = success_rate

@@ -1,0 +1,60 @@
+"""Tables 3-4: per-class success rates / QoS at rates 60, 100, 180.
+
+Shape assertions from §5.2.3: the fat classes fare clearly worse than
+the normal classes under contention, duration has no comparable impact
+(fat-short ~ fat-long, norm-short ~ norm-long), *tradeoff* improves
+every class's success rate at the contended rates while landing a lower
+average QoS level than *basic*.
+"""
+
+from conftest import bench_config
+
+from repro.sim import run_simulation
+
+
+def _class_map(result):
+    return {name: (success, qos) for name, success, qos, _n in result.metrics.class_rows}
+
+
+def test_tables_3_4_class_breakdown(benchmark):
+    rates = [60.0, 100.0, 180.0]
+
+    def regenerate():
+        table = {}
+        for algorithm in ("basic", "tradeoff"):
+            table[algorithm] = {
+                rate: run_simulation(bench_config(algorithm, rate, horizon=900.0))
+                for rate in rates
+            }
+        return table
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    for algorithm in ("basic", "tradeoff"):
+        # requirement heterogeneity dominates duration heterogeneity
+        rows = _class_map(table[algorithm][180.0])
+        norm = (rows["norm.-short"][0] + rows["norm.-long"][0]) / 2
+        fat = (rows["fat-short"][0] + rows["fat-long"][0]) / 2
+        assert fat < norm, (algorithm, rows)
+        assert abs(rows["fat-short"][0] - rows["fat-long"][0]) < 0.15
+        assert abs(rows["norm.-short"][0] - rows["norm.-long"][0]) < 0.15
+        # success degrades with the generation rate in every class
+        for name in rows:
+            assert _class_map(table[algorithm][60.0])[name][0] >= rows[name][0] - 0.02
+
+    # Table 4 vs Table 3: tradeoff buys success with QoS, per class.
+    for rate in (100.0, 180.0):
+        basic_rows = _class_map(table["basic"][rate])
+        tradeoff_rows = _class_map(table["tradeoff"][rate])
+        for name in basic_rows:
+            assert tradeoff_rows[name][0] >= basic_rows[name][0] - 0.03, (rate, name)
+        assert (
+            table["tradeoff"][rate].avg_qos_level < table["basic"][rate].avg_qos_level
+        )
+
+    benchmark.extra_info["table3"] = {
+        f"{rate:g}": _class_map(table["basic"][rate]) for rate in rates
+    }
+    benchmark.extra_info["table4"] = {
+        f"{rate:g}": _class_map(table["tradeoff"][rate]) for rate in rates
+    }

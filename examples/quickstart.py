@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Quickstart: define a two-component service and compute reservation plans.
+
+Demonstrates the core workflow of the framework:
+
+1. declare components with QoS levels and translation functions;
+2. wire them into a distributed service with a dependency graph and an
+   end-to-end QoS ranking;
+3. bind each component's resource slots to concrete brokered resources;
+4. snapshot availability and compute an end-to-end reservation plan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    AvailabilitySnapshot,
+    Binding,
+    DependencyGraph,
+    DistributedService,
+    QoSLevel,
+    QoSRanking,
+    QoSVector,
+    ServiceComponent,
+    TabularTranslation,
+    compute_plan,
+)
+
+
+def build_service() -> DistributedService:
+    """A video server (cpu) feeding a player (network bandwidth)."""
+    # QoS levels are named vectors of discrete parameters.
+    src = QoSLevel("SRC", QoSVector(frame_rate=30, height=480))
+    hi = QoSLevel("HI", QoSVector(frame_rate=30, height=480))
+    lo = QoSLevel("LO", QoSVector(frame_rate=15, height=240))
+
+    sender = ServiceComponent(
+        "sender",
+        input_levels=(src,),
+        output_levels=(hi, lo),
+        # T_c: what does producing each output from each input cost?
+        translation=TabularTranslation(
+            {("SRC", "HI"): {"cpu": 12.0}, ("SRC", "LO"): {"cpu": 6.0}}
+        ),
+    )
+    # The player's inputs are *equivalent* to the sender's outputs: same
+    # QoS vectors, its own labels (exactly like the paper's figures).
+    player_hi_in = QoSLevel("P.HI", QoSVector(frame_rate=30, height=480))
+    player_lo_in = QoSLevel("P.LO", QoSVector(frame_rate=15, height=240))
+    smooth = QoSLevel("SMOOTH", QoSVector(experience=2))
+    basic = QoSLevel("BASIC", QoSVector(experience=1))
+    player = ServiceComponent(
+        "player",
+        input_levels=(player_hi_in, player_lo_in),
+        output_levels=(smooth, basic),
+        translation=TabularTranslation(
+            {
+                ("P.HI", "SMOOTH"): {"net": 25.0},
+                ("P.LO", "SMOOTH"): {"net": 40.0},  # upscaling costs extra
+                ("P.HI", "BASIC"): {"net": 15.0},
+                ("P.LO", "BASIC"): {"net": 10.0},
+            }
+        ),
+    )
+    return DistributedService(
+        "video-quickstart",
+        [sender, player],
+        DependencyGraph.chain(["sender", "player"]),
+        QoSRanking(["SMOOTH", "BASIC"]),  # end-to-end levels, best first
+    )
+
+
+def main() -> None:
+    service = build_service()
+    # Per-session wiring: which concrete resource backs each slot.
+    binding = Binding(
+        {("sender", "cpu"): "cpu:server", ("player", "net"): "net:server-client"}
+    )
+
+    print("=== plenty of everything: best level via the cheapest path ===")
+    snapshot = AvailabilitySnapshot.from_amounts(
+        {"cpu:server": 100.0, "net:server-client": 100.0}
+    )
+    plan = compute_plan(service, binding, snapshot, algorithm="basic")
+    print(plan.describe(), end="\n\n")
+
+    print("=== scarce network: the planner reroutes the trade-off ===")
+    snapshot = AvailabilitySnapshot.from_amounts(
+        {"cpu:server": 100.0, "net:server-client": 18.0}
+    )
+    plan = compute_plan(service, binding, snapshot, algorithm="basic")
+    print(plan.describe(), end="\n\n")
+
+    print("=== nearly exhausted: no feasible plan ===")
+    snapshot = AvailabilitySnapshot.from_amounts(
+        {"cpu:server": 2.0, "net:server-client": 3.0}
+    )
+    plan = compute_plan(service, binding, snapshot, algorithm="basic")
+    print("plan:", plan)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Finish the reproduction within the single-core time budget.
+
+tab12 + tab34 run at the paper's full scale (they are cheap).  fig12
+and fig13 run at reduced scale (horizon noted in each artifact header
+and in EXPERIMENTS.md); the full-scale commands are recorded so anyone
+can regenerate them exactly:
+
+    repro-reproduce -e fig12 --seed 0   # ~45 min on one core
+    repro-reproduce -e fig13 --seed 0   # ~10 min on one core
+"""
+
+import pathlib
+
+import repro.analysis.experiments as experiments
+from repro.analysis.experiments import (
+    run_ablation,
+    run_fig12,
+    run_fig13,
+    run_tables_1_2,
+    run_tables_3_4,
+)
+from repro.analysis.figures import to_csv
+
+OUT = pathlib.Path(__file__).resolve().parent
+_orig_horizon = experiments._horizon
+_orig_rates = experiments._rates
+
+print("tab12 (full scale)...", flush=True)
+report = run_tables_1_2(seed=0, quick=False)
+(OUT / "tab12.txt").write_text(report.text)
+
+print("tab34 (full scale)...", flush=True)
+report = run_tables_3_4(seed=0, quick=False)
+(OUT / "tab34.txt").write_text(report.text)
+
+print("fig12 (reduced: horizon 2500, 4 rates)...", flush=True)
+experiments._horizon = lambda quick: 2500.0
+experiments._rates = lambda quick: [60.0, 120.0, 180.0, 240.0]
+report = run_fig12(seed=0, quick=True)  # quick also trims E to {2, 8}
+(OUT / "fig12.txt").write_text(
+    "(reduced scale: horizon 2500 TU, rates 60/120/180/240, E in {2, 8};\n"
+    " full scale: repro-reproduce -e fig12 --seed 0)\n\n" + report.text
+)
+(OUT / "fig12.csv").write_text(to_csv(report.series, x_label="rate"))
+
+print("fig13 (reduced: horizon 4000, 4 rates)...", flush=True)
+experiments._horizon = lambda quick: 4000.0
+report = run_fig13(seed=0, quick=True)
+(OUT / "fig13.txt").write_text(
+    "(reduced scale: horizon 4000 TU, rates 60/120/180/240;\n"
+    " full scale: repro-reproduce -e fig13 --seed 0)\n\n" + report.text
+)
+(OUT / "fig13.csv").write_text(to_csv(report.series, x_label="rate"))
+
+print("ablation (extended variants, horizon 4000)...", flush=True)
+report = run_ablation(seed=0, quick=True)
+(OUT / "ablation.txt").write_text(
+    "(horizon 4000 TU)\n\n" + report.text
+)
+
+experiments._horizon = _orig_horizon
+experiments._rates = _orig_rates
+print("done", flush=True)

@@ -1,0 +1,61 @@
+"""Inject measured artifact excerpts into EXPERIMENTS.md placeholders."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "results"
+TARGET = ROOT / "EXPERIMENTS.md"
+
+
+def code_block(text: str) -> str:
+    return "```\n" + text.rstrip() + "\n```"
+
+
+def excerpt(path: str, head: int = 200) -> str:
+    lines = (RESULTS / path).read_text().rstrip().split("\n")
+    return "\n".join(lines[:head])
+
+
+def tab12_excerpt() -> str:
+    text = (RESULTS / "tab12.txt").read_text()
+    # keep rows >= 1% plus headers/footers for readability
+    kept = []
+    for line in text.split("\n"):
+        match = re.search(r"(\d+\.\d)%\s+(\d+\.\d)%", line)
+        if match and float(match.group(1)) < 1.0 and float(match.group(2)) < 1.0:
+            continue
+        kept.append(line)
+    return "\n".join(kept)
+
+
+def fig12_excerpt() -> str:
+    return excerpt("fig12.txt")
+
+
+def fig13_excerpt() -> str:
+    return excerpt("fig13.txt")
+
+
+def tab34_excerpt() -> str:
+    return excerpt("tab34.txt")
+
+
+def ablation_excerpt() -> str:
+    return excerpt("ablation.txt")
+
+
+replacements = {
+    "<!-- TAB12 -->": code_block(tab12_excerpt()),
+    "<!-- TAB34 -->": code_block(tab34_excerpt()),
+    "<!-- FIG12 -->": code_block(fig12_excerpt()),
+    "<!-- FIG13 -->": code_block(fig13_excerpt()),
+    "<!-- ABLATION -->": code_block(ablation_excerpt()),
+}
+
+text = TARGET.read_text()
+for marker, content in replacements.items():
+    assert marker in text, marker
+    text = text.replace(marker, content)
+TARGET.write_text(text)
+print("EXPERIMENTS.md patched")

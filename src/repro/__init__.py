@@ -1,0 +1,34 @@
+"""repro -- QoS and contention-aware multi-resource reservation.
+
+A from-scratch reproduction of Xu, Nahrstedt & Wichadakul, *QoS and
+Contention-Aware Multi-Resource Reservation* (HPDC 2000): the
+component-based QoS-Resource Model, the QRG planning algorithms (basic,
+tradeoff, random baseline, and the DAG two-pass heuristic), the runtime
+broker/proxy architecture, and the full simulated evaluation
+environment of the paper's 5th section.
+
+Quick start::
+
+    from repro.core import (
+        QoSLevel, QoSVector, QoSRanking, ServiceComponent,
+        TabularTranslation, DependencyGraph, DistributedService,
+        Binding, AvailabilitySnapshot, compute_plan,
+    )
+
+    plan = compute_plan(service, binding, snapshot, algorithm="basic")
+    print(plan.describe())
+
+Subpackages:
+
+* :mod:`repro.core`    -- model + planners (the paper's contribution)
+* :mod:`repro.des`     -- discrete-event simulation kernel
+* :mod:`repro.brokers` -- resource brokers (local, link, two-level path)
+* :mod:`repro.network` -- topology and routing substrate
+* :mod:`repro.runtime` -- QoSProxy / coordinator / session lifecycle
+* :mod:`repro.sim`     -- the evaluation environment (paper section 5)
+* :mod:`repro.analysis`-- table/figure reproduction harness
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import compute_plan  # noqa: F401  (primary entry point)

@@ -1,0 +1,36 @@
+"""Reproduction harness: formats and regenerates the paper's artifacts.
+
+* :mod:`repro.analysis.figures` -- series containers, text tables, ASCII
+  charts, CSV export;
+* :mod:`repro.analysis.tables` -- paper-layout formatting of Tables 1-4;
+* :mod:`repro.analysis.experiments` -- one runner per paper artifact
+  (figures 11-13, Tables 1-4) plus the complexity and ablation studies;
+* :mod:`repro.analysis.reproduce` -- the ``repro-reproduce`` CLI.
+"""
+
+from repro.analysis.export import plan_to_dict, qrg_to_dot, result_to_dict
+from repro.analysis.figures import Series, ascii_chart, format_series_table, to_csv
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_tables_1_2,
+    run_tables_3_4,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "Series",
+    "ascii_chart",
+    "format_series_table",
+    "plan_to_dict",
+    "qrg_to_dot",
+    "result_to_dict",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_tables_1_2",
+    "run_tables_3_4",
+    "to_csv",
+]

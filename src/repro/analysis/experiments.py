@@ -1,0 +1,404 @@
+"""One runner per paper artifact (the per-experiment index of DESIGN.md).
+
+Every runner takes ``seed`` and ``quick`` and returns an
+:class:`ExperimentReport` whose ``text`` is the same rows/series the
+paper reports.  ``quick=True`` shrinks horizons and sweeps for CI and
+benchmarks; ``quick=False`` reproduces the paper's full setup (10800 TU
+horizon, generation rates 60..240).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.figures import Series, ascii_chart, format_series_table
+from repro.analysis.tables import format_class_table, format_path_census_table
+from repro.core.dagplan import ExhaustiveDagPlanner, TwoPassDagPlanner
+from repro.core.planner import BasicPlanner
+from repro.core.qrg import build_qrg
+from repro.core.synthetic import random_availability, synthetic_chain, synthetic_diamond_dag
+from repro.sim.experiment import SimulationConfig, SimulationResult, run_simulation
+from repro.sim.workload import WorkloadSpec
+
+
+@dataclass
+class ExperimentReport:
+    """A finished experiment: formatted text plus raw series/results."""
+
+    experiment_id: str
+    text: str
+    series: List[Series] = field(default_factory=list)
+    results: List[SimulationResult] = field(default_factory=list)
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+def _rates(quick: bool) -> List[float]:
+    return [60, 120, 180, 240] if quick else [60, 80, 100, 120, 140, 160, 180, 200, 220, 240]
+
+
+def _horizon(quick: bool) -> float:
+    return 1500.0 if quick else 10800.0
+
+
+def _base_config(seed: int, quick: bool, **kw) -> SimulationConfig:
+    return SimulationConfig(
+        seed=seed, workload=WorkloadSpec(horizon=_horizon(quick)), **kw
+    )
+
+
+def _run_rate_sweep(
+    base: SimulationConfig, algorithms: Sequence[str], rates: Sequence[float]
+) -> Dict[str, List[SimulationResult]]:
+    out: Dict[str, List[SimulationResult]] = {}
+    for algorithm in algorithms:
+        runs = []
+        for rate in rates:
+            config = base.with_(
+                algorithm=algorithm,
+                workload=WorkloadSpec(
+                    rate_per_60tu=rate, horizon=base.workload.horizon,
+                    fat_weights=base.workload.fat_weights,
+                ),
+            )
+            runs.append(run_simulation(config))
+        out[algorithm] = runs
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: success rate and average QoS vs generation rate.
+# ---------------------------------------------------------------------------
+
+
+def run_fig11(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Figure 11(a)+(b): basic vs tradeoff vs random across rates."""
+    rates = _rates(quick)
+    sweeps = _run_rate_sweep(_base_config(seed, quick), ("basic", "tradeoff", "random"), rates)
+    success = [
+        Series(name, rates, [r.success_rate for r in runs]) for name, runs in sweeps.items()
+    ]
+    qos = [
+        Series(name, rates, [r.avg_qos_level for r in runs]) for name, runs in sweeps.items()
+    ]
+    text = (
+        format_series_table(
+            "Figure 11(a): overall reservation success rate",
+            "rate (ssn/60TU)",
+            success,
+        )
+        + "\n"
+        + ascii_chart(success, y_min=0.0, y_max=1.0)
+        + "\n\n"
+        + format_series_table(
+            "Figure 11(b): average end-to-end QoS level of successful sessions",
+            "rate (ssn/60TU)",
+            qos,
+            y_format="{:.2f}",
+        )
+        + "\n"
+        + ascii_chart(qos, y_min=1.0, y_max=3.0)
+    )
+    return ExperimentReport(
+        "fig11",
+        text,
+        series=success + qos,
+        results=[r for runs in sweeps.values() for r in runs],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 1-2: selected reservation paths at rate 80.
+# ---------------------------------------------------------------------------
+
+
+def run_tables_1_2(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Tables 1-2: path census for basic and tradeoff at 80 ssn/60TU."""
+    censuses = {}
+    results = []
+    for algorithm in ("basic", "tradeoff"):
+        config = _base_config(seed, quick, algorithm=algorithm).with_(
+            workload=WorkloadSpec(rate_per_60tu=80, horizon=_horizon(quick))
+        )
+        result = run_simulation(config)
+        censuses[algorithm] = result.paths
+        results.append(result)
+    text = (
+        format_path_census_table(
+            "Table 1: selected reservation paths, services of figure 10(a)",
+            "A",
+            censuses,
+        )
+        + "\n"
+        + format_path_census_table(
+            "Table 2: selected reservation paths, services of figure 10(b)",
+            "B",
+            censuses,
+        )
+    )
+    bottlenecks = {
+        algorithm: sorted(result.metrics.bottleneck_counts)
+        for algorithm, result in zip(("basic", "tradeoff"), results)
+    }
+    distinct = {a: len(b) for a, b in bottlenecks.items()}
+    text += (
+        f"\nDistinct bottleneck resources observed (of "
+        f"{len(results[0].metrics.bottleneck_counts) and 18 or 18} in the environment): "
+        f"{distinct}\n"
+    )
+    return ExperimentReport("tab12", text, results=results, extras={"bottlenecks": bottlenecks})
+
+
+# ---------------------------------------------------------------------------
+# Tables 3-4: per-class success / QoS at rates 60, 100, 180.
+# ---------------------------------------------------------------------------
+
+
+def run_tables_3_4(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Tables 3-4: per-class breakdowns for basic and tradeoff."""
+    rates = [60.0, 100.0, 180.0]
+    sections = []
+    results = []
+    for algorithm, title in (
+        ("basic", "Table 3: reservation success rates / average QoS levels, basic"),
+        ("tradeoff", "Table 4: reservation success rates / average QoS levels, tradeoff"),
+    ):
+        by_rate: Dict[float, SimulationResult] = {}
+        for rate in rates:
+            config = _base_config(seed, quick, algorithm=algorithm).with_(
+                workload=WorkloadSpec(rate_per_60tu=rate, horizon=_horizon(quick))
+            )
+            by_rate[rate] = run_simulation(config)
+            results.append(by_rate[rate])
+        sections.append(format_class_table(title, by_rate))
+    return ExperimentReport("tab34", "\n".join(sections), results=results)
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: impact of observation staleness E.
+# ---------------------------------------------------------------------------
+
+
+def run_fig12(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Figure 12(a)+(b): success under stale availability observations."""
+    rates = _rates(quick)
+    stale_values = [2.0, 8.0] if quick else [1.0, 2.0, 4.0, 8.0]
+    sections = []
+    all_series: List[Series] = []
+    results: List[SimulationResult] = []
+
+    random_accurate = _run_rate_sweep(_base_config(seed, quick), ("random",), rates)["random"]
+    random_series = Series("random (E=0)", rates, [r.success_rate for r in random_accurate])
+    results.extend(random_accurate)
+
+    for algorithm, label in (("basic", "Figure 12(a)"), ("tradeoff", "Figure 12(b)")):
+        series = []
+        accurate = _run_rate_sweep(_base_config(seed, quick), (algorithm,), rates)[algorithm]
+        series.append(Series(f"{algorithm} (E=0)", rates, [r.success_rate for r in accurate]))
+        results.extend(accurate)
+        for stale in stale_values:
+            runs = _run_rate_sweep(
+                _base_config(seed, quick, staleness=stale), (algorithm,), rates
+            )[algorithm]
+            series.append(Series(f"{algorithm} (E={stale:g})", rates, [r.success_rate for r in runs]))
+            results.extend(runs)
+        series.append(random_series)
+        sections.append(
+            format_series_table(
+                f"{label}: success rate of {algorithm} with inaccurate observations",
+                "rate (ssn/60TU)",
+                series,
+            )
+        )
+        all_series.extend(series[:-1])
+    return ExperimentReport("fig12", "\n".join(sections), series=all_series, results=results)
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: compressed requirement diversity (3:1).
+# ---------------------------------------------------------------------------
+
+
+def run_fig13(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Figure 13(a)+(b): success and QoS with 3:1 requirement diversity."""
+    rates = _rates(quick)
+    sweeps = _run_rate_sweep(
+        _base_config(seed, quick, diversity_ratio=3.0), ("basic", "tradeoff", "random"), rates
+    )
+    success = [
+        Series(name, rates, [r.success_rate for r in runs]) for name, runs in sweeps.items()
+    ]
+    qos = [
+        Series(name, rates, [r.avg_qos_level for r in runs]) for name, runs in sweeps.items()
+    ]
+    text = (
+        format_series_table(
+            "Figure 13(a): success rate under 3:1-compressed requirement diversity",
+            "rate (ssn/60TU)",
+            success,
+        )
+        + "\n"
+        + format_series_table(
+            "Figure 13(b): average QoS level under 3:1-compressed requirement diversity",
+            "rate (ssn/60TU)",
+            qos,
+            y_format="{:.2f}",
+        )
+    )
+    return ExperimentReport(
+        "fig13",
+        text,
+        series=success + qos,
+        results=[r for runs in sweeps.values() for r in runs],
+    )
+
+
+# ---------------------------------------------------------------------------
+# §4.2 complexity claim: planner cost scales as O(K * Q^2).
+# ---------------------------------------------------------------------------
+
+
+def run_complexity(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Measure planning wall time over K and Q grids."""
+    rng = np.random.default_rng(seed)
+    ks = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
+    qs = [2, 4, 8] if quick else [2, 4, 8, 16, 32]
+    planner = BasicPlanner()
+    rows: List[Tuple[int, int, float]] = []
+    for k in ks:
+        for q in qs:
+            service, binding, snapshot = synthetic_chain(k, q, rng=rng)
+            qrg = build_qrg(service, binding, snapshot)
+            repeats = 3
+            start = time.perf_counter()
+            for _ in range(repeats):
+                plan = planner.plan(qrg)
+            elapsed = (time.perf_counter() - start) / repeats
+            assert plan is not None
+            rows.append((k, q, elapsed))
+    lines = ["Planner wall time (s) over K components x Q levels:"]
+    lines.append("K\\Q " + "".join(f"{q:>10d}" for q in qs))
+    for k in ks:
+        cells = [t for kk, _q, t in rows if kk == k]
+        lines.append(f"{k:<4d}" + "".join(f"{t:10.5f}" for t in cells))
+    # Empirical scaling exponents via log-log regression.
+    data = np.array(rows)
+    logk, logq, logt = np.log(data[:, 0]), np.log(data[:, 1]), np.log(data[:, 2])
+    a = np.column_stack([logk, logq, np.ones(len(rows))])
+    coeffs, *_ = np.linalg.lstsq(a, logt, rcond=None)
+    lines.append(
+        f"fitted t ~ K^{coeffs[0]:.2f} * Q^{coeffs[1]:.2f}  "
+        "(paper claims O(K*Q^2): exponents ~1 and ~2)"
+    )
+    return ExperimentReport("complexity", "\n".join(lines), extras={"rows": rows, "coeffs": coeffs})
+
+
+# ---------------------------------------------------------------------------
+# §4.3.2 ablation: two-pass heuristic vs exhaustive optimum on DAGs.
+# ---------------------------------------------------------------------------
+
+
+def run_dag_ablation(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Quantify the DAG heuristic's limitations against the exact search."""
+    rng = np.random.default_rng(seed)
+    trials = 60 if quick else 300
+    heuristic, exact = TwoPassDagPlanner(), ExhaustiveDagPlanner()
+    same_sink = optimal_psi = feasible = 0
+    gaps: List[float] = []
+    for trial in range(trials):
+        branches = int(rng.integers(2, 4))
+        q = int(rng.integers(2, 4))
+        service, binding, snapshot = synthetic_diamond_dag(branches, q, rng=rng)
+        snapshot = random_availability(snapshot, rng, low=4.0, high=60.0)
+        qrg = build_qrg(service, binding, snapshot)
+        exact_plan = exact.plan(qrg)
+        heuristic_plan = heuristic.plan(qrg)
+        if exact_plan is None:
+            continue
+        if heuristic_plan is None:
+            continue  # limitation (1): heuristic found nothing at all
+        feasible += 1
+        if heuristic_plan.end_to_end_label == exact_plan.end_to_end_label:
+            same_sink += 1
+            gap = heuristic_plan.psi / exact_plan.psi if exact_plan.psi > 0 else 1.0
+            gaps.append(gap)
+            if abs(heuristic_plan.psi - exact_plan.psi) <= 1e-9:
+                optimal_psi += 1
+    lines = [
+        "DAG two-pass heuristic vs exhaustive optimum "
+        f"({trials} random diamond DAGs):",
+        f"  heuristic produced a feasible plan:   {feasible}/{trials}",
+        f"  reached the optimal sink level:       {same_sink}/{feasible}",
+        f"  achieved the optimal Psi_G:           {optimal_psi}/{same_sink}",
+    ]
+    if gaps:
+        lines.append(
+            f"  Psi_G ratio vs optimum: mean={float(np.mean(gaps)):.3f} "
+            f"max={float(np.max(gaps)):.3f} (1.0 = optimal)"
+        )
+    return ExperimentReport(
+        "dag-ablation",
+        "\n".join(lines),
+        extras={"feasible": feasible, "same_sink": same_sink, "optimal": optimal_psi, "gaps": gaps},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Design-choice ablations: contention index definition, tie-break rule.
+# ---------------------------------------------------------------------------
+
+
+def run_ablation(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Success at one contended rate under design variations.
+
+    Note a provable fact this ablation confirms empirically: for the
+    *basic* algorithm, any contention index that is a monotone transform
+    of the utilisation ratio req/avail (the paper's eq. 2, the headroom
+    variant, the log variant) yields *identical* plans -- monotone
+    transforms preserve per-edge argmaxes and path-max comparisons.  The
+    *tradeoff* policy, however, compares ``psi_s <= alpha * psi_s0``,
+    which is not invariant under monotone transforms, so there the
+    definition genuinely matters.
+    """
+    rate = 180.0
+    rows: List[Tuple[str, float, float]] = []
+    results = []
+    variants: List[Tuple[str, SimulationConfig]] = []
+    base = _base_config(seed, quick).with_(
+        workload=WorkloadSpec(rate_per_60tu=rate, horizon=_horizon(quick))
+    )
+    for name in ("ratio", "headroom", "log"):
+        variants.append((f"basic/psi={name}", base.with_(contention_index=name)))
+    variants.append(("basic/no tie-break", base.with_(tie_break=False)))
+    for name in ("ratio", "headroom", "log"):
+        variants.append(
+            (f"tradeoff/psi={name}", base.with_(algorithm="tradeoff", contention_index=name))
+        )
+    for label, config in variants:
+        result = run_simulation(config)
+        rows.append((label, result.success_rate, result.avg_qos_level))
+        results.append(result)
+    lines = [f"Design ablations (rate={rate:g} ssn/60TU):"]
+    for label, success, qos in rows:
+        lines.append(f"  {label:<22s} success={100 * success:5.1f}%  avg_qos={qos:.2f}")
+    lines.append(
+        "  (basic is invariant under monotone psi transforms by construction;"
+        " tradeoff is not -- see module docstring)"
+    )
+    return ExperimentReport("ablation", "\n".join(lines), results=results)
+
+
+#: Registry used by the CLI and by DESIGN.md's experiment index.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
+    "fig11": run_fig11,
+    "tab12": run_tables_1_2,
+    "tab34": run_tables_3_4,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "complexity": run_complexity,
+    "dag-ablation": run_dag_ablation,
+    "ablation": run_ablation,
+}

@@ -1,0 +1,127 @@
+"""Machine-readable and Graphviz exports.
+
+:func:`qrg_to_dot` regenerates the paper's figures 4-5: the QRG drawn
+with components as clusters, intra edges labelled with their contention
+indices, and (optionally) a plan's selected path highlighted -- figure 5
+is exactly "figure 4 plus the thicker shortest-path edges".
+
+:func:`plan_to_dict` / :func:`result_to_dict` serialise plans and
+simulation results for external tooling (JSON-compatible dicts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.plan import ReservationPlan
+from repro.core.qrg import QoSResourceGraph, QRGNode
+
+
+def _dot_id(node: QRGNode) -> str:
+    return f'"{node.component}.{node.kind}.{node.label}"'
+
+
+def qrg_to_dot(
+    qrg: QoSResourceGraph,
+    plan: Optional[ReservationPlan] = None,
+    *,
+    title: str = "QoS-Resource Graph",
+) -> str:
+    """Render the QRG as Graphviz DOT (figures 4-5 of the paper).
+
+    With ``plan`` given, the plan's intra edges are drawn bold/red and
+    its nodes filled -- the paper's "thicker edges" of figure 5.
+    """
+    selected_edges = set()
+    selected_nodes = set()
+    if plan is not None:
+        for assignment in plan.assignments:
+            src = QRGNode(assignment.component, "in", assignment.qin_label)
+            dst = QRGNode(assignment.component, "out", assignment.qout_label)
+            selected_edges.add((src, dst))
+            selected_nodes.update((src, dst))
+
+    lines = [
+        "digraph QRG {",
+        "  rankdir=LR;",
+        f'  label="{title}";',
+        "  node [shape=circle, fontsize=10];",
+    ]
+    # Component clusters (the dotted rectangles of figure 4).
+    components: Dict[str, list] = {}
+    for node in qrg.nodes:
+        components.setdefault(node.component, []).append(node)
+    for index, name in enumerate(qrg.service.graph.topological_order()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{name}"; style=dotted;')
+        for node in sorted(components.get(name, [])):
+            style = ' style=filled fillcolor="#ffd9b3"' if node in selected_nodes else ""
+            lines.append(f'    {_dot_id(node)} [label="{node.label}"{style}];')
+        lines.append("  }")
+    # Intra edges with contention-index labels.
+    for edge in qrg.intra_edges:
+        emphasis = (
+            ' color="red" penwidth=2.5'
+            if (edge.src, edge.dst) in selected_edges
+            else ""
+        )
+        lines.append(
+            f'  {_dot_id(edge.src)} -> {_dot_id(edge.dst)} '
+            f'[label="{edge.weight:.3f}"{emphasis}];'
+        )
+    # Zero-weight equivalence edges, dashed.
+    for eq in qrg.equiv_edges:
+        both_selected = plan is not None and {eq.src, eq.dst} <= selected_nodes
+        emphasis = ' color="red" penwidth=2.5' if both_selected else ""
+        lines.append(f"  {_dot_id(eq.src)} -> {_dot_id(eq.dst)} [style=dashed{emphasis}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_to_dict(plan: ReservationPlan) -> dict:
+    """JSON-compatible representation of a reservation plan."""
+    return {
+        "service": plan.service,
+        "end_to_end_label": plan.end_to_end_label,
+        "end_to_end_rank": plan.end_to_end_rank,
+        "numeric_level": plan.numeric_level,
+        "psi": plan.psi,
+        "bottleneck_resource": plan.bottleneck_resource,
+        "bottleneck_alpha": plan.bottleneck_alpha,
+        "path_signature": list(plan.path_signature),
+        "demand": dict(plan.demand),
+        "assignments": [
+            {
+                "component": a.component,
+                "qin": a.qin_label,
+                "qout": a.qout_label,
+                "bound": dict(a.bound),
+                "weight": a.weight,
+                "bottleneck_resource": a.bottleneck_resource,
+            }
+            for a in plan.assignments
+        ],
+    }
+
+
+def result_to_dict(result) -> dict:
+    """JSON-compatible summary of a SimulationResult."""
+    metrics = result.metrics
+    return {
+        "algorithm": result.config.algorithm,
+        "seed": result.config.seed,
+        "rate_per_60tu": result.config.workload.rate_per_60tu,
+        "horizon": result.config.workload.horizon,
+        "staleness": result.config.staleness,
+        "attempts": metrics.attempts,
+        "successes": metrics.successes,
+        "success_rate": metrics.success_rate,
+        "avg_qos_level": metrics.avg_qos_level,
+        "class_rows": [
+            {"class": name, "success_rate": sr, "avg_qos": qos, "attempts": n}
+            for name, sr, qos, n in metrics.class_rows
+        ],
+        "failure_reasons": dict(metrics.failure_reasons),
+        "bottleneck_counts": dict(metrics.bottleneck_counts),
+        "wall_seconds": result.wall_seconds,
+    }

@@ -1,0 +1,112 @@
+"""Series containers and text rendering for the figure reproductions.
+
+The benches print the same x/y series the paper plots; these helpers
+render them as aligned text tables, quick ASCII charts for terminal
+inspection, and CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line: a name and aligned x/y values."""
+
+    name: str
+    x: Sequence[float]
+    y: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.x)} x-values vs {len(self.y)} y-values"
+            )
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    series: Sequence[Series],
+    *,
+    y_format: str = "{:.3f}",
+    x_format: str = "{:g}",
+) -> str:
+    """Aligned text table: one row per x value, one column per series."""
+    if not series:
+        return f"{title}\n(no data)"
+    xs = list(series[0].x)
+    for s in series[1:]:
+        if list(s.x) != xs:
+            raise ValueError(f"series {s.name!r} has mismatched x values")
+    headers = [x_label] + [s.name for s in series]
+    rows = [
+        [x_format.format(x)] + [y_format.format(s.y[i]) for s in series]
+        for i, x in enumerate(xs)
+    ]
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in rows)) for c in range(len(headers))
+    ]
+    out = io.StringIO()
+    out.write(title + "\n")
+    out.write("  ".join(h.rjust(w) for h, w in zip(headers, widths)) + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in rows:
+        out.write("  ".join(cell.rjust(w) for cell, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    *,
+    width: int = 64,
+    height: int = 16,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """A rough ASCII line chart (one marker letter per series)."""
+    if not series:
+        return "(no data)"
+    markers = "ox+*#@%&"
+    all_x = [x for s in series for x in s.x]
+    all_y = [y for s in series for y in s.y]
+    lo_x, hi_x = min(all_x), max(all_x)
+    lo_y = min(all_y) if y_min is None else y_min
+    hi_y = max(all_y) if y_max is None else y_max
+    if hi_y <= lo_y:
+        hi_y = lo_y + 1.0
+    if hi_x <= lo_x:
+        hi_x = lo_x + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in zip(s.x, s.y):
+            col = int(round((x - lo_x) / (hi_x - lo_x) * (width - 1)))
+            row = int(round((y - lo_y) / (hi_y - lo_y) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+    lines = [f"{hi_y:8.3f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " |" + "".join(row))
+    lines.append(f"{lo_y:8.3f} |" + "".join(grid[-1]))
+    lines.append(" " * 10 + "-" * width)
+    lines.append(" " * 10 + f"{lo_x:<10g}{'':^{max(0, width - 20)}}{hi_x:>10g}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def to_csv(series: Sequence[Series], x_label: str = "x") -> str:
+    """CSV with one x column and one column per series."""
+    if not series:
+        return ""
+    xs = list(series[0].x)
+    out = io.StringIO()
+    out.write(",".join([x_label] + [s.name for s in series]) + "\n")
+    for i, x in enumerate(xs):
+        out.write(",".join([repr(float(x))] + [repr(float(s.y[i])) for s in series]) + "\n")
+    return out.getvalue()

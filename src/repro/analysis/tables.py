@@ -1,0 +1,83 @@
+"""Paper-layout formatting for Tables 1-4."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.sim.experiment import SimulationResult
+from repro.sim.metrics import PathCensus
+
+
+def format_path_census_table(
+    title: str,
+    family_key: str,
+    census_by_algorithm: Mapping[str, PathCensus],
+    *,
+    min_percent: float = 0.05,
+) -> str:
+    """Tables 1-2: selected reservation paths and their percentages.
+
+    One row per path that any algorithm selected at least ``min_percent``
+    percent of the time, one column per algorithm, ordered by the first
+    algorithm's share (the paper lists the paths of figure 10 in level
+    order; selection share is the readable ordering here).
+    """
+    signatures: Dict[str, float] = {}
+    for census in census_by_algorithm.values():
+        for signature, percent in census.percentages(family_key):
+            signatures[signature] = max(signatures.get(signature, 0.0), percent)
+    rows = [sig for sig, best in sorted(signatures.items(), key=lambda kv: -kv[1]) if best >= min_percent]
+    algorithms = list(census_by_algorithm)
+    out = io.StringIO()
+    out.write(title + "\n")
+    sig_width = max([len("Selected path")] + [len(sig) for sig in rows])
+    header = "Selected path".ljust(sig_width) + "".join(f"  {a:>9s}" for a in algorithms)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for signature in rows:
+        cells = "".join(
+            f"  {census_by_algorithm[a].percentage_of(family_key, signature):8.1f}%"
+            for a in algorithms
+        )
+        out.write(signature.ljust(sig_width) + cells + "\n")
+    totals = "".join(
+        f"  {census_by_algorithm[a].total(family_key):>8d} " for a in algorithms
+    )
+    out.write("(selections)".ljust(sig_width) + totals + "\n")
+    return out.getvalue()
+
+
+def format_class_table(
+    title: str,
+    results_by_rate: Mapping[float, SimulationResult],
+) -> str:
+    """Tables 3-4: per-class success rate / average QoS level, by rate."""
+    rates = sorted(results_by_rate)
+    class_names = [row[0] for row in next(iter(results_by_rate.values())).metrics.class_rows]
+    out = io.StringIO()
+    out.write(title + "\n")
+    name_width = max(len("Class/gen. rate"), *(len(n) for n in class_names))
+    header = "Class/gen. rate".ljust(name_width) + "".join(
+        f"  {f'{rate:g} ssn.s/60 TUs':>18s}" for rate in rates
+    )
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for class_name in class_names:
+        cells = []
+        for rate in rates:
+            rows = {r[0]: (r[1], r[2]) for r in results_by_rate[rate].metrics.class_rows}
+            success, qos = rows[class_name]
+            cells.append(f"  {100 * success:7.1f}%/{qos:4.2f}     ")
+        out.write(class_name.ljust(name_width) + "".join(cells) + "\n")
+    return out.getvalue()
+
+
+def format_summary_line(result: SimulationResult) -> str:
+    """One-line run summary: algorithm, rate, sessions, success, QoS."""
+    m = result.metrics
+    return (
+        f"algorithm={result.config.algorithm:9s} rate={result.config.workload.rate_per_60tu:g} "
+        f"sessions={m.attempts} success={100 * m.success_rate:.1f}% "
+        f"avg_qos={m.avg_qos_level:.2f} wall={result.wall_seconds:.1f}s"
+    )

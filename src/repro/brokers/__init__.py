@@ -1,0 +1,48 @@
+"""Resource Brokers (paper §3).
+
+A Resource Broker makes and enforces reservations for one resource:
+
+* :class:`~repro.brokers.local.LocalResourceBroker` -- a host-local
+  resource (CPU, memory, disk I/O bandwidth);
+* :class:`~repro.brokers.link.LinkBandwidthBroker` -- the lower level of
+  the two-level network model: one broker per physical link (the paper's
+  RSVP-enabled per-router bandwidth brokers);
+* :class:`~repro.brokers.path.PathBroker` -- the higher level: treats the
+  links between two end hosts as *one* end-to-end resource whose
+  availability is the minimum of the underlying link availabilities, and
+  whose reservations are applied transactionally to every link.
+
+All brokers share the :class:`~repro.brokers.base.ResourceBroker`
+interface: report availability (plus the Availability Change Index
+``alpha`` of §4.3.1), make reservations, and terminate/cancel them.
+:class:`~repro.brokers.registry.BrokerRegistry` is the directory the
+QoSProxies use to collect availability snapshots and dispatch plans.
+"""
+
+from repro.brokers.advance import (
+    AdvanceRegistry,
+    AdvanceReservation,
+    TimelineBroker,
+    advance_snapshot,
+)
+from repro.brokers.base import Reservation, ResourceBroker
+from repro.brokers.history import AvailabilityHistory
+from repro.brokers.link import LinkBandwidthBroker
+from repro.brokers.local import LocalResourceBroker
+from repro.brokers.path import PathBroker
+from repro.brokers.registry import BrokerRegistry, ReservationTransaction
+
+__all__ = [
+    "AdvanceRegistry",
+    "AdvanceReservation",
+    "AvailabilityHistory",
+    "BrokerRegistry",
+    "LinkBandwidthBroker",
+    "LocalResourceBroker",
+    "PathBroker",
+    "Reservation",
+    "ReservationTransaction",
+    "ResourceBroker",
+    "TimelineBroker",
+    "advance_snapshot",
+]

@@ -1,0 +1,159 @@
+"""The Resource Broker interface and reservation bookkeeping (paper §3).
+
+The paper lists three basic broker operations: (1) report current
+availability of the resource, (2) make and enforce reservations, and
+(3) terminate or cancel reservations.  Reservations here are admission
+controlled: a request either fits within current availability and is
+granted immediately, or it raises :class:`AdmissionError` -- there is no
+queueing, matching the paper's session semantics where one failed
+resource fails the whole session.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.brokers.history import AvailabilityHistory
+from repro.core.errors import AdmissionError, BrokerError
+from repro.core.resources import ResourceObservation
+
+#: A clock callable, normally ``lambda: env.now`` of the DES environment.
+Clock = Callable[[], float]
+
+_reservation_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """A granted reservation: the handle used to terminate/cancel it."""
+
+    reservation_id: int
+    resource_id: str
+    amount: float
+    session_id: str
+    made_at: float
+
+
+class ResourceBroker:
+    """Base implementation of an admission-controlled capacity pool.
+
+    Subclasses specialise what the resource *is* (host-local pool,
+    network link, end-to-end path); the accounting, availability
+    reporting, and trend tracking are shared.
+    """
+
+    def __init__(
+        self,
+        resource_id: str,
+        capacity: float,
+        *,
+        clock: Optional[Clock] = None,
+        trend_window: float = 3.0,
+    ) -> None:
+        if capacity <= 0:
+            raise BrokerError(f"capacity of {resource_id!r} must be positive, got {capacity!r}")
+        self.resource_id = resource_id
+        self._capacity = float(capacity)
+        self._reserved = 0.0
+        self._clock: Clock = clock if clock is not None else (lambda: 0.0)
+        self._reservations: Dict[int, Reservation] = {}
+        self.history = AvailabilityHistory(window=trend_window)
+        self.history.record_change(self._clock(), self._capacity)
+
+    # -- reporting (broker operation 1) -------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        """Total capacity of this resource."""
+        return self._capacity
+
+    @property
+    def reserved(self) -> float:
+        """Amount currently reserved."""
+        return self._reserved
+
+    @property
+    def available(self) -> float:
+        """Amount currently available (capacity - reserved)."""
+        return self._capacity - self._reserved
+
+    def observe(self) -> ResourceObservation:
+        """Report availability + Availability Change Index (eq. 5)."""
+        now = self._clock()
+        available = self.available
+        alpha = self.history.alpha(now, available)
+        return ResourceObservation(available=available, alpha=alpha, observed_at=now)
+
+    def observe_stale(self, when: float) -> ResourceObservation:
+        """Availability as it was at time ``when`` (paper §5.2.4).
+
+        The alpha index is still computed from the broker's *report* log
+        (the trend reports arrive on their own schedule), against the
+        stale value.
+        """
+        value = self.history.value_at(when)
+        if value is None:
+            value = self.available
+        alpha = self.history.alpha(self._clock(), value)
+        return ResourceObservation(available=value, alpha=alpha, observed_at=when)
+
+    # -- reserving (broker operation 2) ---------------------------------------
+
+    def can_reserve(self, amount: float) -> bool:
+        """True when a reservation of ``amount`` would be admitted."""
+        return 0 < amount <= self.available + 1e-9
+
+    def reserve(self, amount: float, session_id: str) -> Reservation:
+        """Grant ``amount`` to ``session_id`` or raise AdmissionError."""
+        if amount <= 0:
+            raise BrokerError(f"reservation amount must be positive, got {amount!r}")
+        if amount > self.available + 1e-9:
+            raise AdmissionError(
+                f"{self.resource_id}: requested {amount:g} exceeds availability "
+                f"{self.available:g} (capacity {self._capacity:g})",
+                resource_id=self.resource_id,
+            )
+        now = self._clock()
+        reservation = Reservation(
+            reservation_id=next(_reservation_ids),
+            resource_id=self.resource_id,
+            amount=float(amount),
+            session_id=session_id,
+            made_at=now,
+        )
+        self._reserved += reservation.amount
+        self._reservations[reservation.reservation_id] = reservation
+        self.history.record_change(now, self.available)
+        return reservation
+
+    # -- terminating (broker operation 3) ---------------------------------------
+
+    def release(self, reservation: Reservation) -> None:
+        """Terminate or cancel a reservation, returning its capacity."""
+        stored = self._reservations.pop(reservation.reservation_id, None)
+        if stored is None:
+            raise BrokerError(
+                f"{self.resource_id}: unknown reservation {reservation.reservation_id} "
+                "(double release?)"
+            )
+        self._reserved -= stored.amount
+        if self._reserved < -1e-9:  # pragma: no cover - accounting invariant
+            raise BrokerError(f"{self.resource_id}: negative reserved amount")
+        self._reserved = max(self._reserved, 0.0)
+        self.history.record_change(self._clock(), self.available)
+
+    def outstanding(self) -> int:
+        """Number of live reservations (diagnostics / invariants)."""
+        return len(self._reservations)
+
+    def utilization(self) -> float:
+        """Fraction of capacity currently reserved."""
+        return self._reserved / self._capacity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.resource_id} "
+            f"{self._reserved:g}/{self._capacity:g} reserved>"
+        )

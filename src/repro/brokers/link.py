@@ -1,0 +1,45 @@
+"""Per-link bandwidth brokers -- the lower network level (paper §3).
+
+One broker per physical link, playing the role of the paper's
+"RSVP-enabled bandwidth broker on each router [that] treats each network
+link as a separate resource".  :class:`~repro.brokers.path.PathBroker`
+aggregates several of these into one end-to-end resource.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.brokers.base import Clock, ResourceBroker
+
+
+class LinkBandwidthBroker(ResourceBroker):
+    """Bandwidth broker for one network link between two endpoints."""
+
+    def __init__(
+        self,
+        link_id: str,
+        endpoint_a: str,
+        endpoint_b: str,
+        capacity: float,
+        *,
+        clock: Optional[Clock] = None,
+        trend_window: float = 3.0,
+    ) -> None:
+        if not link_id:
+            raise ValueError("link_id must be non-empty")
+        if endpoint_a == endpoint_b:
+            raise ValueError(f"link {link_id!r} connects {endpoint_a!r} to itself")
+        super().__init__(
+            resource_id=f"link:{link_id}",
+            capacity=capacity,
+            clock=clock,
+            trend_window=trend_window,
+        )
+        self.link_id = link_id
+        self.endpoint_a = endpoint_a
+        self.endpoint_b = endpoint_b
+
+    def connects(self, a: str, b: str) -> bool:
+        """True when this (bidirectional) link joins ``a`` and ``b``."""
+        return {a, b} == {self.endpoint_a, self.endpoint_b}

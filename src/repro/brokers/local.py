@@ -1,0 +1,37 @@
+"""Host-local resource brokers (paper §3: CPU, memory, disk I/O, ...).
+
+The paper cites DSRT for CPU and Cello for disk I/O as concrete
+enforcers; in the reservation-enabled simulation the broker *is* the
+enforcer, so a local broker is simply an admission-controlled pool tied
+to a host, with a resource *kind* tag for reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.brokers.base import Clock, ResourceBroker
+
+
+class LocalResourceBroker(ResourceBroker):
+    """Broker for one kind of local resource on one host."""
+
+    def __init__(
+        self,
+        host: str,
+        kind: str,
+        capacity: float,
+        *,
+        clock: Optional[Clock] = None,
+        trend_window: float = 3.0,
+    ) -> None:
+        if not host or not kind:
+            raise ValueError("host and kind must be non-empty")
+        super().__init__(
+            resource_id=f"{kind}:{host}",
+            capacity=capacity,
+            clock=clock,
+            trend_window=trend_window,
+        )
+        self.host = host
+        self.kind = kind

@@ -1,0 +1,144 @@
+"""The paper's primary contribution: the QoS-Resource Model and planners.
+
+Public surface:
+
+* model building blocks -- :class:`QoSVector`, :class:`QoSLevel`,
+  :class:`QoSRanking`, :class:`ResourceVector`,
+  :class:`TabularTranslation`, :class:`ServiceComponent`,
+  :class:`DependencyGraph`, :class:`DistributedService`;
+* snapshot & graph -- :class:`AvailabilitySnapshot`,
+  :func:`build_qrg`, :class:`QoSResourceGraph`;
+* planners -- :class:`BasicPlanner`, :class:`RandomPlanner`,
+  :class:`TradeoffPlanner`, :class:`TwoPassDagPlanner`,
+  :class:`ExhaustiveDagPlanner`, plus the :func:`compute_plan` facade.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.component import Binding, ServiceComponent
+from repro.core.dagplan import ExhaustiveDagPlanner, TwoPassDagPlanner
+from repro.core.dijkstra import minimax_dijkstra, enumerate_paths, path_bottleneck
+from repro.core.errors import (
+    AdmissionError,
+    BrokerError,
+    IncomparableError,
+    InfeasibleError,
+    ModelError,
+    PlanningError,
+    ReproError,
+    TranslationError,
+)
+from repro.core.plan import ComponentAssignment, ReservationPlan
+from repro.core.planner import BasicPlanner, RandomPlanner, feasible_end_to_end_levels
+from repro.core.qos import QoSLevel, QoSRanking, QoSVector, concat_levels
+from repro.core.qrg import QoSResourceGraph, QRGNode, build_qrg
+from repro.core.resources import (
+    AvailabilitySnapshot,
+    ContentionReport,
+    ResourceObservation,
+    ResourceVector,
+    headroom_contention_index,
+    log_contention_index,
+    ratio_contention_index,
+)
+from repro.core.service import DependencyGraph, DistributedService
+from repro.core.tradeoff import TradeoffPlanner, sink_report
+from repro.core.translation import (
+    CallableTranslation,
+    ScaledTranslation,
+    TabularTranslation,
+    TranslationFunction,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AvailabilitySnapshot",
+    "BasicPlanner",
+    "Binding",
+    "BrokerError",
+    "CallableTranslation",
+    "ComponentAssignment",
+    "ContentionReport",
+    "DependencyGraph",
+    "DistributedService",
+    "ExhaustiveDagPlanner",
+    "IncomparableError",
+    "InfeasibleError",
+    "ModelError",
+    "PlanningError",
+    "QoSLevel",
+    "QoSRanking",
+    "QoSResourceGraph",
+    "QoSVector",
+    "QRGNode",
+    "RandomPlanner",
+    "ReproError",
+    "ReservationPlan",
+    "ResourceObservation",
+    "ResourceVector",
+    "ScaledTranslation",
+    "ServiceComponent",
+    "TabularTranslation",
+    "TradeoffPlanner",
+    "TranslationFunction",
+    "TranslationError",
+    "TwoPassDagPlanner",
+    "build_qrg",
+    "compute_plan",
+    "concat_levels",
+    "enumerate_paths",
+    "feasible_end_to_end_levels",
+    "headroom_contention_index",
+    "log_contention_index",
+    "minimax_dijkstra",
+    "path_bottleneck",
+    "ratio_contention_index",
+    "sink_report",
+]
+
+
+def compute_plan(
+    service: DistributedService,
+    binding: Binding,
+    snapshot: AvailabilitySnapshot,
+    *,
+    algorithm: str = "basic",
+    source_label: Optional[str] = None,
+    rng: Optional[np.random.Generator] = None,
+    contention_index=ratio_contention_index,
+) -> Optional[ReservationPlan]:
+    """One-call facade: build the QRG and run the chosen planner.
+
+    ``algorithm`` is one of ``"basic"``, ``"tradeoff"``, ``"random"``,
+    ``"dag"`` (two-pass heuristic) or ``"dag-exhaustive"``.  Chain
+    algorithms require a chain dependency graph; the DAG planners accept
+    any DAG (including chains).  Returns None when no feasible end-to-end
+    plan exists under the snapshot.
+    """
+    qrg = build_qrg(
+        service,
+        binding,
+        snapshot,
+        source_label=source_label,
+        contention_index=contention_index,
+    )
+    if algorithm in ("basic", "tradeoff", "random") and not service.graph.is_chain():
+        raise PlanningError(
+            f"algorithm {algorithm!r} requires a chain dependency graph; "
+            "use 'dag' or 'dag-exhaustive' for DAG services"
+        )
+    if algorithm == "basic":
+        return BasicPlanner().plan(qrg)
+    if algorithm == "tradeoff":
+        return TradeoffPlanner().plan(qrg)
+    if algorithm == "random":
+        return RandomPlanner(rng=rng).plan(qrg)
+    if algorithm == "dag":
+        return TwoPassDagPlanner().plan(qrg)
+    if algorithm == "dag-exhaustive":
+        return ExhaustiveDagPlanner().plan(qrg)
+    raise PlanningError(f"unknown planning algorithm {algorithm!r}")

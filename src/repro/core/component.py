@@ -1,0 +1,149 @@
+"""Service components (paper §2.1-2.2).
+
+A service component is a functional unit of a distributed service.  It
+declares its enumerable input and output QoS levels and carries the
+translation function that prices each supported (Q_in, Q_out) pair in
+resources.  The *resource slots* a component consumes (e.g. ``hS`` or
+``lPS``) are abstract here; a session binds them to concrete brokered
+resources via a :class:`Binding`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core.errors import ModelError
+from repro.core.qos import QoSLevel
+from repro.core.resources import ResourceVector
+from repro.core.translation import TabularTranslation, TranslationFunction
+
+
+@dataclass(frozen=True)
+class ServiceComponent:
+    """One node of a distributed service's Dependency Graph.
+
+    Parameters
+    ----------
+    name:
+        Unique component name within the service (``VideoSender``, ...).
+    input_levels / output_levels:
+        The enumerable ``Q_in`` / ``Q_out`` levels (paper assumes discrete
+        parameter values, hence enumerability).
+    translation:
+        The plug-in ``T_c``; pairs it returns None for do not exist.
+    """
+
+    name: str
+    input_levels: Tuple[QoSLevel, ...]
+    output_levels: Tuple[QoSLevel, ...]
+    translation: TranslationFunction
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("component name must be non-empty")
+        if not self.input_levels:
+            raise ModelError(f"component {self.name!r} has no input QoS levels")
+        if not self.output_levels:
+            raise ModelError(f"component {self.name!r} has no output QoS levels")
+        for side, levels in (("input", self.input_levels), ("output", self.output_levels)):
+            labels = [level.label for level in levels]
+            if len(set(labels)) != len(labels):
+                raise ModelError(
+                    f"component {self.name!r} has duplicate {side} level labels: {labels!r}"
+                )
+
+    # -- lookups ---------------------------------------------------------
+
+    def input_level(self, label: str) -> QoSLevel:
+        """Look up an input level by label; raises on unknown labels."""
+        for level in self.input_levels:
+            if level.label == label:
+                return level
+        raise ModelError(f"component {self.name!r} has no input level {label!r}")
+
+    def output_level(self, label: str) -> QoSLevel:
+        """Look up an output level by label; raises on unknown labels."""
+        for level in self.output_levels:
+            if level.label == label:
+                return level
+        raise ModelError(f"component {self.name!r} has no output level {label!r}")
+
+    def supported_pairs(self) -> Iterable[Tuple[QoSLevel, QoSLevel, ResourceVector]]:
+        """All (qin, qout, requirement) triples the translation supports."""
+        for qin in self.input_levels:
+            for qout in self.output_levels:
+                requirement = self.translation(qin, qout)
+                if requirement is not None:
+                    yield qin, qout, requirement
+
+    def slots(self) -> frozenset:
+        """Resource slot names this component consumes.
+
+        Derived from the translation table when available, otherwise from
+        probing all supported pairs.
+        """
+        if isinstance(self.translation, TabularTranslation):
+            return self.translation.slots
+        names: set = set()
+        for _qin, _qout, requirement in self.supported_pairs():
+            names.update(requirement)
+        return frozenset(names)
+
+    def with_translation(self, translation: TranslationFunction) -> "ServiceComponent":
+        """A copy of this component with a different translation plug-in."""
+        return ServiceComponent(
+            name=self.name,
+            input_levels=self.input_levels,
+            output_levels=self.output_levels,
+            translation=translation,
+        )
+
+
+class Binding:
+    """Maps each component's resource slots to concrete resource ids.
+
+    A *resource id* names one brokered resource in the environment, e.g.
+    ``"cpu:H2"`` or ``"net:H2->H1"``.  Bindings are per *session*: the
+    same proxy component binds ``hP`` to a different host's CPU pool
+    depending on which domain the requesting client lives in (paper §5.1).
+    """
+
+    def __init__(self, mapping: Mapping[Tuple[str, str], str]) -> None:
+        self._mapping: Dict[Tuple[str, str], str] = {}
+        for (component, slot), resource_id in mapping.items():
+            if not resource_id:
+                raise ModelError(f"empty resource id for {(component, slot)!r}")
+            self._mapping[(component, slot)] = resource_id
+
+    def resource_id(self, component: str, slot: str) -> str:
+        """Concrete resource id bound to a (component, slot) pair."""
+        try:
+            return self._mapping[(component, slot)]
+        except KeyError:
+            raise ModelError(
+                f"no binding for slot {slot!r} of component {component!r}"
+            ) from None
+
+    def bind_requirement(self, component: str, requirement: ResourceVector) -> ResourceVector:
+        """Rewrite a slot-keyed requirement into a resource-id-keyed one.
+
+        Two slots of one component bound to the same resource id have
+        their amounts summed.
+        """
+        amounts: Dict[str, float] = {}
+        for slot, amount in requirement.items():
+            rid = self.resource_id(component, slot)
+            amounts[rid] = amounts.get(rid, 0.0) + amount
+        return ResourceVector(amounts)
+
+    def resource_ids(self) -> frozenset:
+        """The registered resource ids, sorted."""
+        return frozenset(self._mapping.values())
+
+    def items(self):
+        """Iterate ((qin_label, qout_label), requirement) entries."""
+        return self._mapping.items()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Binding({self._mapping!r})"

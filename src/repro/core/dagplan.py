@@ -1,0 +1,432 @@
+"""Planning over DAG dependency graphs (paper §4.3.2).
+
+A feasible plan for a DAG service is an *embedded graph* in the QRG: one
+(Q_in, Q_out) pair per component, consistent along every dependency edge
+(fan-out outputs equivalent to each adjacent input; fan-in inputs the
+concatenation of adjacent outputs).  The goal: reach the highest-ranked
+sink with the smallest ``Psi_G`` = max edge weight in the embedding
+(eq. 6).
+
+Two planners:
+
+* :class:`TwoPassDagPlanner` -- the paper's heuristic.  Pass I is a
+  forward sweep "similar to Dijkstra's algorithm" (here: dynamic
+  programming in topological order, which is equivalent for a DAG) with
+  *max-merge* at fan-in inputs.  Pass II backtracks from the best
+  reachable sink and resolves fan-out *non-convergence* locally: when the
+  branches of a fan-out component backtrack to different output nodes,
+  the downstream components' backtracked outputs are fixed and the
+  fan-out output incurring the lowest contention to reach them is chosen.
+  The paper notes two limitations, both reproduced here: the heuristic
+  may fail on a sink that pass I deemed reachable (we then retry the next
+  best sink), and the result may not be globally optimal.
+* :class:`ExhaustiveDagPlanner` -- a branch-and-bound enumeration of all
+  embeddings; exact, exponential in the worst case, fine for the small
+  component counts the paper targets (K < 10).  Used as the test oracle
+  and for the ablation benchmark quantifying the heuristic's gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import PlanningError
+from repro.core.plan import ComponentAssignment, ReservationPlan
+from repro.core.qrg import FanInGroup, IntraEdge, QoSResourceGraph, QRGNode
+
+
+@dataclass
+class _PassOne:
+    """Forward-sweep state: minimax value and predecessor links per node."""
+
+    value: Dict[QRGNode, float]
+    intra_pred: Dict[QRGNode, IntraEdge]  # out-node -> chosen intra edge
+    equiv_pred: Dict[QRGNode, QRGNode]  # single-upstream in-node -> chosen out-node
+    group_pred: Dict[QRGNode, FanInGroup]  # fan-in in-node -> chosen group
+
+
+def _forward_pass(qrg: QoSResourceGraph) -> _PassOne:
+    """Pass I: minimax values in topological order with fan-in max-merge."""
+    value: Dict[QRGNode, float] = {qrg.source_node: 0.0}
+    intra_pred: Dict[QRGNode, IntraEdge] = {}
+    equiv_pred: Dict[QRGNode, QRGNode] = {}
+    group_pred: Dict[QRGNode, FanInGroup] = {}
+    service = qrg.service
+
+    for name in service.graph.topological_order():
+        component = service.component(name)
+        # Input node values come from upstream equivalences (except source).
+        if name != service.graph.source:
+            fan_in = service.graph.is_fan_in(name)
+            for level in component.input_levels:
+                node = QRGNode(name, "in", level.label)
+                if node not in qrg.nodes:
+                    continue
+                if fan_in:
+                    best_value = math.inf
+                    best_group: Optional[FanInGroup] = None
+                    for group in qrg.groups_for_input(node):
+                        part_values = [value.get(part, math.inf) for part in group.parts]
+                        merged = max(part_values) if part_values else math.inf
+                        key = (merged, tuple(part.label for part in group.parts))
+                        best_key = (
+                            best_value,
+                            tuple(p.label for p in best_group.parts) if best_group else (),
+                        )
+                        if best_group is None or key < best_key:
+                            best_value, best_group = merged, group
+                    if best_group is not None and math.isfinite(best_value):
+                        value[node] = best_value
+                        group_pred[node] = best_group
+                else:
+                    best_value = math.inf
+                    best_pred: Optional[QRGNode] = None
+                    for eq in qrg.equiv_into(node):
+                        candidate = value.get(eq.src, math.inf)
+                        if candidate < best_value or (
+                            candidate == best_value
+                            and best_pred is not None
+                            and eq.src.label < best_pred.label
+                        ):
+                            best_value, best_pred = candidate, eq.src
+                    if best_pred is not None and math.isfinite(best_value):
+                        value[node] = best_value
+                        equiv_pred[node] = best_pred
+        # Output node values from intra edges (paper's tie-break applies).
+        for level in component.output_levels:
+            node = QRGNode(name, "out", level.label)
+            best_value = math.inf
+            best_edge: Optional[IntraEdge] = None
+            for edge in qrg.intra_into(node):
+                upstream_value = value.get(edge.src, math.inf)
+                if not math.isfinite(upstream_value):
+                    continue
+                candidate = max(upstream_value, edge.weight)
+                if best_edge is None or candidate < best_value:
+                    best_value, best_edge = candidate, edge
+                elif candidate == best_value:
+                    # Tie-break: smaller incoming edge weight, then smaller
+                    # upstream value, then label (deterministic).
+                    current = (best_edge.weight, value.get(best_edge.src, math.inf), best_edge.src.label)
+                    challenger = (edge.weight, upstream_value, edge.src.label)
+                    if challenger < current:
+                        best_edge = edge
+            if best_edge is not None and math.isfinite(best_value):
+                value[node] = best_value
+                intra_pred[node] = best_edge
+    return _PassOne(value=value, intra_pred=intra_pred, equiv_pred=equiv_pred, group_pred=group_pred)
+
+
+class _NonConvergence(PlanningError):
+    """Pass II could not realise the chosen sink (paper limitation 1)."""
+
+
+class TwoPassDagPlanner:
+    """The paper's two-pass heuristic for DAG dependency graphs."""
+
+    name = "dag-two-pass"
+
+    def plan(self, qrg: QoSResourceGraph) -> Optional[ReservationPlan]:
+        """Compute a reservation plan for the QRG (None when infeasible)."""
+        sweep = _forward_pass(qrg)
+        ranking = qrg.service.ranking
+        reachable = [
+            node for node in qrg.sink_nodes() if math.isfinite(sweep.value.get(node, math.inf))
+        ]
+        for label in ranking.sorted_best_first(node.label for node in reachable):
+            sink = next(node for node in reachable if node.label == label)
+            try:
+                return self._backtrack(qrg, sweep, sink)
+            except _NonConvergence:
+                continue  # paper limitation (1): try the next-best sink
+        return None
+
+    # -- pass II -----------------------------------------------------------
+
+    def _backtrack(
+        self, qrg: QoSResourceGraph, sweep: _PassOne, sink: QRGNode
+    ) -> ReservationPlan:
+        service = qrg.service
+        order = list(service.graph.topological_order())
+        chosen_out: Dict[str, QRGNode] = {service.graph.sink: sink}
+        chosen_in: Dict[str, QRGNode] = {}
+        # Demands a downstream component places on an upstream's output.
+        demands: Dict[str, List[Tuple[str, QRGNode]]] = {n: [] for n in order}
+
+        for name in reversed(order):
+            if service.graph.is_fan_out(name):
+                out_node = self._resolve_fan_out(qrg, sweep, name, demands[name], chosen_in, chosen_out)
+                chosen_out[name] = out_node
+            else:
+                out_node = chosen_out.get(name)
+                if out_node is None:  # pragma: no cover - all components participate
+                    raise _NonConvergence(f"component {name!r} received no demand")
+            in_edge = sweep.intra_pred.get(out_node)
+            if name in chosen_in:
+                # A fan-out resolution already revised this component's input.
+                in_node = chosen_in[name]
+            else:
+                if in_edge is None:
+                    raise _NonConvergence(f"no feasible input for {out_node}")
+                in_node = in_edge.src
+                chosen_in[name] = in_node
+            # Propagate demands upstream.
+            upstream_names = service.graph.upstreams(name)
+            if not upstream_names:
+                continue
+            if len(upstream_names) == 1:
+                pred_out = sweep.equiv_pred.get(in_node)
+                if pred_out is None:
+                    raise _NonConvergence(f"input {in_node} has no reachable upstream output")
+                demands[upstream_names[0]].append((name, pred_out))
+                if not service.graph.is_fan_out(upstream_names[0]):
+                    chosen_out[upstream_names[0]] = pred_out
+            else:
+                group = sweep.group_pred.get(in_node)
+                if group is None:
+                    raise _NonConvergence(f"fan-in input {in_node} has no reachable group")
+                for part in group.parts:
+                    demands[part.component].append((name, part))
+                    if not service.graph.is_fan_out(part.component):
+                        chosen_out[part.component] = part
+
+        return self._assemble(qrg, sink, chosen_in, chosen_out)
+
+    def _resolve_fan_out(
+        self,
+        qrg: QoSResourceGraph,
+        sweep: _PassOne,
+        name: str,
+        demand_list: List[Tuple[str, QRGNode]],
+        chosen_in: Dict[str, QRGNode],
+        chosen_out: Dict[str, QRGNode],
+    ) -> QRGNode:
+        """Local non-convergence resolution at a fan-out component."""
+        service = qrg.service
+        demanded = {out for _branch, out in demand_list}
+        if not demanded:
+            raise _NonConvergence(f"fan-out {name!r} received no demands")
+        if len(demanded) == 1:
+            return next(iter(demanded))
+        # Non-convergence: fix each downstream component's backtracked
+        # output, then pick the fan-out output with the lowest contention
+        # to reach all of them (paper §4.3.2, figure 8).
+        downstreams = service.graph.downstreams(name)
+        component = service.component(name)
+        best: Optional[Tuple[float, float, str]] = None
+        best_choice: Optional[Tuple[QRGNode, Dict[str, Tuple[QRGNode, IntraEdge]]]] = None
+        for level in component.output_levels:
+            candidate = QRGNode(name, "out", level.label)
+            if not math.isfinite(sweep.value.get(candidate, math.inf)):
+                continue
+            revisions: Dict[str, Tuple[QRGNode, IntraEdge]] = {}
+            cost = 0.0
+            feasible = True
+            for downstream in downstreams:
+                fixed_out = chosen_out.get(downstream)
+                if fixed_out is None:
+                    feasible = False
+                    break
+                revision = self._revised_input(qrg, sweep, candidate, downstream, fixed_out, chosen_out)
+                if revision is None:
+                    feasible = False
+                    break
+                in_node, edge = revision
+                revisions[downstream] = (in_node, edge)
+                cost = max(cost, edge.weight)
+            if not feasible:
+                continue
+            key = (cost, sweep.value[candidate], candidate.label)
+            if best is None or key < best:
+                best = key
+                best_choice = (candidate, revisions)
+        if best_choice is None:
+            raise _NonConvergence(f"fan-out {name!r}: no output reaches all fixed downstream outputs")
+        candidate, revisions = best_choice
+        for downstream, (in_node, _edge) in revisions.items():
+            chosen_in[downstream] = in_node
+        return candidate
+
+    def _revised_input(
+        self,
+        qrg: QoSResourceGraph,
+        sweep: _PassOne,
+        fan_out_node: QRGNode,
+        downstream: str,
+        fixed_out: QRGNode,
+        chosen_out: Dict[str, QRGNode],
+    ) -> Optional[Tuple[QRGNode, IntraEdge]]:
+        """Downstream input node consistent with ``fan_out_node``.
+
+        Returns the (input node, intra edge to the fixed output) with the
+        smallest edge weight, or None when infeasible.
+        """
+        service = qrg.service
+        upstreams = service.graph.upstreams(downstream)
+        best: Optional[Tuple[QRGNode, IntraEdge]] = None
+        if len(upstreams) == 1:
+            for eq in qrg.equiv_from(fan_out_node):
+                if eq.dst.component != downstream:
+                    continue
+                edge = qrg.edge_between(eq.dst, fixed_out)
+                if edge is None:
+                    continue
+                if best is None or (edge.weight, eq.dst.label) < (best[1].weight, best[0].label):
+                    best = (eq.dst, edge)
+            return best
+        # Downstream is itself fan-in: the revised group keeps the other
+        # parts as currently chosen and replaces this fan-out's part.
+        for group in qrg.fanin_groups:
+            if group.input_node.component != downstream:
+                continue
+            consistent = True
+            for part in group.parts:
+                if part.component == fan_out_node.component:
+                    if part != fan_out_node:
+                        consistent = False
+                        break
+                else:
+                    expected = chosen_out.get(part.component)
+                    if expected is not None and part != expected:
+                        consistent = False
+                        break
+                    if not math.isfinite(sweep.value.get(part, math.inf)):
+                        consistent = False
+                        break
+            if not consistent:
+                continue
+            edge = qrg.edge_between(group.input_node, fixed_out)
+            if edge is None:
+                continue
+            if best is None or (edge.weight, group.input_node.label) < (best[1].weight, best[0].label):
+                best = (group.input_node, edge)
+        return best
+
+    # -- assembly -------------------------------------------------------------
+
+    def _assemble(
+        self,
+        qrg: QoSResourceGraph,
+        sink: QRGNode,
+        chosen_in: Dict[str, QRGNode],
+        chosen_out: Dict[str, QRGNode],
+    ) -> ReservationPlan:
+        service = qrg.service
+        assignments: List[ComponentAssignment] = []
+        signature: List[str] = []
+        for name in service.graph.topological_order():
+            in_node = chosen_in.get(name)
+            out_node = chosen_out.get(name)
+            if in_node is None or out_node is None:
+                raise _NonConvergence(f"component {name!r} left unassigned")
+            edge = qrg.edge_between(in_node, out_node)
+            if edge is None:
+                raise _NonConvergence(
+                    f"revised pair ({in_node}, {out_node}) has no feasible edge"
+                )
+            assignments.append(ComponentAssignment.from_edge(edge))
+            signature.extend([in_node.label, out_node.label])
+        psi = max(assignment.weight for assignment in assignments)
+        bottleneck = max(assignments, key=lambda a: a.weight)
+        ranking = service.ranking
+        return ReservationPlan(
+            service=service.name,
+            assignments=tuple(assignments),
+            end_to_end_label=sink.label,
+            end_to_end_rank=ranking.rank(sink.label),
+            numeric_level=ranking.numeric_level(sink.label),
+            psi=psi,
+            bottleneck_resource=bottleneck.bottleneck_resource,
+            bottleneck_alpha=bottleneck.alpha,
+            path_signature=tuple(signature),
+        )
+
+
+class ExhaustiveDagPlanner:
+    """Exact embedding search (test oracle / ablation reference).
+
+    Enumerates, in topological order, every consistent assignment of
+    (Q_in, Q_out) pairs; prunes branches whose running max weight already
+    exceeds the best embedding found for the current sink ranking class.
+    """
+
+    name = "dag-exhaustive"
+
+    def plan(self, qrg: QoSResourceGraph) -> Optional[ReservationPlan]:
+        """Compute a reservation plan for the QRG (None when infeasible)."""
+        service = qrg.service
+        order = list(service.graph.topological_order())
+        ranking = service.ranking
+
+        best_plan: Dict[str, Tuple[float, List[IntraEdge]]] = {}
+
+        def recurse(index: int, outs: Dict[str, QRGNode], edges: List[IntraEdge], running: float) -> None:
+            """Enumerate upstream output combinations recursively."""
+            if index == len(order):
+                sink_label = outs[service.graph.sink].label
+                incumbent = best_plan.get(sink_label)
+                if incumbent is None or running < incumbent[0]:
+                    best_plan[sink_label] = (running, list(edges))
+                return
+            name = order[index]
+            component = service.component(name)
+            if name == service.graph.source:
+                candidate_inputs = [qrg.source_node]
+            else:
+                candidate_inputs = self._consistent_inputs(qrg, name, outs)
+            for in_node in candidate_inputs:
+                for edge in qrg.intra_from(in_node):
+                    new_running = max(running, edge.weight)
+                    sink_label_hint = None
+                    if name == service.graph.sink:
+                        sink_label_hint = edge.dst.label
+                        incumbent = best_plan.get(sink_label_hint)
+                        if incumbent is not None and new_running >= incumbent[0]:
+                            continue
+                    outs[name] = edge.dst
+                    edges.append(edge)
+                    recurse(index + 1, outs, edges, new_running)
+                    edges.pop()
+                    del outs[name]
+
+        recurse(0, {}, [], 0.0)
+        if not best_plan:
+            return None
+        best_label = ranking.best(best_plan)
+        assert best_label is not None
+        psi, edges = best_plan[best_label]
+        assignments = tuple(ComponentAssignment.from_edge(edge) for edge in edges)
+        bottleneck = max(assignments, key=lambda a: a.weight)
+        signature: List[str] = []
+        for edge in edges:
+            signature.extend([edge.src.label, edge.dst.label])
+        return ReservationPlan(
+            service=service.name,
+            assignments=assignments,
+            end_to_end_label=best_label,
+            end_to_end_rank=ranking.rank(best_label),
+            numeric_level=ranking.numeric_level(best_label),
+            psi=psi,
+            bottleneck_resource=bottleneck.bottleneck_resource,
+            bottleneck_alpha=bottleneck.alpha,
+            path_signature=tuple(signature),
+        )
+
+    def _consistent_inputs(
+        self, qrg: QoSResourceGraph, name: str, outs: Dict[str, QRGNode]
+    ) -> List[QRGNode]:
+        """Input nodes of ``name`` consistent with already-chosen outputs."""
+        service = qrg.service
+        upstreams = service.graph.upstreams(name)
+        if len(upstreams) == 1:
+            chosen = outs[upstreams[0]]
+            return [eq.dst for eq in qrg.equiv_from(chosen) if eq.dst.component == name]
+        result: List[QRGNode] = []
+        for group in qrg.fanin_groups:
+            if group.input_node.component != name:
+                continue
+            if all(outs.get(part.component) == part for part in group.parts):
+                result.append(group.input_node)
+        return result

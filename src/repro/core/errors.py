@@ -1,0 +1,43 @@
+"""Exception hierarchy for the core reservation-planning package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """A QoS-Resource Model definition is malformed or inconsistent."""
+
+
+class IncomparableError(ModelError):
+    """Two QoS or resource vectors with different parameter sets were compared."""
+
+
+class TranslationError(ModelError):
+    """A translation function was queried with unsupported QoS levels."""
+
+
+class PlanningError(ReproError):
+    """End-to-end reservation planning failed structurally."""
+
+
+class InfeasibleError(PlanningError):
+    """No feasible end-to-end reservation plan exists under current availability."""
+
+
+class BrokerError(ReproError):
+    """Resource broker misuse (over-release, unknown reservation, ...)."""
+
+
+class AdmissionError(BrokerError):
+    """A reservation request exceeded current availability.
+
+    ``resource_id`` names the resource whose admission control rejected
+    the request (the dynamically identified bottleneck at reserve time).
+    """
+
+    def __init__(self, message: str, resource_id: str | None = None) -> None:
+        super().__init__(message)
+        self.resource_id = resource_id

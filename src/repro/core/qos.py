@@ -1,0 +1,232 @@
+"""QoS vectors, levels, partial order, and end-to-end rankings (paper §2.2).
+
+A *QoS vector* assigns a discrete value to each application-level QoS
+parameter (frame rate, image size, ...).  Two vectors are comparable only
+when they carry the same parameter set; ``Q_a <= Q_b`` holds iff every
+parameter of ``Q_a`` is no larger than the corresponding parameter of
+``Q_b`` -- a partial order.
+
+A *QoS level* is a named vector: the paper's ``Q_a``, ``Q_b``, ... nodes.
+End-to-end QoS levels are additionally given a *linear* ranking supplied by
+the user (paper §4.1.1: "we assume that the end-to-end QoS levels can be
+ranked in a linear order, based on a user's preference").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import IncomparableError, ModelError
+
+#: Values a QoS parameter may take.  The paper assumes discrete parameter
+#: domains; numbers and strings both occur in practice (e.g. image size
+#: "CIF"/"QCIF" vs. frame rate 15/30).
+QoSValue = Union[int, float, str]
+
+
+def _comparable_values(a: QoSValue, b: QoSValue) -> bool:
+    if isinstance(a, str) != isinstance(b, str):
+        return False
+    return True
+
+
+class QoSVector(Mapping[str, QoSValue]):
+    """An immutable, hashable QoS vector.
+
+    Supports the partial order of the paper: ``<=`` / ``>=`` require
+    identical parameter sets and compare parameter-wise.  String-valued
+    parameters compare by an explicit order only when both vectors came
+    from the same :class:`QoSParameter` domain; bare strings compare
+    lexicographically (callers who need a custom order should map the
+    domain to integers, which is what :class:`QoSParameter` does).
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(
+        self,
+        values: Mapping[str, QoSValue] | Iterable[Tuple[str, QoSValue]] = (),
+        **kw: QoSValue,
+    ):
+        data: Dict[str, QoSValue] = dict(values, **kw)
+        if not data:
+            raise ModelError("a QoS vector must have at least one parameter")
+        for name, value in data.items():
+            if not isinstance(name, str) or not name:
+                raise ModelError(f"invalid QoS parameter name: {name!r}")
+            if not isinstance(value, (int, float, str)):
+                raise ModelError(f"invalid QoS value for {name!r}: {value!r}")
+        self._values: Dict[str, QoSValue] = dict(sorted(data.items()))
+        self._hash = hash(tuple(self._values.items()))
+
+    # -- Mapping interface ------------------------------------------------
+
+    def __getitem__(self, key: str) -> QoSValue:
+        return self._values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- identity ---------------------------------------------------------
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QoSVector):
+            return NotImplemented
+        return self._values == other._values
+
+    # -- partial order ------------------------------------------------------
+
+    def _check_comparable(self, other: "QoSVector") -> None:
+        if set(self._values) != set(other._values):
+            raise IncomparableError(
+                f"QoS vectors have different parameter sets: "
+                f"{sorted(self._values)} vs {sorted(other._values)}"
+            )
+        for name in self._values:
+            if not _comparable_values(self._values[name], other._values[name]):
+                raise IncomparableError(
+                    f"QoS parameter {name!r} mixes string and numeric values"
+                )
+
+    def __le__(self, other: "QoSVector") -> bool:
+        self._check_comparable(other)
+        return all(self._values[k] <= other._values[k] for k in self._values)  # type: ignore[operator]
+
+    def __ge__(self, other: "QoSVector") -> bool:
+        return other.__le__(self)
+
+    def __lt__(self, other: "QoSVector") -> bool:
+        return self.__le__(other) and self != other
+
+    def __gt__(self, other: "QoSVector") -> bool:
+        return other.__lt__(self)
+
+    def comparable_with(self, other: "QoSVector") -> bool:
+        """True when ``<=`` between the two vectors is defined."""
+        try:
+            self._check_comparable(other)
+        except IncomparableError:
+            return False
+        return True
+
+    # -- composition ---------------------------------------------------------
+
+    def concat(self, other: "QoSVector", prefixes: Tuple[str, str] = ("", "")) -> "QoSVector":
+        """Concatenate two vectors (paper §4.3.2, fan-in components).
+
+        Overlapping parameter names must be disambiguated with
+        ``prefixes``; an undisambiguated collision is an error.
+        """
+        left = {prefixes[0] + k: v for k, v in self._values.items()}
+        right = {prefixes[1] + k: v for k, v in other._values.items()}
+        overlap = set(left) & set(right)
+        if overlap:
+            raise ModelError(
+                f"cannot concatenate QoS vectors: parameter collision on {sorted(overlap)}; "
+                "supply distinct prefixes"
+            )
+        return QoSVector({**left, **right})
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"QoSVector({inner})"
+
+
+@dataclass(frozen=True)
+class QoSLevel:
+    """A named QoS vector -- one node of the QoS-Resource Graph.
+
+    The ``label`` is the paper's node name (``Qa``, ``Qb``, ...); it is
+    the identity used by translation tables and reported in plans.
+    """
+
+    label: str
+    vector: QoSVector
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ModelError("QoS level label must be non-empty")
+
+    def __str__(self) -> str:
+        return self.label
+
+
+def concat_levels(levels: Sequence[QoSLevel], sep: str = "|") -> QoSLevel:
+    """Concatenate upstream output levels into one fan-in input level.
+
+    The label is the joined constituent labels (``"Qn|Qp"``); parameters
+    are prefixed with the constituent index to avoid collisions.
+    """
+    if not levels:
+        raise ModelError("cannot concatenate an empty sequence of QoS levels")
+    if len(levels) == 1:
+        return levels[0]
+    label = sep.join(level.label for level in levels)
+    merged: Dict[str, QoSValue] = {}
+    for index, level in enumerate(levels):
+        for name, value in level.vector.items():
+            merged[f"u{index}.{name}"] = value
+    return QoSLevel(label, QoSVector(merged))
+
+
+class QoSRanking:
+    """A linear ranking of end-to-end QoS levels (best first or by score).
+
+    The paper indexes end-to-end levels as *level 3 > level 2 > level 1*.
+    We store an explicit best-to-worst label order and expose both rank
+    comparison and the numeric level used in the evaluation's "average
+    end-to-end QoS level" metric (best level = ``len(order)``).
+    """
+
+    def __init__(self, best_to_worst: Sequence[str]) -> None:
+        order = list(best_to_worst)
+        if not order:
+            raise ModelError("ranking must contain at least one level")
+        if len(set(order)) != len(order):
+            raise ModelError(f"duplicate labels in ranking: {order!r}")
+        self._order = order
+        self._rank = {label: index for index, label in enumerate(order)}
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """Level labels, best first."""
+        return tuple(self._order)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._rank
+
+    def rank(self, label: str) -> int:
+        """0 for the best level, 1 for the next, ..."""
+        try:
+            return self._rank[label]
+        except KeyError:
+            raise ModelError(f"level {label!r} is not in the end-to-end ranking") from None
+
+    def numeric_level(self, label: str) -> int:
+        """Paper-style numeric level: best = N, worst = 1."""
+        return len(self._order) - self.rank(label)
+
+    def better(self, a: str, b: str) -> bool:
+        """True when level ``a`` ranks strictly above level ``b``."""
+        return self.rank(a) < self.rank(b)
+
+    def best(self, labels: Iterable[str]) -> Optional[str]:
+        """The highest-ranked label among ``labels`` (None when empty)."""
+        known = [label for label in labels if label in self._rank]
+        if not known:
+            return None
+        return min(known, key=self._rank.__getitem__)
+
+    def sorted_best_first(self, labels: Iterable[str]) -> list[str]:
+        """The known labels sorted from best to worst."""
+        return sorted((l for l in labels if l in self._rank), key=self._rank.__getitem__)
+
+    def __repr__(self) -> str:
+        return f"QoSRanking({' > '.join(self._order)})"

@@ -1,0 +1,351 @@
+"""The QoS-Resource Graph (paper §4.1.1).
+
+A QRG is a per-session snapshot graph:
+
+* **nodes** -- the ``Q_in`` / ``Q_out`` levels of every participating
+  component (plus, implicitly, the source data quality, which is the
+  source component's selected input level);
+* **intra-component edges** -- from a ``Q_in`` node to a ``Q_out`` node of
+  the same component, existing iff the translated requirement is
+  satisfiable under current availability, weighted by the contention
+  index of the edge's bottleneck resource (eq. 2-3);
+* **equivalence edges** -- from a component's ``Q_out`` node to the
+  equivalent ``Q_in`` node of a downstream component, weight 0.
+
+For DAG services, a fan-in component's input node corresponds to a
+*group* of upstream output nodes (its concatenation parts); the group
+structure is kept explicitly for the two-pass heuristic of §4.3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.component import Binding
+from repro.core.errors import ModelError, PlanningError
+from repro.core.qos import QoSLevel
+from repro.core.resources import (
+    AvailabilitySnapshot,
+    ContentionIndex,
+    ResourceVector,
+    ratio_contention_index,
+)
+from repro.core.service import DistributedService
+
+
+@dataclass(frozen=True, order=True)
+class QRGNode:
+    """Identity of one QRG node: (component, side, level label)."""
+
+    component: str
+    kind: str  # "in" | "out"
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("in", "out"):
+            raise ModelError(f"invalid QRG node kind: {self.kind!r}")
+
+    def __str__(self) -> str:
+        return f"{self.component}.{self.kind}:{self.label}"
+
+
+@dataclass(frozen=True)
+class IntraEdge:
+    """A feasible (Q_in -> Q_out) edge of one component.
+
+    ``requirement`` is slot-keyed (the component's view); ``bound`` is
+    resource-id-keyed (the environment's view, after applying the
+    session's binding).  ``weight`` is the max per-resource contention
+    index; ``bottleneck_resource`` the arg-max resource id; ``alpha`` the
+    Availability Change Index of that resource (1.0 without trend data).
+    """
+
+    src: QRGNode
+    dst: QRGNode
+    requirement: ResourceVector
+    bound: ResourceVector
+    weight: float
+    bottleneck_resource: str
+    alpha: float
+    per_resource: Mapping[str, float] = field(hash=False, default=None)  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class EquivEdge:
+    """A zero-weight equivalence edge (upstream Q_out -> downstream Q_in)."""
+
+    src: QRGNode
+    dst: QRGNode
+
+
+@dataclass(frozen=True)
+class FanInGroup:
+    """One way to realise a fan-in input node from upstream outputs.
+
+    ``parts`` lists the upstream output nodes whose concatenation equals
+    the input node's level, in fan-in order.  The input node is usable
+    only when *all* parts are reachable (AND semantics, paper §4.3.2).
+    """
+
+    input_node: QRGNode
+    parts: Tuple[QRGNode, ...]
+
+
+class QoSResourceGraph:
+    """The constructed snapshot graph plus lookup indices."""
+
+    def __init__(
+        self,
+        service: DistributedService,
+        source_node: QRGNode,
+        nodes: Dict[QRGNode, QoSLevel],
+        intra_edges: List[IntraEdge],
+        equiv_edges: List[EquivEdge],
+        fanin_groups: List[FanInGroup],
+        snapshot: AvailabilitySnapshot,
+    ) -> None:
+        self.service = service
+        self.source_node = source_node
+        self.nodes = nodes
+        self.intra_edges = intra_edges
+        self.equiv_edges = equiv_edges
+        self.fanin_groups = fanin_groups
+        self.snapshot = snapshot
+        # Adjacency indices.
+        self._out_intra: Dict[QRGNode, List[IntraEdge]] = {}
+        self._in_intra: Dict[QRGNode, List[IntraEdge]] = {}
+        for edge in intra_edges:
+            self._out_intra.setdefault(edge.src, []).append(edge)
+            self._in_intra.setdefault(edge.dst, []).append(edge)
+        self._out_equiv: Dict[QRGNode, List[EquivEdge]] = {}
+        self._in_equiv: Dict[QRGNode, List[EquivEdge]] = {}
+        for eq in equiv_edges:
+            self._out_equiv.setdefault(eq.src, []).append(eq)
+            self._in_equiv.setdefault(eq.dst, []).append(eq)
+        self._groups_by_input: Dict[QRGNode, List[FanInGroup]] = {}
+        for group in fanin_groups:
+            self._groups_by_input.setdefault(group.input_node, []).append(group)
+
+    # -- topology queries --------------------------------------------------
+
+    def sink_nodes(self) -> List[QRGNode]:
+        """Output nodes of the sink component (end-to-end QoS levels)."""
+        sink = self.service.sink_component
+        return [QRGNode(sink.name, "out", level.label) for level in sink.output_levels]
+
+    def intra_from(self, node: QRGNode) -> List[IntraEdge]:
+        """Intra-component edges leaving ``node``."""
+        return self._out_intra.get(node, [])
+
+    def intra_into(self, node: QRGNode) -> List[IntraEdge]:
+        """Intra-component edges entering ``node``."""
+        return self._in_intra.get(node, [])
+
+    def equiv_from(self, node: QRGNode) -> List[EquivEdge]:
+        """Equivalence edges leaving ``node``."""
+        return self._out_equiv.get(node, [])
+
+    def equiv_into(self, node: QRGNode) -> List[EquivEdge]:
+        """Equivalence edges entering ``node``."""
+        return self._in_equiv.get(node, [])
+
+    def groups_for_input(self, node: QRGNode) -> List[FanInGroup]:
+        """Fan-in groups realising a fan-in input node."""
+        return self._groups_by_input.get(node, [])
+
+    def successors(self, node: QRGNode) -> List[Tuple[QRGNode, float, Optional[IntraEdge]]]:
+        """(next node, edge weight, intra edge or None) -- for Dijkstra."""
+        result: List[Tuple[QRGNode, float, Optional[IntraEdge]]] = []
+        for edge in self.intra_from(node):
+            result.append((edge.dst, edge.weight, edge))
+        for eq in self.equiv_from(node):
+            result.append((eq.dst, 0.0, None))
+        return result
+
+    def edge_between(self, src: QRGNode, dst: QRGNode) -> Optional[IntraEdge]:
+        """The intra edge from ``src`` to ``dst``, or None."""
+        for edge in self.intra_from(src):
+            if edge.dst == dst:
+                return edge
+        return None
+
+    def count_nodes(self) -> int:
+        """Number of QRG nodes."""
+        return len(self.nodes)
+
+    def count_edges(self) -> int:
+        """Number of QRG edges (intra + equivalence)."""
+        return len(self.intra_edges) + len(self.equiv_edges)
+
+
+def resolve_source_level(
+    service: DistributedService, source_label: Optional[str] = None
+) -> QoSLevel:
+    """The session's source data quality level (paper §4.1.1)."""
+    source_component = service.source_component
+    if source_label is None:
+        if len(source_component.input_levels) != 1:
+            raise PlanningError(
+                f"source component {source_component.name!r} has several input levels "
+                f"({[l.label for l in source_component.input_levels]}); pass source_label"
+            )
+        return source_component.input_levels[0]
+    return source_component.input_level(source_label)
+
+
+def price_component_edges(
+    component,
+    binding: Binding,
+    snapshot: AvailabilitySnapshot,
+    *,
+    allowed_input_labels: Optional[frozenset] = None,
+    contention_index: ContentionIndex = ratio_contention_index,
+) -> List[IntraEdge]:
+    """Feasible, priced (Q_in -> Q_out) edges of ONE component.
+
+    This is the *local* half of QRG construction: it needs only the
+    component's own definition, its slot binding, and the availability of
+    the resources it touches -- which is why, in the distributed model
+    store of §3, each host's QoSProxy can compute its own component's
+    fragment and ship it to the main proxy.
+    """
+    availability = snapshot.availability()
+    edges: List[IntraEdge] = []
+    for qin, qout, requirement in component.supported_pairs():
+        if allowed_input_labels is not None and qin.label not in allowed_input_labels:
+            continue
+        bound = binding.bind_requirement(component.name, requirement)
+        for resource_id in bound:
+            if resource_id not in availability:
+                raise PlanningError(
+                    f"snapshot lacks resource {resource_id!r} needed by "
+                    f"component {component.name!r}"
+                )
+        if not bound.satisfiable_under(availability):
+            continue
+        report = bound.contention(availability, contention_index)
+        alpha = snapshot[report.bottleneck_resource].alpha
+        edges.append(
+            IntraEdge(
+                src=QRGNode(component.name, "in", qin.label),
+                dst=QRGNode(component.name, "out", qout.label),
+                requirement=requirement,
+                bound=bound,
+                weight=report.psi,
+                bottleneck_resource=report.bottleneck_resource,
+                alpha=alpha,
+                per_resource=dict(report.per_resource),
+            )
+        )
+    return edges
+
+
+def assemble_qrg(
+    service: DistributedService,
+    source_level: QoSLevel,
+    intra_edges: List[IntraEdge],
+    snapshot: AvailabilitySnapshot,
+) -> QoSResourceGraph:
+    """The *structural* half: nodes + equivalence edges + fan-in groups.
+
+    ``intra_edges`` may come from local pricing (:func:`build_qrg`) or
+    from fragments shipped by remote proxies (the distributed approach).
+    Edges from input levels other than the selected source level of the
+    source component are dropped here, so remote pricers need not know
+    which source level the session selected.
+    """
+    source_node = QRGNode(service.graph.source, "in", source_level.label)
+    nodes: Dict[QRGNode, QoSLevel] = {}
+    equiv_edges: List[EquivEdge] = []
+    fanin_groups: List[FanInGroup] = []
+
+    kept_edges = [
+        edge
+        for edge in intra_edges
+        if edge.src.component != service.graph.source or edge.src == source_node
+    ]
+
+    for name in service.graph.topological_order():
+        component = service.component(name)
+        if name == service.graph.source:
+            input_levels: Tuple[QoSLevel, ...] = (source_level,)
+        else:
+            input_levels = component.input_levels
+        for level in input_levels:
+            nodes[QRGNode(name, "in", level.label)] = level
+        for level in component.output_levels:
+            nodes[QRGNode(name, "out", level.label)] = level
+
+        upstream_names = service.graph.upstreams(name)
+        if not upstream_names:
+            continue
+        fan_in = len(upstream_names) > 1
+        for parts, combined in service.upstream_output_combinations(name):
+            matches = service.equivalent_input_levels(name, combined)
+            for match in matches:
+                input_node = QRGNode(name, "in", match.label)
+                part_nodes = tuple(
+                    QRGNode(upstream, "out", level.label) for upstream, level in parts
+                )
+                if fan_in:
+                    fanin_groups.append(FanInGroup(input_node=input_node, parts=part_nodes))
+                    for part_node in part_nodes:
+                        equiv_edges.append(EquivEdge(src=part_node, dst=input_node))
+                else:
+                    equiv_edges.append(EquivEdge(src=part_nodes[0], dst=input_node))
+
+    return QoSResourceGraph(
+        service=service,
+        source_node=source_node,
+        nodes=nodes,
+        intra_edges=kept_edges,
+        equiv_edges=equiv_edges,
+        fanin_groups=fanin_groups,
+        snapshot=snapshot,
+    )
+
+
+def build_qrg(
+    service: DistributedService,
+    binding: Binding,
+    snapshot: AvailabilitySnapshot,
+    *,
+    source_label: Optional[str] = None,
+    contention_index: ContentionIndex = ratio_contention_index,
+) -> QoSResourceGraph:
+    """Construct the QRG for one session (paper §4.1.1).
+
+    Parameters
+    ----------
+    service:
+        The QoS-Resource Model definition.
+    binding:
+        Per-session mapping of (component, slot) -> concrete resource id.
+    snapshot:
+        Per-resource observations (availability + availability change
+        index) collected from the Resource Brokers.
+    source_label:
+        Which input level of the source component is the session's source
+        data quality.  Defaults to the source component's sole input
+        level; required when it has several.
+    contention_index:
+        The psi definition (paper footnote 2 allows alternatives).
+    """
+    source_level = resolve_source_level(service, source_label)
+    intra_edges: List[IntraEdge] = []
+    for name in service.graph.topological_order():
+        component = service.component(name)
+        allowed = (
+            frozenset({source_level.label}) if name == service.graph.source else None
+        )
+        intra_edges.extend(
+            price_component_edges(
+                component,
+                binding,
+                snapshot,
+                allowed_input_labels=allowed,
+                contention_index=contention_index,
+            )
+        )
+    return assemble_qrg(service, source_level, intra_edges, snapshot)

@@ -1,0 +1,273 @@
+"""Distributed services and their Dependency Graphs (paper §2.2, §4.3.2).
+
+A distributed service is a set of service components plus a Dependency
+Graph.  An edge ``c1 -> c2`` means the output of ``c1`` is the input of
+``c2`` and the ``Q_out`` of ``c1`` is *equivalent* to the ``Q_in`` of
+``c2``.  Equivalence is semantic: two levels (with possibly different
+labels, as in the paper's figures) are equivalent when their QoS
+*vectors* are equal.
+
+The basic model assumes a chain; the DAG extension (paper §4.3.2) adds
+fan-out components (output equivalent to each adjacent input) and fan-in
+components (input is the *concatenation* of adjacent outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.component import ServiceComponent
+from repro.core.errors import ModelError
+from repro.core.qos import QoSLevel, QoSRanking, concat_levels
+
+
+class DependencyGraph:
+    """A directed acyclic graph over component names.
+
+    Exactly one source (no incoming edges) and one sink (no outgoing
+    edges) are required: the source's ``Q_in`` is the original quality of
+    the source data, the sink's ``Q_out`` is the end-to-end QoS.
+    """
+
+    def __init__(self, nodes: Iterable[str], edges: Iterable[Tuple[str, str]]) -> None:
+        self._nodes: List[str] = list(nodes)
+        if len(set(self._nodes)) != len(self._nodes):
+            raise ModelError(f"duplicate component names: {self._nodes!r}")
+        self._edges: List[Tuple[str, str]] = []
+        self._downstream: Dict[str, List[str]] = {n: [] for n in self._nodes}
+        self._upstream: Dict[str, List[str]] = {n: [] for n in self._nodes}
+        for upstream, downstream in edges:
+            for endpoint in (upstream, downstream):
+                if endpoint not in self._downstream:
+                    raise ModelError(f"edge endpoint {endpoint!r} is not a declared component")
+            if upstream == downstream:
+                raise ModelError(f"self-loop on component {upstream!r}")
+            if (upstream, downstream) in self._edges:
+                raise ModelError(f"duplicate edge {(upstream, downstream)!r}")
+            self._edges.append((upstream, downstream))
+            self._downstream[upstream].append(downstream)
+            self._upstream[downstream].append(upstream)
+        self._order = self._topological_sort()
+        sources = [n for n in self._nodes if not self._upstream[n]]
+        sinks = [n for n in self._nodes if not self._downstream[n]]
+        if len(sources) != 1:
+            raise ModelError(f"dependency graph must have exactly one source, found {sources!r}")
+        if len(sinks) != 1:
+            raise ModelError(f"dependency graph must have exactly one sink, found {sinks!r}")
+        self._source = sources[0]
+        self._sink = sinks[0]
+
+    @classmethod
+    def chain(cls, nodes: Sequence[str]) -> "DependencyGraph":
+        """The basic model's chain topology (paper before §4.3.2)."""
+        if not nodes:
+            raise ModelError("a chain needs at least one component")
+        return cls(nodes, list(zip(nodes, nodes[1:])))
+
+    def _topological_sort(self) -> List[str]:
+        in_degree = {n: len(self._upstream[n]) for n in self._nodes}
+        ready = [n for n in self._nodes if in_degree[n] == 0]
+        order: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for downstream in self._downstream[node]:
+                in_degree[downstream] -= 1
+                if in_degree[downstream] == 0:
+                    ready.append(downstream)
+        if len(order) != len(self._nodes):
+            cyclic = sorted(set(self._nodes) - set(order))
+            raise ModelError(f"dependency graph has a cycle through {cyclic!r}")
+        return order
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Component names in declaration order."""
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str], ...]:
+        """Dependency edges in declaration order."""
+        return tuple(self._edges)
+
+    @property
+    def source(self) -> str:
+        """The unique source component name."""
+        return self._source
+
+    @property
+    def sink(self) -> str:
+        """The unique sink component name."""
+        return self._sink
+
+    def upstreams(self, node: str) -> Tuple[str, ...]:
+        """Upstream neighbours in declaration order (fan-in order)."""
+        return tuple(self._upstream[node])
+
+    def downstreams(self, node: str) -> Tuple[str, ...]:
+        """Downstream neighbours in declaration order."""
+        return tuple(self._downstream[node])
+
+    def topological_order(self) -> Tuple[str, ...]:
+        """Component names in a topological order."""
+        return tuple(self._order)
+
+    def is_chain(self) -> bool:
+        """True when every component has at most one neighbour per side."""
+        return all(
+            len(self._upstream[n]) <= 1 and len(self._downstream[n]) <= 1 for n in self._nodes
+        )
+
+    def is_fan_in(self, node: str) -> bool:
+        """Paper's terminology: adjacent *to* more than one component."""
+        return len(self._upstream[node]) > 1
+
+    def is_fan_out(self, node: str) -> bool:
+        """Paper's terminology: more than one adjacent component."""
+        return len(self._downstream[node]) > 1
+
+
+class DistributedService:
+    """A named service: components + dependency graph + end-to-end ranking.
+
+    ``ranking`` linearly orders the *sink component's output level labels*
+    best-first (paper §4.1.1 assumes end-to-end levels are linearly
+    ranked by user preference).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        components: Iterable[ServiceComponent],
+        graph: DependencyGraph,
+        ranking: QoSRanking,
+    ) -> None:
+        if not name:
+            raise ModelError("service name must be non-empty")
+        self.name = name
+        self._components: Dict[str, ServiceComponent] = {}
+        for component in components:
+            if component.name in self._components:
+                raise ModelError(f"duplicate component {component.name!r} in service {name!r}")
+            self._components[component.name] = component
+        declared = set(self._components)
+        graphed = set(graph.nodes)
+        if declared != graphed:
+            raise ModelError(
+                f"component set mismatch in service {name!r}: "
+                f"declared {sorted(declared)}, graph has {sorted(graphed)}"
+            )
+        self.graph = graph
+        self.ranking = ranking
+        self._validate_ranking()
+        self._validate_equivalences()
+
+    # -- access -----------------------------------------------------------
+
+    def component(self, name: str) -> ServiceComponent:
+        """Look up a component by name; raises on unknown names."""
+        try:
+            return self._components[name]
+        except KeyError:
+            raise ModelError(f"service {self.name!r} has no component {name!r}") from None
+
+    @property
+    def components(self) -> Tuple[ServiceComponent, ...]:
+        """All components, in topological order."""
+        return tuple(self._components[n] for n in self.graph.topological_order())
+
+    @property
+    def source_component(self) -> ServiceComponent:
+        """The component at the dependency graph's source."""
+        return self._components[self.graph.source]
+
+    @property
+    def sink_component(self) -> ServiceComponent:
+        """The component at the dependency graph's sink (end-to-end QoS)."""
+        return self._components[self.graph.sink]
+
+    def end_to_end_levels(self) -> Tuple[QoSLevel, ...]:
+        """The sink component's output levels = achievable end-to-end QoS."""
+        return self.sink_component.output_levels
+
+    # -- validation -------------------------------------------------------
+
+    def _validate_ranking(self) -> None:
+        sink_labels = {level.label for level in self.end_to_end_levels()}
+        ranked = set(self.ranking.labels)
+        if not ranked <= sink_labels:
+            raise ModelError(
+                f"ranking of service {self.name!r} mentions unknown end-to-end levels: "
+                f"{sorted(ranked - sink_labels)}"
+            )
+        if not sink_labels <= ranked:
+            raise ModelError(
+                f"ranking of service {self.name!r} misses end-to-end levels: "
+                f"{sorted(sink_labels - ranked)}"
+            )
+
+    def _validate_equivalences(self) -> None:
+        """Every component must be reachable in QoS terms.
+
+        For each edge (or fan-in group), at least one downstream input
+        level must be equivalent to some upstream output (combination);
+        otherwise no end-to-end path can ever exist, which is a model
+        definition bug worth failing fast on.
+        """
+        for name in self.graph.topological_order():
+            upstream_names = self.graph.upstreams(name)
+            if not upstream_names:
+                continue
+            component = self._components[name]
+            combos = list(self.upstream_output_combinations(name))
+            matched = any(
+                any(level.vector == combined.vector for level in component.input_levels)
+                for _parts, combined in combos
+            )
+            if not matched:
+                raise ModelError(
+                    f"service {self.name!r}: no input level of component {name!r} is "
+                    "equivalent to any upstream output (combination); the service can "
+                    "never be instantiated"
+                )
+
+    # -- equivalence machinery (QRG construction uses these) -----------------
+
+    def upstream_output_combinations(
+        self, name: str
+    ) -> Iterable[Tuple[Tuple[Tuple[str, QoSLevel], ...], QoSLevel]]:
+        """All combinations of upstream output levels feeding ``name``.
+
+        Yields ``(parts, combined)`` where ``parts`` is a tuple of
+        ``(upstream_component, output_level)`` in fan-in order and
+        ``combined`` is the (possibly concatenated) equivalent level.
+        For a single upstream this is simply each of its output levels.
+        """
+        upstream_names = self.graph.upstreams(name)
+        if not upstream_names:
+            return
+        if len(upstream_names) == 1:
+            upstream = self._components[upstream_names[0]]
+            for level in upstream.output_levels:
+                yield ((upstream.name, level),), level
+            return
+        # Fan-in: cartesian product of upstream output levels, concatenated
+        # in fan-in (edge declaration) order -- paper §4.3.2.
+        def recurse(index: int, chosen: Tuple[Tuple[str, QoSLevel], ...]):
+            """Enumerate upstream output combinations recursively."""
+            if index == len(upstream_names):
+                combined = concat_levels([level for _name, level in chosen])
+                yield chosen, combined
+                return
+            upstream = self._components[upstream_names[index]]
+            for level in upstream.output_levels:
+                yield from recurse(index + 1, chosen + ((upstream.name, level),))
+
+        yield from recurse(0, ())
+
+    def equivalent_input_levels(self, name: str, combined: QoSLevel) -> List[QoSLevel]:
+        """Input levels of ``name`` equivalent to a combined upstream output."""
+        component = self._components[name]
+        return [level for level in component.input_levels if level.vector == combined.vector]

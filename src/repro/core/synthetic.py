@@ -1,0 +1,192 @@
+"""Synthetic service generators (benchmarks, property tests, examples).
+
+Builders for parameterised chain/DAG services with controllable size
+(K components, Q levels) and randomised-but-reproducible requirement
+tables.  Used by the complexity benchmark backing the paper's O(K*Q^2)
+claim (§4.2), by the DAG-heuristic ablation, and by property-based tests
+that need many structurally valid services.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.component import Binding, ServiceComponent
+from repro.core.errors import ModelError
+from repro.core.qos import QoSLevel, QoSRanking, QoSVector, concat_levels
+from repro.core.resources import AvailabilitySnapshot
+from repro.core.service import DependencyGraph, DistributedService
+from repro.core.translation import TabularTranslation
+
+
+def _levels(prefix: str, count: int, param: str = "q") -> Tuple[QoSLevel, ...]:
+    """``count`` levels named ``<prefix>0..`` with descending quality."""
+    return tuple(
+        QoSLevel(f"{prefix}{i}", QoSVector({param: count - i})) for i in range(count)
+    )
+
+
+def synthetic_chain(
+    k: int,
+    q: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    resources_per_component: int = 2,
+    density: float = 1.0,
+) -> Tuple[DistributedService, Binding, AvailabilitySnapshot]:
+    """A K-component chain with Q levels per side, ready to plan on.
+
+    Every component ``c<i>`` consumes its own resources
+    ``r<i>.0..r<i>.<m>``; requirements are uniform in [1, 10); the
+    snapshot provisions every resource with 100 units, so all edges are
+    feasible.  ``density`` < 1 randomly drops translation entries (but
+    never the diagonal, keeping at least one end-to-end path).
+    """
+    if k < 1 or q < 1:
+        raise ModelError(f"need k >= 1 and q >= 1, got k={k}, q={q}")
+    if not 0 < density <= 1:
+        raise ModelError(f"density must be in (0, 1], got {density!r}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    components: List[ServiceComponent] = []
+    binding: Dict[Tuple[str, str], str] = {}
+    amounts: Dict[str, float] = {}
+    source = QoSLevel("SRC", QoSVector({"q": q + 1}))
+    previous_outputs: Tuple[QoSLevel, ...] = (source,)
+    for i in range(k):
+        name = f"c{i}"
+        # Inputs mirror the previous component's outputs (equal vectors,
+        # fresh labels) so equivalence edges exist.
+        inputs = tuple(
+            QoSLevel(f"{name}.in{j}", level.vector) for j, level in enumerate(previous_outputs)
+        )
+        outputs = _levels(f"{name}.out", q, param=f"p{i}")
+        slots = tuple(f"r{i}.{m}" for m in range(resources_per_component))
+        table: Dict[Tuple[str, str], Dict[str, float]] = {}
+        for a, qin in enumerate(inputs):
+            for b, qout in enumerate(outputs):
+                keep = (a % q) == b or rng.random() < density
+                if not keep:
+                    continue
+                table[(qin.label, qout.label)] = {
+                    slot: float(rng.uniform(1.0, 10.0)) for slot in slots
+                }
+        components.append(ServiceComponent(name, inputs, outputs, TabularTranslation(table)))
+        for slot in slots:
+            resource_id = f"res:{slot}"
+            binding[(name, slot)] = resource_id
+            amounts[resource_id] = 100.0
+        previous_outputs = outputs
+
+    service = DistributedService(
+        "synthetic-chain",
+        components,
+        DependencyGraph.chain([c.name for c in components]),
+        QoSRanking([level.label for level in previous_outputs]),
+    )
+    return service, Binding(binding), AvailabilitySnapshot.from_amounts(amounts)
+
+
+def random_availability(
+    snapshot: AvailabilitySnapshot,
+    rng: np.random.Generator,
+    *,
+    low: float = 5.0,
+    high: float = 100.0,
+) -> AvailabilitySnapshot:
+    """Redraw every availability uniformly in [low, high)."""
+    return AvailabilitySnapshot.from_amounts(
+        {rid: float(rng.uniform(low, high)) for rid in snapshot}
+    )
+
+
+def synthetic_diamond_dag(
+    branches: int,
+    q: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[DistributedService, Binding, AvailabilitySnapshot]:
+    """Source -> fan-out -> N parallel branches -> fan-in sink (fig. 6 shape).
+
+    Exercises every DAG feature of §4.3.2: fan-out equivalence, fan-in
+    concatenation, and pass II's non-convergence resolution.
+    """
+    if branches < 2:
+        raise ModelError(f"a diamond needs >= 2 branches, got {branches}")
+    if q < 1:
+        raise ModelError(f"need q >= 1, got {q}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    binding: Dict[Tuple[str, str], str] = {}
+    amounts: Dict[str, float] = {}
+
+    def provision(component: str, slot: str) -> None:
+        """Bind one slot to a fresh 100-unit resource."""
+        resource_id = f"res:{component}.{slot}"
+        binding[(component, slot)] = resource_id
+        amounts[resource_id] = 100.0
+
+    def table_for(
+        inputs: Sequence[QoSLevel], outputs: Sequence[QoSLevel], slot: str
+    ) -> TabularTranslation:
+        """A random all-pairs translation table over one slot."""
+        return TabularTranslation(
+            {
+                (qin.label, qout.label): {slot: float(rng.uniform(1.0, 10.0))}
+                for qin in inputs
+                for qout in outputs
+            }
+        )
+
+    source_level = QoSLevel("SRC", QoSVector({"q": q + 1}))
+    fan_out_outputs = _levels("fan.out", q, param="f")
+    fan_out = ServiceComponent(
+        "fan", (source_level,), fan_out_outputs, table_for([source_level], fan_out_outputs, "s")
+    )
+    provision("fan", "s")
+
+    components = [fan_out]
+    edges: List[Tuple[str, str]] = []
+    branch_outputs: List[Tuple[QoSLevel, ...]] = []
+    for b in range(branches):
+        name = f"br{b}"
+        inputs = tuple(
+            QoSLevel(f"{name}.in{j}", level.vector) for j, level in enumerate(fan_out_outputs)
+        )
+        outputs = _levels(f"{name}.out", q, param=f"b{b}")
+        components.append(ServiceComponent(name, inputs, outputs, table_for(inputs, outputs, "s")))
+        provision(name, "s")
+        edges.append(("fan", name))
+        branch_outputs.append(outputs)
+
+    # Fan-in sink: inputs are all concatenations of branch outputs.
+    fanin_inputs: List[QoSLevel] = []
+
+    def combos(index: int, chosen: List[QoSLevel]) -> None:
+        """Enumerate all branch-output concatenations."""
+        if index == branches:
+            fanin_inputs.append(concat_levels(chosen))
+            return
+        for level in branch_outputs[index]:
+            combos(index + 1, chosen + [level])
+
+    combos(0, [])
+    sink_outputs = _levels("sink.out", q, param="e")
+    sink = ServiceComponent(
+        "sink", tuple(fanin_inputs), sink_outputs, table_for(fanin_inputs, sink_outputs, "s")
+    )
+    provision("sink", "s")
+    components.append(sink)
+    for b in range(branches):
+        edges.append((f"br{b}", "sink"))
+
+    graph = DependencyGraph([c.name for c in components], edges)
+    service = DistributedService(
+        "synthetic-diamond",
+        components,
+        graph,
+        QoSRanking([level.label for level in sink_outputs]),
+    )
+    return service, Binding(binding), AvailabilitySnapshot.from_amounts(amounts)

@@ -1,0 +1,151 @@
+"""Translation functions: ``T_c(Q_in, Q_out) -> R`` (paper §2.2, eq. 1).
+
+A translation function is supplied by the developer of a service
+component as a plug-in (paper §3).  It answers: given input quality
+``Q_in``, what resources does the component need to produce output
+quality ``Q_out``?  Unsupported pairs return ``None`` -- those (Q_in,
+Q_out) edges simply do not exist in the QRG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.core.errors import ModelError, TranslationError
+from repro.core.qos import QoSLevel
+from repro.core.resources import ResourceVector
+
+
+@runtime_checkable
+class TranslationFunction(Protocol):
+    """The plug-in interface for component developers."""
+
+    def __call__(self, qin: QoSLevel, qout: QoSLevel) -> Optional[ResourceVector]:
+        """Resource requirement for the pair, or None when unsupported."""
+        ...  # pragma: no cover - protocol body
+
+
+class TabularTranslation:
+    """A translation function backed by an explicit (label, label) table.
+
+    This matches how the paper's evaluation specifies components
+    (figure 10): an enumerated table of supported QoS pairs with their
+    requirement vectors.
+    """
+
+    def __init__(
+        self,
+        table: Mapping[Tuple[str, str], Mapping[str, float] | ResourceVector],
+    ) -> None:
+        if not table:
+            raise ModelError("translation table must not be empty")
+        self._table: Dict[Tuple[str, str], ResourceVector] = {}
+        slots: Optional[frozenset] = None
+        for (qin_label, qout_label), requirement in table.items():
+            if not isinstance(qin_label, str) or not isinstance(qout_label, str):
+                raise ModelError(
+                    f"translation table keys must be (qin_label, qout_label) strings, "
+                    f"got {(qin_label, qout_label)!r}"
+                )
+            vector = requirement if isinstance(requirement, ResourceVector) else ResourceVector(requirement)
+            if slots is None:
+                slots = frozenset(vector)
+            elif frozenset(vector) != slots:
+                raise ModelError(
+                    f"inconsistent resource slots in translation table: entry "
+                    f"{(qin_label, qout_label)!r} uses {sorted(vector)}, expected {sorted(slots)}"
+                )
+            self._table[(qin_label, qout_label)] = vector
+        self._slots = slots or frozenset()
+
+    @property
+    def slots(self) -> frozenset:
+        """The resource slot names every entry of this table covers."""
+        return self._slots
+
+    @property
+    def pairs(self) -> Tuple[Tuple[str, str], ...]:
+        """The supported (qin_label, qout_label) pairs, sorted."""
+        return tuple(sorted(self._table))
+
+    def __call__(self, qin: QoSLevel, qout: QoSLevel) -> Optional[ResourceVector]:
+        return self._table.get((qin.label, qout.label))
+
+    def entry(self, qin_label: str, qout_label: str) -> ResourceVector:
+        """Direct table lookup by labels; raises on unsupported pairs."""
+        try:
+            return self._table[(qin_label, qout_label)]
+        except KeyError:
+            raise TranslationError(
+                f"translation not defined for ({qin_label!r} -> {qout_label!r})"
+            ) from None
+
+    def items(self) -> Iterable[Tuple[Tuple[str, str], ResourceVector]]:
+        """Iterate ((qin_label, qout_label), requirement) entries."""
+        return self._table.items()
+
+    def mapped(
+        self, transform: Callable[[Tuple[str, str], ResourceVector], ResourceVector]
+    ) -> "TabularTranslation":
+        """A new table with every requirement transformed.
+
+        Used by the requirement-diversity experiments (paper §5.2.5) to
+        compress the spread of requirement values while preserving means.
+        """
+        return TabularTranslation({key: transform(key, vec) for key, vec in self._table.items()})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TabularTranslation({len(self._table)} pairs, slots={sorted(self._slots)})"
+
+
+class ScaledTranslation:
+    """Wrap a translation function, scaling every requirement by a factor.
+
+    The evaluation's "fat" sessions have requirements ``N`` times the base
+    values (paper §5.1); a per-session ScaledTranslation realises that
+    without copying the underlying tables.
+    """
+
+    def __init__(self, base: TranslationFunction, factor: float) -> None:
+        if factor <= 0:
+            raise ModelError(f"scale factor must be positive, got {factor!r}")
+        self._base = base
+        self._factor = float(factor)
+
+    @property
+    def factor(self) -> float:
+        """The multiplicative requirement scale (N of §5.1)."""
+        return self._factor
+
+    @property
+    def base(self) -> TranslationFunction:
+        """The wrapped translation function."""
+        return self._base
+
+    def __call__(self, qin: QoSLevel, qout: QoSLevel) -> Optional[ResourceVector]:
+        requirement = self._base(qin, qout)
+        if requirement is None:
+            return None
+        if self._factor == 1.0:
+            return requirement
+        return requirement.scaled(self._factor)
+
+
+class CallableTranslation:
+    """Adapt a plain callable (e.g. an analytic model) to the protocol.
+
+    ``fn`` receives the two QoS *vectors* and returns a mapping of slot ->
+    amount, or None.  Useful for components whose requirement is a formula
+    of the QoS parameters rather than a table.
+    """
+
+    def __init__(self, fn: Callable[[QoSLevel, QoSLevel], Optional[Mapping[str, float]]]) -> None:
+        self._fn = fn
+
+    def __call__(self, qin: QoSLevel, qout: QoSLevel) -> Optional[ResourceVector]:
+        result = self._fn(qin, qout)
+        if result is None:
+            return None
+        if isinstance(result, ResourceVector):
+            return result
+        return ResourceVector(result)

@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free (numpy only, for RNG) process-based DES engine in
+the style of simpy.  It provides the substrate on which the reservation
+environment of the paper's evaluation (section 5) runs:
+
+* :class:`~repro.des.engine.Environment` -- the event loop, simulation
+  clock, and scheduling interface.
+* :class:`~repro.des.events.Event`, :class:`~repro.des.events.Timeout`,
+  :class:`~repro.des.events.AnyOf`, :class:`~repro.des.events.AllOf` --
+  the primitives a process can wait on.
+* :class:`~repro.des.process.Process` -- a generator-based coroutine; a
+  process yields events and is resumed when they fire.
+* :class:`~repro.des.container.Container` -- a capacity pool with blocking
+  ``get``/``put``, useful for modelling queued resources in examples and
+  tests (the paper's brokers use non-blocking admission control instead).
+* :class:`~repro.des.rng.RandomStreams` -- named, independently seeded
+  ``numpy`` generator streams, so experiments are reproducible and
+  individual sources of randomness can be varied independently.
+"""
+
+from repro.des.engine import Environment, Interrupt, SimulationError
+from repro.des.events import AllOf, AnyOf, Event, EventStatus, Timeout
+from repro.des.process import Process
+from repro.des.container import Container, ContainerError
+from repro.des.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Container",
+    "ContainerError",
+    "Environment",
+    "Event",
+    "EventStatus",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "SimulationError",
+    "Timeout",
+]

@@ -1,0 +1,115 @@
+"""A capacity pool with blocking get/put.
+
+The paper's Resource Brokers use *non-blocking* admission control (a
+reservation either fits right now or the whole session fails), which is
+implemented in :mod:`repro.brokers`.  :class:`Container` complements that
+with the classical blocking pool: requests queue until capacity frees up.
+It is used by examples and tests that model best-effort (non-reserved)
+background load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.des.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.des.engine import Environment
+
+
+class ContainerError(Exception):
+    """Raised on misuse of a :class:`Container`."""
+
+
+class _Request(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, env: "Environment", amount: float) -> None:
+        super().__init__(env)
+        self.amount = amount
+
+
+class Container:
+    """A pool holding a continuous amount of a single resource.
+
+    ``get(amount)`` returns an event that fires once the amount could be
+    taken from the pool; ``put(amount)`` returns an event that fires once
+    the amount fits below ``capacity``.  Requests are served in FIFO
+    order; a large get at the head of the queue blocks smaller ones
+    behind it (no overtaking), which keeps the pool fair.
+    """
+
+    def __init__(self, env: "Environment", capacity: float, init: float = 0.0) -> None:
+        if capacity <= 0:
+            raise ContainerError(f"capacity must be positive, got {capacity!r}")
+        if not 0 <= init <= capacity:
+            raise ContainerError(f"init {init!r} outside [0, {capacity!r}]")
+        self.env = env
+        self._capacity = float(capacity)
+        self._level = float(init)
+        self._getters: deque[_Request] = deque()
+        self._putters: deque[_Request] = deque()
+
+    @property
+    def capacity(self) -> float:
+        """Total capacity of this resource."""
+        return self._capacity
+
+    @property
+    def level(self) -> float:
+        """Amount currently held in the pool."""
+        return self._level
+
+    def get(self, amount: float) -> Event:
+        """Take ``amount`` out of the pool (blocking)."""
+        if amount <= 0:
+            raise ContainerError(f"get amount must be positive, got {amount!r}")
+        if amount > self._capacity:
+            raise ContainerError(
+                f"get of {amount!r} can never succeed (capacity {self._capacity!r})"
+            )
+        request = _Request(self.env, amount)
+        self._getters.append(request)
+        self._drain()
+        return request
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount`` into the pool (blocking while full)."""
+        if amount <= 0:
+            raise ContainerError(f"put amount must be positive, got {amount!r}")
+        if amount > self._capacity:
+            raise ContainerError(
+                f"put of {amount!r} can never succeed (capacity {self._capacity!r})"
+            )
+        request = _Request(self.env, amount)
+        self._putters.append(request)
+        self._drain()
+        return request
+
+    def try_get(self, amount: float) -> bool:
+        """Non-blocking take; returns False (untouched pool) if short."""
+        if amount <= 0:
+            raise ContainerError(f"get amount must be positive, got {amount!r}")
+        if amount > self._level + 1e-12:
+            return False
+        self._level -= amount
+        self._drain()
+        return True
+
+    def _drain(self) -> None:
+        """Serve queued requests in FIFO order until one blocks."""
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._getters and self._getters[0].amount <= self._level + 1e-12:
+                request = self._getters.popleft()
+                self._level -= request.amount
+                request.succeed()
+                progressed = True
+            if self._putters and self._putters[0].amount + self._level <= self._capacity + 1e-12:
+                request = self._putters.popleft()
+                self._level += request.amount
+                request.succeed()
+                progressed = True

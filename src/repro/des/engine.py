@@ -1,0 +1,154 @@
+"""The simulation engine: clock, event queue, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, Optional
+
+from repro.des.events import AllOf, AnyOf, Event, EventStatus, Timeout
+
+
+class SimulationError(Exception):
+    """Raised for structural errors in the simulation itself."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value supplied by the interrupter.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The value supplied by the interrupter."""
+        return self.args[0] if self.args else None
+
+
+# Scheduling priorities: URGENT events (process resumptions) run before
+# NORMAL events scheduled at the same instant, which keeps the semantics
+# of "wake the waiter before starting the next arrival at time t".
+URGENT = 0
+NORMAL = 1
+
+
+class Environment:
+    """Execution environment of a simulation run.
+
+    The environment owns the simulation clock and the event queue.  Time
+    only advances between events; all computation at one instant is
+    ordered by (time, priority, insertion id), which makes runs fully
+    deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process = None
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events) -> AnyOf:
+        """Condition firing when any of the events fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        """Condition firing when all of the events have fired."""
+        return AllOf(self, events)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new process from a generator function's generator."""
+        from repro.des.process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def _schedule_urgent(self, event: Event) -> None:
+        self._schedule(event, 0.0, URGENT)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        try:
+            when, _prio, _eid, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+        if when < self._now:  # pragma: no cover - defensive; cannot happen
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._status = EventStatus.PROCESSED
+        for callback in callbacks:
+            callback(event)
+        if event._exception is not None and not event._defused:
+            raise event._exception
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` -- run until the event queue is exhausted,
+        * a number -- run until the clock reaches that time,
+        * an :class:`Event` -- run until that event is processed and
+          return its value (or raise its exception).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "run(until=event) exhausted the schedule before the event fired"
+                    )
+                self.step()
+            if stop._exception is not None:
+                raise stop._exception
+            return stop._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"cannot run until {horizon!r}, which is in the past")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Environment t={self._now} queued={len(self._queue)}>"

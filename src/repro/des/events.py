@@ -1,0 +1,204 @@
+"""Event primitives for the DES kernel.
+
+An :class:`Event` is a one-shot occurrence with a value.  Processes wait on
+events by ``yield``-ing them; the engine resumes the process when the event
+fires.  Events move through a strict life cycle::
+
+    PENDING -> TRIGGERED -> PROCESSED
+
+``TRIGGERED`` means the event has been scheduled on the engine's queue with
+a concrete value (or exception); ``PROCESSED`` means its callbacks have run.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.des.engine import Environment
+
+
+class EventStatus(enum.Enum):
+    """Life-cycle states of an :class:`Event`."""
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The environment the event belongs to.  All scheduling goes through
+        it so that simulated time stays consistent.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_status", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._status = EventStatus.PENDING
+        # A failed event whose exception was never observed by any process
+        # is a silent bug; the engine raises it at the end of the step
+        # unless some waiter "defuses" it by handling the failure.
+        self._defused = False
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def status(self) -> EventStatus:
+        """Current life-cycle state."""
+        return self._status
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with an outcome."""
+        return self._status is not EventStatus.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._status is EventStatus.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True when the event fired successfully (not failed)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value (raises until triggered, re-raises failures)."""
+        if not self.triggered:
+            raise RuntimeError("value of a pending event is not available")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The exception the event failed with, if any."""
+        return self._exception
+
+    # -- triggering ----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._value = value
+        self._status = EventStatus.TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception.
+
+        Any process waiting on the event will have the exception thrown
+        into it at its yield point.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._exception = exception
+        self._status = EventStatus.TRIGGERED
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Fire this event with the outcome of another (for chaining)."""
+        if event._exception is not None:
+            self.fail(event._exception)
+        else:
+            self.succeed(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event's exception as handled."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self._status.value} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._status = EventStatus.TRIGGERED
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay!r}>"
+
+
+class Condition(Event):
+    """Base for composite events (:class:`AnyOf` / :class:`AllOf`).
+
+    The condition fires when ``evaluate`` says enough of the watched
+    events have fired.  Its value is a dict mapping each fired event to
+    its value, in firing order.
+    """
+
+    __slots__ = ("events", "_num_fired")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        self._num_fired = 0
+        for event in self.events:
+            if event.env is not env:
+                raise ValueError("all events of a condition must share one environment")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event.processed:
+                self._on_fire(event)
+            else:
+                event.callbacks.append(self._on_fire)
+
+    def _evaluate(self) -> bool:
+        raise NotImplementedError
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defuse()
+            self.fail(event._exception)
+            return
+        self._num_fired += 1
+        if self._evaluate():
+            self.succeed({e: e._value for e in self.events if e.processed and e.ok})
+
+
+class AnyOf(Condition):
+    """Fires as soon as any one of the watched events fires."""
+
+    __slots__ = ()
+
+    def _evaluate(self) -> bool:
+        return self._num_fired >= 1
+
+
+class AllOf(Condition):
+    """Fires when all watched events have fired."""
+
+    __slots__ = ()
+
+    def _evaluate(self) -> bool:
+        return self._num_fired >= len(self.events)

@@ -1,0 +1,138 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.des.engine import Environment, Interrupt
+from repro.des.events import Event
+
+
+class Process(Event):
+    """A coroutine driven by the event loop.
+
+    A process wraps a generator.  Each value the generator yields must be
+    an :class:`Event`; the process sleeps until that event fires and is
+    then resumed with the event's value (or has the event's exception
+    thrown into it).  The process itself *is* an event: it fires when the
+    generator returns (value = the generator's return value) or fails when
+    the generator raises, so processes can wait on each other.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: Environment, generator: Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        # Kick the process off at the current instant, ahead of any
+        # same-time NORMAL events.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap._value = None
+        from repro.des.events import EventStatus
+
+        bootstrap._status = EventStatus.TRIGGERED
+        env._schedule_urgent(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self.triggered:
+            raise RuntimeError("cannot interrupt a finished process")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from whatever we were waiting on so the original event's
+        # eventual firing does not resume us twice.
+        target = self._waiting_on
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        wakeup = Event(self.env)
+        wakeup._exception = Interrupt(cause)
+        wakeup._defused = True
+        from repro.des.events import EventStatus
+
+        wakeup._status = EventStatus.TRIGGERED
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule_urgent(wakeup)
+
+    # -- engine interface --------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if event._exception is not None:
+                event.defuse()
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled Interrupt terminates the process as a failure.
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(target, Event):
+            error = RuntimeError(
+                f"process yielded a non-event: {target!r}; processes may only "
+                "wait on Event instances (Timeout, Process, Container gets, ...)"
+            )
+            # Surface the bug inside the generator so its cleanup runs.
+            wakeup = Event(self.env)
+            wakeup._exception = error
+            wakeup._defused = True
+            from repro.des.events import EventStatus
+
+            wakeup._status = EventStatus.TRIGGERED
+            wakeup.callbacks.append(self._resume)
+            self.env._schedule_urgent(wakeup)
+            return
+
+        if target.env is not self.env:
+            raise RuntimeError("process yielded an event from a different environment")
+
+        if target.processed:
+            # Already fired and fully processed: resume immediately (but
+            # still through the queue, to preserve run-to-completion
+            # semantics of the current callback batch).
+            wakeup = Event(self.env)
+            wakeup._value = target._value
+            wakeup._exception = target._exception
+            if target._exception is not None:
+                target.defuse()
+                wakeup._defused = True
+            from repro.des.events import EventStatus
+
+            wakeup._status = EventStatus.TRIGGERED
+            wakeup.callbacks.append(self._resume)
+            self.env._schedule_urgent(wakeup)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self._generator, "__name__", "process")
+        return f"<Process {name} {'alive' if self.is_alive else 'done'}>"

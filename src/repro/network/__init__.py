@@ -1,0 +1,19 @@
+"""Network substrate: hosts, domains, links, topology, and routing.
+
+Pure structure -- capacities and reservations live in
+:mod:`repro.brokers`.  The figure-9 evaluation topology builder is here
+too: four end hosts in a full mesh (6 core links) plus one access link
+per client domain (8), totalling the paper's 14 links L1-L14.
+"""
+
+from repro.network.topology import Domain, Host, Link, Topology, build_figure9_topology
+from repro.network.routing import RoutingTable
+
+__all__ = [
+    "Domain",
+    "Host",
+    "Link",
+    "RoutingTable",
+    "Topology",
+    "build_figure9_topology",
+]

@@ -1,0 +1,76 @@
+"""Shortest-path routing over a :class:`~repro.network.topology.Topology`.
+
+Routes are computed by breadth-first search (minimum hop count) with a
+deterministic lexicographic tie-break, then cached.  The route between
+two nodes is the link sequence an end-to-end
+:class:`~repro.brokers.path.PathBroker` will reserve on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ModelError
+from repro.network.topology import Link, Topology
+
+
+class RoutingTable:
+    """All-pairs min-hop routes with caching."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._cache: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
+
+    def route(self, source: str, destination: str) -> Tuple[Link, ...]:
+        """Link sequence from ``source`` to ``destination``.
+
+        Raises :class:`ModelError` when no path exists or on unknown
+        nodes.  A node routed to itself yields the empty route.
+        """
+        if source == destination:
+            if source not in set(self.topology.node_names()):
+                raise ModelError(f"unknown node {source!r}")
+            return ()
+        key = (source, destination)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        route = self._bfs(source, destination)
+        self._cache[key] = route
+        # A min-hop route is symmetric under our tie-break only by
+        # reversal; cache the reverse too for lookup speed.
+        self._cache[(destination, source)] = tuple(reversed(route))
+        return route
+
+    def _bfs(self, source: str, destination: str) -> Tuple[Link, ...]:
+        names = set(self.topology.node_names())
+        for node in (source, destination):
+            if node not in names:
+                raise ModelError(f"unknown node {node!r}")
+        parent: Dict[str, Tuple[str, Link]] = {}
+        visited = {source}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            if node == destination:
+                break
+            for neighbor, link in self.topology.neighbors(node):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                parent[neighbor] = (node, link)
+                frontier.append(neighbor)
+        if destination not in visited:
+            raise ModelError(f"no route from {source!r} to {destination!r}")
+        hops: List[Link] = []
+        node = destination
+        while node != source:
+            node, link = parent[node]
+            hops.append(link)
+        hops.reverse()
+        return tuple(hops)
+
+    def hop_count(self, source: str, destination: str) -> int:
+        """Number of links on the route between the two nodes."""
+        return len(self.route(source, destination))

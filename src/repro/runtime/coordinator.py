@@ -1,0 +1,228 @@
+"""The main QoSProxy's coordination logic (paper §4.2).
+
+Three phases per session:
+
+1. participating QoSProxies report current availability of the session's
+   bound resources;
+2. the main proxy computes the end-to-end reservation plan locally
+   (any :class:`~repro.core.planner.Planner`);
+3. the main proxy dispatches per-host plan segments, which the proxies
+   apply to their brokers; a segment failure rolls everything back.
+
+With accurate observations and atomic establishment (the default, as in
+§5.2.1-5.2.3) phase 3 can only fail if two plan edges share a resource
+in a way planning treated independently; with the staleness model of
+§5.2.4 (``observed_at``) phase 3 admission failures become the norm
+under contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.brokers.registry import BrokerRegistry
+from repro.core.component import Binding
+from repro.core.errors import AdmissionError, BrokerError, PlanningError
+from repro.core.plan import ReservationPlan
+from repro.core.qrg import build_qrg
+from repro.core.resources import AvailabilitySnapshot, ResourceObservation
+from repro.core.translation import ScaledTranslation
+from repro.runtime.messages import AvailabilityRequest, PlanSegment
+from repro.runtime.model_store import ModelStore
+from repro.runtime.proxy import QoSProxy
+
+#: Maps a resource id to the past instant it should be observed at
+#: (None = now) -- the §5.2.4 observation-inaccuracy hook.
+ObservationSchedule = Callable[[str], Optional[float]]
+
+
+@dataclass(frozen=True)
+class EstablishmentResult:
+    """Outcome of one session-establishment attempt."""
+
+    session_id: str
+    success: bool
+    plan: Optional[ReservationPlan]
+    reason: str = ""
+    failed_resource: Optional[str] = None
+
+    @property
+    def qos_level(self) -> Optional[int]:
+        """Numeric end-to-end QoS level of the plan (None on failure)."""
+        return self.plan.numeric_level if (self.success and self.plan) else None
+
+
+class ReservationCoordinator:
+    """Executes the three-phase establishment protocol."""
+
+    def __init__(
+        self,
+        registry: BrokerRegistry,
+        model_store: ModelStore,
+        proxies: Mapping[str, QoSProxy],
+    ) -> None:
+        self.registry = registry
+        self.model_store = model_store
+        self.proxies: Dict[str, QoSProxy] = dict(proxies)
+        self._owner_cache: Dict[str, QoSProxy] = {}
+
+    # -- ownership ------------------------------------------------------------
+
+    def proxy_for(self, resource_id: str) -> QoSProxy:
+        """The QoSProxy owning ``resource_id``; raises if unowned."""
+        proxy = self._owner_cache.get(resource_id)
+        if proxy is not None:
+            return proxy
+        for candidate in self.proxies.values():
+            if candidate.owns(resource_id):
+                self._owner_cache[resource_id] = candidate
+                return candidate
+        raise BrokerError(f"no QoSProxy owns resource {resource_id!r}")
+
+    # -- establishment ------------------------------------------------------------
+
+    def establish(
+        self,
+        session_id: str,
+        service_name: str,
+        binding: Binding,
+        planner,
+        *,
+        component_hosts: Optional[Mapping[str, str]] = None,
+        source_label: Optional[str] = None,
+        demand_scale: float = 1.0,
+        observed_at: Optional[ObservationSchedule] = None,
+        contention_index=None,
+    ) -> EstablishmentResult:
+        """Run the three phases atomically (no simulated latency).
+
+        ``demand_scale`` scales every translation-function requirement
+        (the evaluation's "fat" sessions, §5.1).
+        """
+        service = self.model_store.service(service_name)
+        if demand_scale != 1.0:
+            service = _scaled_service(service, demand_scale)
+
+        # Phase 1: collect availability from the owning proxies.
+        resource_ids = sorted(binding.resource_ids())
+        request = AvailabilityRequest(session_id=session_id, resource_ids=tuple(resource_ids))
+        observations: Dict[str, ResourceObservation] = {}
+        for proxy in self._participating_proxies(resource_ids):
+            report = proxy.report_availability(request, observed_at=observed_at)
+            observations.update(report.observations)
+        missing = set(resource_ids) - set(observations)
+        if missing:
+            raise BrokerError(f"no proxy reported resources {sorted(missing)}")
+        snapshot = AvailabilitySnapshot(observations)
+
+        # Phase 2: local plan computation at the main proxy.
+        kwargs = {} if contention_index is None else {"contention_index": contention_index}
+        try:
+            qrg = build_qrg(service, binding, snapshot, source_label=source_label, **kwargs)
+        except PlanningError as exc:
+            return EstablishmentResult(session_id, False, None, reason=f"qrg: {exc}")
+        plan = planner.plan(qrg)
+        if plan is None:
+            return EstablishmentResult(session_id, False, None, reason="no_feasible_plan")
+
+        # Phase 3: dispatch plan segments to the owning proxies.
+        segments = self._segments(session_id, plan)
+        applied: List[QoSProxy] = []
+        try:
+            for proxy, segment in segments:
+                proxy.apply_segment(segment)
+                applied.append(proxy)
+        except AdmissionError as exc:
+            for proxy in applied:
+                proxy.release_session(session_id)
+            return EstablishmentResult(
+                session_id,
+                False,
+                plan,
+                reason="admission_failed",
+                failed_resource=exc.resource_id,
+            )
+        # Start the session's components on their hosts.
+        if component_hosts:
+            by_host: Dict[str, List[str]] = {}
+            for component, host in component_hosts.items():
+                by_host.setdefault(host, []).append(component)
+            for host, components in by_host.items():
+                proxy = self.proxies.get(host)
+                if proxy is not None:
+                    proxy.start_components(session_id, sorted(components))
+        return EstablishmentResult(session_id, True, plan)
+
+    def establish_process(self, env, latency: float, /, *args, **kwargs):
+        """Generator flavour of :meth:`establish` with protocol latency.
+
+        Models §4.2's overhead: one message round trip between the
+        participating proxies and the main proxy (phase 1+3) plus local
+        computation.  The availability snapshot is taken *before* the
+        latency elapses, so concurrent sessions race exactly as §5.2.4
+        describes.  Yields DES timeouts; returns the result.
+        """
+        if latency < 0:
+            raise ValueError(f"negative latency: {latency!r}")
+        # Phase 1 round-trip happens first; observations are as of now.
+        now = env.now
+        schedule = kwargs.pop("observed_at", None)
+
+        def frozen_schedule(resource_id: str) -> Optional[float]:
+            """Observation schedule pinned to the request instant."""
+            base = schedule(resource_id) if schedule is not None else None
+            return now if base is None else base
+
+        if latency:
+            yield env.timeout(latency)
+        return self.establish(*args, observed_at=frozen_schedule, **kwargs)
+
+    # -- tear-down -------------------------------------------------------------
+
+    def teardown(self, session_id: str) -> int:
+        """Release everything every proxy holds for the session."""
+        released = 0
+        for proxy in self.proxies.values():
+            released += proxy.release_session(session_id)
+        return released
+
+    # -- helpers --------------------------------------------------------------
+
+    def _participating_proxies(self, resource_ids) -> List[QoSProxy]:
+        seen: Dict[str, QoSProxy] = {}
+        for resource_id in resource_ids:
+            proxy = self.proxy_for(resource_id)
+            seen[proxy.host] = proxy
+        return [seen[host] for host in sorted(seen)]
+
+    def _segments(
+        self, session_id: str, plan: ReservationPlan
+    ) -> List[Tuple[QoSProxy, PlanSegment]]:
+        demand = plan.demand
+        per_proxy: Dict[str, Dict[str, float]] = {}
+        for resource_id in demand:
+            proxy = self.proxy_for(resource_id)
+            per_proxy.setdefault(proxy.host, {})[resource_id] = demand[resource_id]
+        segments: List[Tuple[QoSProxy, PlanSegment]] = []
+        for host in sorted(per_proxy):
+            segments.append(
+                (
+                    self.proxies[host],
+                    PlanSegment(session_id=session_id, proxy_host=host, demands=per_proxy[host]),
+                )
+            )
+        return segments
+
+
+def _scaled_service(service, factor: float):
+    """A copy of the service with every translation scaled by ``factor``."""
+    from repro.core.service import DistributedService
+
+    components = [
+        component.with_translation(ScaledTranslation(component.translation, factor))
+        for component in service.components
+    ]
+    return DistributedService(service.name, components, service.graph, service.ranking)
+
+

@@ -1,0 +1,243 @@
+"""The *distributed* model-store approach (paper §3).
+
+§3 offers two placements for the QoS-Resource Model definition: the
+centralised one (the main QoSProxy stores everything; implemented by
+:class:`~repro.runtime.coordinator.ReservationCoordinator`, which the
+paper assumes for the rest of the text) and a distributed one, where
+"the Q_in and Q_out levels and the Translation Function of each service
+component will be stored and accessed by the QoSProxy of the host where
+the service component runs".
+
+This module implements the distributed flavour.  Per session:
+
+1. the main proxy asks each participating proxy for its component's
+   *QRG fragment* -- the feasible, locally priced (Q_in, Q_out) edges
+   (the proxy holds the translation function and can query its local
+   brokers directly, folding phase 1 into fragment computation);
+2. the main proxy stitches the fragments into the full QRG (it still
+   holds the service *structure*: dependency graph and ranking, which
+   are service-level rather than component-level knowledge) and runs
+   the planning algorithm;
+3. plan dispatch and tear-down are identical to the centralised path.
+
+The two coordinators are interchangeable: given the same snapshot they
+compute identical plans (asserted by the test suite), so everything
+else in the library -- sessions, simulation, metrics -- accepts either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.brokers.registry import BrokerRegistry
+from repro.core.component import Binding, ServiceComponent
+from repro.core.errors import AdmissionError, BrokerError, ModelError, PlanningError
+from repro.core.qrg import (
+    IntraEdge,
+    assemble_qrg,
+    price_component_edges,
+    resolve_source_level,
+)
+from repro.core.resources import AvailabilitySnapshot, ResourceObservation
+from repro.core.translation import ScaledTranslation
+from repro.runtime.coordinator import EstablishmentResult, ObservationSchedule
+from repro.runtime.messages import PlanSegment
+from repro.runtime.model_store import ModelStore
+from repro.runtime.proxy import QoSProxy
+
+
+@dataclass(frozen=True)
+class FragmentRequest:
+    """Main proxy -> component host: price your component's edges."""
+
+    session_id: str
+    component: str
+    demand_scale: float = 1.0
+
+
+@dataclass(frozen=True)
+class ComponentFragment:
+    """Component host -> main proxy: the locally priced QRG fragment."""
+
+    session_id: str
+    component: str
+    proxy_host: str
+    edges: Tuple[IntraEdge, ...]
+    observations: Mapping[str, ResourceObservation]
+
+
+class ComponentHost(QoSProxy):
+    """A QoSProxy that also stores the definitions of local components."""
+
+    def __init__(self, host: str, registry: BrokerRegistry) -> None:
+        super().__init__(host, registry)
+        self._components: Dict[str, ServiceComponent] = {}
+
+    def store_component(self, component: ServiceComponent) -> None:
+        """Store a component definition at this proxy (§3, distributed)."""
+        if component.name in self._components:
+            raise ModelError(
+                f"proxy {self.host!r} already stores component {component.name!r}"
+            )
+        self._components[component.name] = component
+
+    def stored_components(self) -> Tuple[str, ...]:
+        """Names of the components stored at this proxy, sorted."""
+        return tuple(sorted(self._components))
+
+    def price_fragment(
+        self,
+        request: FragmentRequest,
+        binding: Binding,
+        *,
+        observed_at: Optional[Callable[[str], Optional[float]]] = None,
+        contention_index=None,
+    ) -> ComponentFragment:
+        """Compute the component's feasible edges from local observations."""
+        try:
+            component = self._components[request.component]
+        except KeyError:
+            raise ModelError(
+                f"proxy {self.host!r} does not store component {request.component!r}"
+            ) from None
+        if request.demand_scale != 1.0:
+            component = component.with_translation(
+                ScaledTranslation(component.translation, request.demand_scale)
+            )
+        # Observe exactly the resources this component's slots bind to.
+        resource_ids = sorted(
+            {binding.resource_id(component.name, slot) for slot in component.slots()}
+        )
+        observations: Dict[str, ResourceObservation] = {}
+        for resource_id in resource_ids:
+            broker = self.registry.broker(resource_id)
+            when = observed_at(resource_id) if observed_at is not None else None
+            observations[resource_id] = (
+                broker.observe() if when is None else broker.observe_stale(when)
+            )
+        snapshot = AvailabilitySnapshot(observations)
+        kwargs = {} if contention_index is None else {"contention_index": contention_index}
+        edges = price_component_edges(component, binding, snapshot, **kwargs)
+        return ComponentFragment(
+            session_id=request.session_id,
+            component=component.name,
+            proxy_host=self.host,
+            edges=tuple(edges),
+            observations=observations,
+        )
+
+
+class DistributedCoordinator:
+    """Session establishment with per-host component definitions.
+
+    ``structure_store`` holds the service-level structure (graph +
+    ranking + level declarations); the per-component translation
+    functions live only in the :class:`ComponentHost` proxies.
+    """
+
+    def __init__(
+        self,
+        registry: BrokerRegistry,
+        structure_store: ModelStore,
+        proxies: Mapping[str, ComponentHost],
+    ) -> None:
+        self.registry = registry
+        self.structure_store = structure_store
+        self.proxies: Dict[str, ComponentHost] = dict(proxies)
+
+    def host_of_component(self, component: str) -> ComponentHost:
+        """The proxy storing ``component``; raises if none does."""
+        for proxy in self.proxies.values():
+            if component in proxy.stored_components():
+                return proxy
+        raise ModelError(f"no proxy stores component {component!r}")
+
+    def establish(
+        self,
+        session_id: str,
+        service_name: str,
+        binding: Binding,
+        planner,
+        *,
+        source_label: Optional[str] = None,
+        demand_scale: float = 1.0,
+        observed_at: Optional[ObservationSchedule] = None,
+        contention_index=None,
+    ) -> EstablishmentResult:
+        """Run the establishment phases for one session."""
+        service = self.structure_store.service(service_name)
+
+        # Phase 1+2a: gather locally priced fragments.
+        fragments: List[ComponentFragment] = []
+        observations: Dict[str, ResourceObservation] = {}
+        for component in service.components:
+            proxy = self.host_of_component(component.name)
+            fragment = proxy.price_fragment(
+                FragmentRequest(session_id, component.name, demand_scale),
+                binding,
+                observed_at=observed_at,
+                contention_index=contention_index,
+            )
+            fragments.append(fragment)
+            observations.update(fragment.observations)
+
+        # Phase 2b: stitch and plan at the main proxy.
+        snapshot = AvailabilitySnapshot(observations)
+        try:
+            source_level = resolve_source_level(service, source_label)
+        except PlanningError as exc:
+            return EstablishmentResult(session_id, False, None, reason=f"qrg: {exc}")
+        intra_edges = [edge for fragment in fragments for edge in fragment.edges]
+        qrg = assemble_qrg(service, source_level, intra_edges, snapshot)
+        plan = planner.plan(qrg)
+        if plan is None:
+            return EstablishmentResult(session_id, False, None, reason="no_feasible_plan")
+
+        # Phase 3: dispatch per-host segments (resource owner = the proxy
+        # that priced the fragment touching it).
+        demands_by_host: Dict[str, Dict[str, float]] = {}
+        demand = plan.demand
+        for fragment in fragments:
+            for resource_id in fragment.observations:
+                if resource_id in demand:
+                    demands_by_host.setdefault(fragment.proxy_host, {})[resource_id] = demand[
+                        resource_id
+                    ]
+        applied: List[ComponentHost] = []
+        try:
+            for host in sorted(demands_by_host):
+                proxy = self.proxies[host]
+                segment = PlanSegment(
+                    session_id=session_id, proxy_host=host, demands=demands_by_host[host]
+                )
+                self._apply_segment(proxy, segment)
+                applied.append(proxy)
+        except AdmissionError as exc:
+            for proxy in applied:
+                proxy.release_session(session_id)
+            return EstablishmentResult(
+                session_id, False, plan, reason="admission_failed",
+                failed_resource=exc.resource_id,
+            )
+        return EstablishmentResult(session_id, True, plan)
+
+    def _apply_segment(self, proxy: ComponentHost, segment: PlanSegment) -> None:
+        """Reserve a segment directly (ownership is implied by pricing)."""
+        made = []
+        try:
+            for resource_id in sorted(segment.demands):
+                broker = self.registry.broker(resource_id)
+                made.append(broker.reserve(segment.demands[resource_id], segment.session_id))
+        except AdmissionError:
+            for reservation in reversed(made):
+                self.registry.broker(reservation.resource_id).release(reservation)
+            raise
+        proxy._held.setdefault(segment.session_id, []).extend(made)
+
+    def teardown(self, session_id: str) -> int:
+        """Release everything every proxy holds for the session."""
+        released = 0
+        for proxy in self.proxies.values():
+            released += proxy.release_session(session_id)
+        return released

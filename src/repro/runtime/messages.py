@@ -1,0 +1,55 @@
+"""Message types exchanged between QoSProxies (paper §4.2).
+
+The three-phase protocol is: (1) participating proxies report current
+resource availability to the main proxy, (2) the main proxy runs the
+planning algorithm locally, (3) the main proxy dispatches the plan
+segments.  These dataclasses are the protocol's vocabulary; in the
+simulation they travel as function arguments (optionally delayed by the
+coordinator's latency model), but keeping them explicit documents the
+wire protocol a real deployment would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.core.resources import ResourceObservation
+
+
+@dataclass(frozen=True)
+class AvailabilityRequest:
+    """Phase 1 query: which resources the main proxy needs observed."""
+
+    session_id: str
+    resource_ids: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Phase 1 reply: one proxy's local observations."""
+
+    session_id: str
+    proxy_host: str
+    observations: Mapping[str, ResourceObservation]
+
+
+@dataclass(frozen=True)
+class PlanSegment:
+    """Phase 3 dispatch: the per-host slice of the end-to-end plan.
+
+    ``demands`` maps each of the receiving proxy's resource ids to the
+    amount to reserve for the session.
+    """
+
+    session_id: str
+    proxy_host: str
+    demands: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class ReleaseOrder:
+    """Tear-down: release everything the session holds on this proxy."""
+
+    session_id: str
+    proxy_host: str

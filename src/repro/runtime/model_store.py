@@ -1,0 +1,45 @@
+"""QoS-Resource Model definition store (paper §3, centralised approach).
+
+The model definition of a service (components, levels, translation
+functions, ranking) is stored at the main QoSProxy of the service and
+consulted when computing end-to-end reservation plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.core.errors import ModelError
+from repro.core.service import DistributedService
+
+
+class ModelStore:
+    """Named registry of service definitions held by a main QoSProxy."""
+
+    def __init__(self) -> None:
+        self._services: Dict[str, DistributedService] = {}
+
+    def register(self, service: DistributedService) -> None:
+        """Register one entry; duplicate registration raises."""
+        if service.name in self._services:
+            raise ModelError(f"service {service.name!r} already registered")
+        self._services[service.name] = service
+
+    def service(self, name: str) -> DistributedService:
+        """Look up a stored service definition by name; raises if unknown."""
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ModelError(f"no QoS-Resource Model stored for service {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._services
+
+    def names(self) -> Tuple[str, ...]:
+        """Sorted names of all stored entries."""
+        return tuple(sorted(self._services))
+
+    def register_all(self, services: Iterable[DistributedService]) -> None:
+        """Register several entries in order."""
+        for service in services:
+            self.register(service)

@@ -1,0 +1,129 @@
+"""Per-host QoSProxy (paper §3).
+
+The QoSProxy coordinates the multi-resource reservation activities of
+one end host: it owns references to the local Resource Brokers (and, on
+the receiver side of a network path, the end-to-end path broker -- the
+RSVP compatibility note of §3), answers availability queries, applies
+dispatched plan segments, and starts the local service components once
+the end-to-end reservation is complete.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.brokers.registry import AnyReservation, BrokerRegistry
+from repro.core.errors import AdmissionError, BrokerError
+from repro.core.resources import ResourceObservation
+from repro.runtime.messages import AvailabilityReport, AvailabilityRequest, PlanSegment
+
+
+class QoSProxy:
+    """One host's reservation coordinator endpoint."""
+
+    def __init__(self, host: str, registry: BrokerRegistry) -> None:
+        if not host:
+            raise BrokerError("proxy host name must be non-empty")
+        self.host = host
+        self.registry = registry
+        self._owned: Set[str] = set()
+        # session id -> reservations this proxy holds for it
+        self._held: Dict[str, List[AnyReservation]] = {}
+        self._started_components: Dict[str, List[str]] = {}
+
+    # -- ownership --------------------------------------------------------
+
+    def own(self, resource_id: str) -> None:
+        """Declare that this proxy fronts the broker of ``resource_id``."""
+        if resource_id not in self.registry:
+            raise BrokerError(f"cannot own unregistered resource {resource_id!r}")
+        self._owned.add(resource_id)
+
+    def owns(self, resource_id: str) -> bool:
+        """True when this proxy fronts the broker of ``resource_id``."""
+        return resource_id in self._owned
+
+    def owned_resources(self) -> Tuple[str, ...]:
+        """Resource ids this proxy owns, sorted."""
+        return tuple(sorted(self._owned))
+
+    # -- phase 1: availability reporting -------------------------------------
+
+    def report_availability(
+        self,
+        request: AvailabilityRequest,
+        *,
+        observed_at: Optional[Callable[[str], Optional[float]]] = None,
+    ) -> AvailabilityReport:
+        """Observe the requested *locally owned* resources.
+
+        Unowned resource ids in the request are ignored -- the main proxy
+        fans one request out to all participating proxies and merges the
+        reports.
+        """
+        observations: Dict[str, ResourceObservation] = {}
+        for resource_id in request.resource_ids:
+            if resource_id not in self._owned:
+                continue
+            broker = self.registry.broker(resource_id)
+            when = observed_at(resource_id) if observed_at is not None else None
+            observations[resource_id] = (
+                broker.observe() if when is None else broker.observe_stale(when)
+            )
+        return AvailabilityReport(
+            session_id=request.session_id, proxy_host=self.host, observations=observations
+        )
+
+    # -- phase 3: plan segment execution ----------------------------------------
+
+    def apply_segment(self, segment: PlanSegment) -> None:
+        """Reserve the segment's demands on the local brokers.
+
+        Atomic per segment: a failure rolls back the segment's own
+        reservations and re-raises, letting the coordinator roll back the
+        other proxies' segments.
+        """
+        made: List[AnyReservation] = []
+        try:
+            for resource_id in sorted(segment.demands):
+                if resource_id not in self._owned:
+                    raise BrokerError(
+                        f"proxy {self.host!r} received a demand for unowned "
+                        f"resource {resource_id!r}"
+                    )
+                broker = self.registry.broker(resource_id)
+                made.append(broker.reserve(segment.demands[resource_id], segment.session_id))
+        except AdmissionError:
+            for reservation in reversed(made):
+                self.registry.broker(reservation.resource_id).release(reservation)
+            raise
+        self._held.setdefault(segment.session_id, []).extend(made)
+
+    def release_session(self, session_id: str) -> int:
+        """Release everything held for a session; returns count released."""
+        reservations = self._held.pop(session_id, [])
+        for reservation in reservations:
+            self.registry.broker(reservation.resource_id).release(reservation)
+        self._started_components.pop(session_id, None)
+        return len(reservations)
+
+    def held_for(self, session_id: str) -> Tuple[AnyReservation, ...]:
+        """Reservations this proxy currently holds for a session."""
+        return tuple(self._held.get(session_id, ()))
+
+    # -- component lifecycle ------------------------------------------------------
+
+    def start_components(self, session_id: str, components: List[str]) -> None:
+        """Record that local components were started for the session.
+
+        In a real deployment this would exec the component processes;
+        the simulation only tracks the fact for observability.
+        """
+        self._started_components[session_id] = list(components)
+
+    def running_components(self, session_id: str) -> Tuple[str, ...]:
+        """Components started locally for a session."""
+        return tuple(self._started_components.get(session_id, ()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QoSProxy {self.host} owns={sorted(self._owned)}>"

@@ -1,0 +1,222 @@
+"""Experiment configuration, single runs, and parameter sweeps (§5).
+
+:func:`run_simulation` executes one full simulated run: build the
+figure-9 grid, generate the Poisson workload, plan + reserve + hold +
+release every session with the configured algorithm, and return the
+collected metrics.  :func:`sweep` maps a config factory over a parameter
+list (the generation-rate sweeps of figures 11-13).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ModelError
+from repro.core.planner import BasicPlanner, RandomPlanner
+from repro.core.resources import (
+    headroom_contention_index,
+    log_contention_index,
+    ratio_contention_index,
+)
+from repro.core.tradeoff import TradeoffPlanner
+from repro.des.engine import Environment
+from repro.des.rng import RandomStreams
+from repro.runtime.session import ServiceSession
+from repro.sim.environment import GridEnvironment
+from repro.sim.metrics import MetricsCollector, MetricsSnapshot, PathCensus
+from repro.sim.services import (
+    SERVICE_FAMILIES,
+    build_evaluation_services,
+    compressed_service_families,
+)
+from repro.sim.staleness import StaleObservationModel
+from repro.sim.workload import WorkloadGenerator, WorkloadSpec
+
+CONTENTION_INDICES = {
+    "ratio": ratio_contention_index,
+    "headroom": headroom_contention_index,
+    "log": log_contention_index,
+}
+
+ALGORITHMS = ("basic", "tradeoff", "random")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything that defines one run; defaults match §5.1."""
+
+    algorithm: str = "basic"
+    seed: int = 0
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    capacity_range: Tuple[float, float] = (1000.0, 4000.0)
+    #: T of the tradeoff policy's averaging window (3 TU in §5's runs).
+    trend_window: float = 3.0
+    #: E of §5.2.4: observations may be up to E time units stale.
+    staleness: float = 0.0
+    #: Optional establishment latency (protocol round-trip, §4.2).
+    latency: float = 0.0
+    #: §5.2.5: compress requirement diversity to this max/min ratio.
+    diversity_ratio: Optional[float] = None
+    #: psi definition (paper footnote 2); one of CONTENTION_INDICES.
+    contention_index: str = "ratio"
+    #: The §4.1.2 Dijkstra tie-breaking rule (ablation switch).
+    tie_break: bool = True
+    #: Retain individual SessionOutcome records (memory-heavy).
+    keep_outcomes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ModelError(f"unknown algorithm {self.algorithm!r}; pick from {ALGORITHMS}")
+        if self.contention_index not in CONTENTION_INDICES:
+            raise ModelError(
+                f"unknown contention index {self.contention_index!r}; "
+                f"pick from {sorted(CONTENTION_INDICES)}"
+            )
+        if self.staleness < 0 or self.latency < 0:
+            raise ModelError("staleness and latency must be >= 0")
+
+    def with_(self, **changes) -> "SimulationConfig":
+        """Copy of this config with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class SimulationResult:
+    """Metrics of one finished run."""
+
+    config: SimulationConfig
+    metrics: MetricsSnapshot
+    paths: PathCensus
+    wall_seconds: float
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of attempted sessions successfully established."""
+        return self.metrics.success_rate
+
+    @property
+    def avg_qos_level(self) -> float:
+        """Mean numeric QoS level over successful sessions."""
+        return self.metrics.avg_qos_level
+
+
+def _make_planner(config: SimulationConfig, streams: RandomStreams):
+    if config.algorithm == "basic":
+        return BasicPlanner(tie_break=config.tie_break)
+    if config.algorithm == "tradeoff":
+        return TradeoffPlanner(tie_break=config.tie_break)
+    return RandomPlanner(rng=streams.stream("random-planner"))
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Execute one run and return its metrics.
+
+    The run is fully deterministic given ``config`` (all randomness goes
+    through named, seeded streams).
+    """
+    started = _time.perf_counter()
+    env = Environment()
+    streams = RandomStreams(config.seed)
+
+    if config.diversity_ratio is not None:
+        families = compressed_service_families(config.diversity_ratio)
+        services = {name: family.build_service(name) for name, family in families.items()}
+    else:
+        services = build_evaluation_services()
+
+    grid = GridEnvironment(
+        env,
+        streams,
+        services=services,
+        capacity_range=config.capacity_range,
+        trend_window=config.trend_window,
+    )
+    planner = _make_planner(config, streams)
+    contention_index = CONTENTION_INDICES[config.contention_index]
+    metrics = MetricsCollector(
+        family_of_service={
+            name: family.key.split("/")[0] for name, family in SERVICE_FAMILIES.items()
+        }
+    )
+    metrics.keep_outcomes = config.keep_outcomes
+    generator = WorkloadGenerator(config.workload, streams)
+    stale_model = StaleObservationModel(
+        config.staleness, streams.stream("staleness"), clock=lambda: env.now
+    )
+
+    def arrivals():
+        """Drive the Poisson arrival process on the DES engine."""
+        for request in generator.generate():
+            if request.arrival_time > env.now:
+                yield env.timeout(request.arrival_time - env.now)
+            session = ServiceSession(
+                env,
+                grid.coordinator,
+                request.session_id,
+                request.service,
+                grid.binding_for(request.service, request.domain),
+                planner,
+                request.duration,
+                demand_scale=request.demand_scale,
+                component_hosts=grid.component_hosts_for(request.service, request.domain),
+                observed_at=stale_model.schedule_for_session(),
+                latency=config.latency,
+                contention_index=contention_index,
+                on_finish=metrics.record,
+            )
+            env.process(session.run())
+
+    env.process(arrivals())
+    env.run()
+
+    # Every session released everything it reserved -- a structural
+    # invariant of the brokers; violation means an accounting bug.
+    grid.registry.assert_quiescent()
+
+    return SimulationResult(
+        config=config,
+        metrics=metrics.snapshot(),
+        paths=metrics.paths,
+        wall_seconds=_time.perf_counter() - started,
+    )
+
+
+def sweep(
+    base: SimulationConfig,
+    parameter: str,
+    values: Sequence,
+    *,
+    workload_field: bool = False,
+) -> List[SimulationResult]:
+    """Run ``base`` once per value of ``parameter``.
+
+    ``workload_field=True`` varies a field of the nested
+    :class:`WorkloadSpec` (e.g. ``rate_per_60tu``) instead of the config
+    itself.
+    """
+    results: List[SimulationResult] = []
+    for value in values:
+        if workload_field:
+            config = base.with_(workload=replace(base.workload, **{parameter: value}))
+        else:
+            config = base.with_(**{parameter: value})
+        results.append(run_simulation(config))
+    return results
+
+
+def rate_sweep(
+    algorithms: Iterable[str],
+    rates: Sequence[float],
+    *,
+    base: Optional[SimulationConfig] = None,
+) -> Dict[str, List[SimulationResult]]:
+    """The figures' common shape: one success/QoS series per algorithm."""
+    base = base if base is not None else SimulationConfig()
+    out: Dict[str, List[SimulationResult]] = {}
+    for algorithm in algorithms:
+        out[algorithm] = sweep(
+            base.with_(algorithm=algorithm), "rate_per_60tu", rates, workload_field=True
+        )
+    return out

@@ -1,0 +1,183 @@
+"""Metrics collection for the evaluation (paper §5.2).
+
+Tracks the paper's two key metrics -- overall reservation success rate
+and average end-to-end QoS level of *successful* sessions -- plus the
+secondary analyses: the per-class breakdown of §5.2.3, the reservation
+path census of Tables 1-2, and the bottleneck-resource census backing
+the claim that "every resource ... becomes the bottleneck resource on a
+path for at least once".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.runtime.session import SessionOutcome
+from repro.sim.workload import SessionClassifier
+
+
+@dataclass
+class ClassStats:
+    """Counts for one {normal, fat} x {short, long} class."""
+
+    attempts: int = 0
+    successes: int = 0
+    qos_level_sum: float = 0.0
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of attempted sessions successfully established."""
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    @property
+    def avg_qos_level(self) -> float:
+        """Mean numeric QoS level over successful sessions."""
+        return self.qos_level_sum / self.successes if self.successes else 0.0
+
+
+class ClassBreakdown:
+    """§5.2.3's per-class success rates and QoS levels (Tables 3-4)."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, ClassStats] = {
+            name: ClassStats() for name in SessionClassifier.CLASSES
+        }
+
+    def record(self, outcome: SessionOutcome) -> None:
+        """Record one observation."""
+        name = SessionClassifier.classify(outcome.fat, outcome.duration > 60.0)
+        stats = self._stats[name]
+        stats.attempts += 1
+        if outcome.success:
+            stats.successes += 1
+            stats.qos_level_sum += outcome.qos_level or 0
+
+    def stats(self, class_name: str) -> ClassStats:
+        """Stats object for one class."""
+        return self._stats[class_name]
+
+    def rows(self) -> List[Tuple[str, float, float, int]]:
+        """(class, success_rate, avg_qos, attempts) rows in paper order."""
+        return [
+            (name, self._stats[name].success_rate, self._stats[name].avg_qos_level,
+             self._stats[name].attempts)
+            for name in SessionClassifier.CLASSES
+        ]
+
+
+class PathCensus:
+    """Selected-reservation-path percentages (Tables 1-2).
+
+    Keyed by (family key, path signature string).  Percentages are per
+    family, over sessions for which a plan was computed (Tables 1-2
+    count selections, so failed admissions with a computed plan still
+    count as selections).
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, Counter] = {}
+
+    def record(self, family_key: str, signature: str) -> None:
+        """Record one observation."""
+        self._counts.setdefault(family_key, Counter())[signature] += 1
+
+    def total(self, family_key: str) -> int:
+        """Total number of recorded selections for the family."""
+        return sum(self._counts.get(family_key, Counter()).values())
+
+    def percentages(self, family_key: str) -> List[Tuple[str, float]]:
+        """(signature, percent) rows, most common first."""
+        counter = self._counts.get(family_key, Counter())
+        total = sum(counter.values())
+        if not total:
+            return []
+        return [
+            (signature, 100.0 * count / total)
+            for signature, count in counter.most_common()
+        ]
+
+    def percentage_of(self, family_key: str, signature: str) -> float:
+        """Selection percentage of one signature (0 when absent)."""
+        counter = self._counts.get(family_key, Counter())
+        total = sum(counter.values())
+        return 100.0 * counter.get(signature, 0) / total if total else 0.0
+
+
+@dataclass
+class MetricsSnapshot:
+    """Immutable summary extracted at the end of a run."""
+
+    attempts: int
+    successes: int
+    success_rate: float
+    avg_qos_level: float
+    class_rows: List[Tuple[str, float, float, int]]
+    bottleneck_counts: Dict[str, int]
+    failure_reasons: Dict[str, int]
+    per_service_attempts: Dict[str, int]
+    per_service_successes: Dict[str, int]
+
+
+class MetricsCollector:
+    """Accumulates outcomes during a run."""
+
+    def __init__(self, family_of_service: Optional[Mapping[str, str]] = None) -> None:
+        """``family_of_service`` maps service name -> family key for the
+        path census ("S1" -> "A" etc.); omit to skip census grouping."""
+        self.attempts = 0
+        self.successes = 0
+        self.qos_level_sum = 0.0
+        self.classes = ClassBreakdown()
+        self.paths = PathCensus()
+        self.bottlenecks: Counter = Counter()
+        self.failure_reasons: Counter = Counter()
+        self.per_service_attempts: Counter = Counter()
+        self.per_service_successes: Counter = Counter()
+        self._family_of_service = dict(family_of_service or {})
+        self.outcomes: List[SessionOutcome] = []
+        self.keep_outcomes = False
+
+    def record(self, outcome: SessionOutcome) -> None:
+        """Record one observation."""
+        self.attempts += 1
+        self.per_service_attempts[outcome.service] += 1
+        self.classes.record(outcome)
+        if self.keep_outcomes:
+            self.outcomes.append(outcome)
+        if outcome.plan is not None:
+            family = self._family_of_service.get(outcome.service)
+            if family is not None:
+                self.paths.record(family, outcome.plan.signature_string())
+            self.bottlenecks[outcome.plan.bottleneck_resource] += 1
+        if outcome.success:
+            self.successes += 1
+            self.per_service_successes[outcome.service] += 1
+            self.qos_level_sum += outcome.qos_level or 0
+        else:
+            self.failure_reasons[outcome.reason] += 1
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of attempted sessions successfully established."""
+        return self.successes / self.attempts if self.attempts else 0.0
+
+    @property
+    def avg_qos_level(self) -> float:
+        """Mean numeric QoS level over successful sessions."""
+        return self.qos_level_sum / self.successes if self.successes else 0.0
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Collect availability observations for the given resources."""
+        return MetricsSnapshot(
+            attempts=self.attempts,
+            successes=self.successes,
+            success_rate=self.success_rate,
+            avg_qos_level=self.avg_qos_level,
+            class_rows=self.classes.rows(),
+            bottleneck_counts=dict(self.bottlenecks),
+            failure_reasons=dict(self.failure_reasons),
+            per_service_attempts=dict(self.per_service_attempts),
+            per_service_successes=dict(self.per_service_successes),
+        )

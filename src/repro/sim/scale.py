@@ -1,0 +1,93 @@
+"""Scaled evaluation environments beyond figure 9.
+
+The paper motivates the framework with Grid-scale meta-computing
+environments (§6: Globus, Condor, Legion) but evaluates on a 4-host,
+8-domain instance.  :func:`build_scaled_grid` generalises the setup:
+``n`` server hosts in a mesh, ``d`` client domains per host, one
+service per host (families A and B alternating), and the §5.1 exclusion
+rule generalised so that a domain never requests the service whose main
+server is its own proxy host.  Used by the scalability benchmark and
+available to users who want a bigger playground.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.des.engine import Environment
+from repro.des.rng import RandomStreams
+from repro.network.topology import build_scaled_topology
+from repro.sim.environment import GridEnvironment
+from repro.sim.services import FAMILY_A, FAMILY_B
+from repro.sim.workload import WorkloadSpec
+
+
+def build_scaled_grid(
+    env: Environment,
+    streams: RandomStreams,
+    num_hosts: int = 4,
+    domains_per_host: int = 2,
+    *,
+    capacity_range: Tuple[float, float] = (1000.0, 4000.0),
+    trend_window: float = 3.0,
+    mesh: bool = True,
+) -> GridEnvironment:
+    """A GridEnvironment with ``num_hosts`` servers and services S1..Sn.
+
+    Service ``S_i`` is served by ``H_i`` and uses family A when ``i`` is
+    odd, family B when even (the paper's 4-host instance assigns A to
+    S1/S4 and B to S2/S3; alternating preserves the families' load mix
+    at any scale).
+    """
+    topology = build_scaled_topology(num_hosts, domains_per_host, mesh=mesh)
+    services = {}
+    service_servers: Dict[str, str] = {}
+    for i in range(1, num_hosts + 1):
+        family = FAMILY_A if i % 2 == 1 else FAMILY_B
+        name = f"S{i}"
+        services[name] = family.build_service(name)
+        service_servers[name] = f"H{i}"
+    return GridEnvironment(
+        env,
+        streams,
+        services=services,
+        capacity_range=capacity_range,
+        trend_window=trend_window,
+        topology=topology,
+        service_servers=service_servers,
+    )
+
+
+def scaled_workload_spec(
+    num_hosts: int,
+    domains_per_host: int = 2,
+    *,
+    rate_per_60tu: float = 80.0,
+    horizon: float = 1000.0,
+    **overrides,
+) -> WorkloadSpec:
+    """A WorkloadSpec matching a scaled grid's domains and services.
+
+    The generalised exclusion rule (a domain never requests the service
+    of its own proxy host) is applied by :class:`WorkloadGenerator` when
+    given the matching ``excluded_service`` map; build it with
+    :func:`scaled_exclusions`.
+    """
+    domains = tuple(f"D{i}" for i in range(1, num_hosts * domains_per_host + 1))
+    services = tuple(f"S{i}" for i in range(1, num_hosts + 1))
+    return WorkloadSpec(
+        rate_per_60tu=rate_per_60tu,
+        horizon=horizon,
+        domains=domains,
+        services=services,
+        **overrides,
+    )
+
+
+def scaled_exclusions(num_hosts: int, domains_per_host: int = 2) -> Dict[str, str]:
+    """domain -> excluded service map for a scaled grid."""
+    exclusions: Dict[str, str] = {}
+    for i in range(1, num_hosts * domains_per_host + 1):
+        host_index = (i + domains_per_host - 1) // domains_per_host
+        exclusions[f"D{i}"] = f"S{host_index}"
+    return exclusions

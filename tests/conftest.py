@@ -1,0 +1,62 @@
+"""Shared fixtures: a small two-component chain service and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AvailabilitySnapshot,
+    Binding,
+    DependencyGraph,
+    DistributedService,
+    QoSLevel,
+    QoSRanking,
+    QoSVector,
+    ServiceComponent,
+    TabularTranslation,
+)
+
+
+def level(label: str, **params) -> QoSLevel:
+    return QoSLevel(label, QoSVector(params))
+
+
+@pytest.fixture
+def small_service() -> DistributedService:
+    """c1 (source, cpu) -> c2 (sink, net), two end-to-end levels Qf > Qg.
+
+    c2 supports trade-offs: producing Qf from the lower input Qe costs
+    more network than from Qd (upscaling), and Qg is cheaper from Qe.
+    """
+    c1 = ServiceComponent(
+        "c1",
+        (level("Qa", q=3),),
+        (level("Qb", q=2), level("Qc", q=1)),
+        TabularTranslation({("Qa", "Qb"): {"cpu": 10}, ("Qa", "Qc"): {"cpu": 5}}),
+    )
+    c2 = ServiceComponent(
+        "c2",
+        (level("Qd", q=2), level("Qe", q=1)),
+        (level("Qf", e=2), level("Qg", e=1)),
+        TabularTranslation(
+            {
+                ("Qd", "Qf"): {"net": 20},
+                ("Qe", "Qf"): {"net": 40},
+                ("Qd", "Qg"): {"net": 12},
+                ("Qe", "Qg"): {"net": 8},
+            }
+        ),
+    )
+    return DistributedService(
+        "small", [c1, c2], DependencyGraph.chain(["c1", "c2"]), QoSRanking(["Qf", "Qg"])
+    )
+
+
+@pytest.fixture
+def small_binding() -> Binding:
+    return Binding({("c1", "cpu"): "cpu:H1", ("c2", "net"): "net:L1"})
+
+
+@pytest.fixture
+def ample_snapshot() -> AvailabilitySnapshot:
+    return AvailabilitySnapshot.from_amounts({"cpu:H1": 100.0, "net:L1": 100.0})

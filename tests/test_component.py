@@ -1,0 +1,101 @@
+"""Tests for ServiceComponent and Binding."""
+
+import pytest
+
+from repro.core import (
+    Binding,
+    ModelError,
+    QoSLevel,
+    QoSVector,
+    ResourceVector,
+    ServiceComponent,
+    TabularTranslation,
+)
+
+
+def lv(label: str, q: int = 1) -> QoSLevel:
+    return QoSLevel(label, QoSVector(q=q))
+
+
+def component(**overrides) -> ServiceComponent:
+    kwargs = dict(
+        name="c",
+        input_levels=(lv("Qi", 2),),
+        output_levels=(lv("Qo1", 2), lv("Qo2", 1)),
+        translation=TabularTranslation(
+            {("Qi", "Qo1"): {"cpu": 10, "net": 5}, ("Qi", "Qo2"): {"cpu": 4, "net": 2}}
+        ),
+    )
+    kwargs.update(overrides)
+    return ServiceComponent(**kwargs)
+
+
+class TestServiceComponent:
+    def test_requires_name_and_levels(self):
+        with pytest.raises(ModelError):
+            component(name="")
+        with pytest.raises(ModelError):
+            component(input_levels=())
+        with pytest.raises(ModelError):
+            component(output_levels=())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ModelError):
+            component(output_levels=(lv("X"), lv("X")))
+
+    def test_level_lookup(self):
+        c = component()
+        assert c.input_level("Qi").label == "Qi"
+        assert c.output_level("Qo2").label == "Qo2"
+        with pytest.raises(ModelError):
+            c.input_level("nope")
+        with pytest.raises(ModelError):
+            c.output_level("nope")
+
+    def test_supported_pairs(self):
+        pairs = list(component().supported_pairs())
+        assert len(pairs) == 2
+        labels = {(qin.label, qout.label) for qin, qout, _req in pairs}
+        assert labels == {("Qi", "Qo1"), ("Qi", "Qo2")}
+
+    def test_slots_from_table(self):
+        assert component().slots() == frozenset({"cpu", "net"})
+
+    def test_slots_from_probing_callable(self):
+        from repro.core import CallableTranslation
+
+        c = component(translation=CallableTranslation(lambda a, b: {"disk": 1.0}))
+        assert c.slots() == frozenset({"disk"})
+
+    def test_with_translation(self):
+        c = component()
+        replacement = TabularTranslation({("Qi", "Qo1"): {"cpu": 1, "net": 1}})
+        c2 = c.with_translation(replacement)
+        assert c2.translation is replacement
+        assert c2.name == c.name and c2.input_levels == c.input_levels
+
+
+class TestBinding:
+    def test_resource_lookup(self):
+        binding = Binding({("c", "cpu"): "cpu:H1", ("c", "net"): "net:L1"})
+        assert binding.resource_id("c", "cpu") == "cpu:H1"
+        with pytest.raises(ModelError):
+            binding.resource_id("c", "disk")
+
+    def test_empty_resource_id_rejected(self):
+        with pytest.raises(ModelError):
+            Binding({("c", "cpu"): ""})
+
+    def test_bind_requirement_rewrites_keys(self):
+        binding = Binding({("c", "cpu"): "cpu:H1", ("c", "net"): "net:L1"})
+        bound = binding.bind_requirement("c", ResourceVector(cpu=10, net=5))
+        assert bound == ResourceVector({"cpu:H1": 10, "net:L1": 5})
+
+    def test_bind_requirement_sums_shared_resources(self):
+        binding = Binding({("c", "cpu"): "pool", ("c", "gpu"): "pool"})
+        bound = binding.bind_requirement("c", ResourceVector(cpu=10, gpu=5))
+        assert bound == ResourceVector({"pool": 15})
+
+    def test_resource_ids(self):
+        binding = Binding({("c", "cpu"): "cpu:H1", ("d", "cpu"): "cpu:H1"})
+        assert binding.resource_ids() == frozenset({"cpu:H1"})

@@ -1,0 +1,96 @@
+"""Edge cases of the centralised coordinator and session plumbing."""
+
+import pytest
+
+from repro.brokers import BrokerRegistry, LinkBandwidthBroker, LocalResourceBroker, PathBroker
+from repro.core import BasicPlanner, headroom_contention_index
+from repro.core.errors import BrokerError
+from repro.des import Environment
+from repro.runtime import ModelStore, QoSProxy, ReservationCoordinator, ServiceSession
+from repro.runtime.messages import PlanSegment
+
+
+def build_rig(small_service, env=None):
+    registry = BrokerRegistry()
+    clock = (lambda: env.now) if env is not None else None
+    cpu = LocalResourceBroker("H1", "cpu", 100.0, clock=clock)
+    link = LinkBandwidthBroker("L1", "H1", "H2", 100.0, clock=clock)
+    path = PathBroker("net:L1", [link], clock=clock)
+    for broker in (cpu, link, path):
+        registry.register(broker)
+    proxy_h1 = QoSProxy("H1", registry)
+    proxy_h1.own("cpu:H1")
+    proxy_h2 = QoSProxy("H2", registry)
+    proxy_h2.own("net:L1")
+    store = ModelStore()
+    store.register(small_service)
+    coordinator = ReservationCoordinator(registry, store, {"H1": proxy_h1, "H2": proxy_h2})
+    return registry, coordinator, proxy_h1, proxy_h2, cpu, link
+
+
+class TestProxySegments:
+    def test_apply_segment_rejects_unowned_resources(self, small_service):
+        _registry, _coordinator, proxy_h1, *_ = build_rig(small_service)
+        segment = PlanSegment("s1", "H1", {"net:L1": 5.0})
+        with pytest.raises(BrokerError, match="unowned"):
+            proxy_h1.apply_segment(segment)
+
+    def test_segment_rollback_on_partial_failure(self, small_service):
+        registry, _coordinator, proxy_h1, *_ = build_rig(small_service)
+        proxy_h1.own("net:L1")  # now owns both, for a 2-resource segment
+        registry.broker("net:L1").reserve(96.0, "hog")
+        segment = PlanSegment("s1", "H1", {"cpu:H1": 10.0, "net:L1": 50.0})
+        with pytest.raises(Exception):
+            proxy_h1.apply_segment(segment)
+        assert registry.broker("cpu:H1").available == 100.0
+        assert proxy_h1.held_for("s1") == ()
+
+
+class TestCoordinatorConfig:
+    def test_custom_contention_index_threads_through(self, small_service, small_binding):
+        _registry, coordinator, *_ = build_rig(small_service)
+        result = coordinator.establish(
+            "s1", "small", small_binding, BasicPlanner(),
+            contention_index=headroom_contention_index,
+        )
+        assert result.success
+        # psi under the headroom definition: 20/(100-20) = 0.25
+        assert result.plan.psi == pytest.approx(0.25)
+        coordinator.teardown("s1")
+
+    def test_establish_process_negative_latency_rejected(self, small_service, small_binding):
+        env = Environment()
+        _registry, coordinator, *_ = build_rig(small_service, env)
+        generator = coordinator.establish_process(
+            env, -1.0, "s1", "small", small_binding, BasicPlanner()
+        )
+        with pytest.raises(ValueError):
+            next(generator)
+
+    def test_establish_process_freezes_observation_time(self, small_service, small_binding):
+        """Observations under latency are as-of the request time, so a
+        resource consumed during the round trip causes a phase-3 race."""
+        env = Environment()
+        registry, coordinator, *_rest, cpu, link = build_rig(small_service, env)
+
+        def racer(env):
+            yield env.timeout(1.0)
+            link.reserve(95.0, "racer")  # consumes net during the RTT
+
+        def session(env):
+            result = yield from coordinator.establish_process(
+                env, 2.0, "s1", "small", small_binding, BasicPlanner()
+            )
+            return result
+
+        env.process(racer(env))
+        process = env.process(session(env))
+        env.run()
+        result = process.value
+        assert not result.success
+        assert result.reason == "admission_failed"
+        assert cpu.available == 100.0  # rolled back
+
+    def test_teardown_of_unknown_session_is_zero(self, small_service):
+        _registry, coordinator, *_ = build_rig(small_service)
+        assert coordinator.teardown("never-existed") == 0

@@ -1,0 +1,95 @@
+"""Edge cases for composite events and failure propagation."""
+
+import pytest
+
+from repro.des import AllOf, AnyOf, Environment
+
+
+class TestFailurePropagation:
+    def test_all_of_fails_if_member_fails(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(1)
+            raise ValueError("member died")
+
+        def waiter(env):
+            try:
+                yield env.all_of([env.timeout(5), env.process(failing(env))])
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        process = env.process(waiter(env))
+        env.run()
+        assert process.value == "caught member died"
+
+    def test_any_of_success_beats_later_failure(self):
+        env = Environment()
+
+        def failing(env):
+            yield env.timeout(10)
+            raise ValueError("too late to matter")
+
+        def waiter(env):
+            target = env.process(failing(env))
+            result = yield env.any_of([env.timeout(1, "quick"), target])
+            # prevent the pending failure from crashing the run
+            target.defuse()
+            return list(result.values())
+
+        process = env.process(waiter(env))
+        env.run()
+        assert process.value == ["quick"]
+
+    def test_condition_with_already_processed_events(self):
+        env = Environment()
+        early = env.timeout(1, "early")
+        env.run(until=2.0)
+        assert early.processed
+
+        def waiter(env):
+            result = yield env.all_of([early, env.timeout(1, "late")])
+            return sorted(result.values())
+
+        process = env.process(waiter(env))
+        env.run()
+        assert process.value == ["early", "late"]
+
+
+class TestNesting:
+    def test_nested_conditions(self):
+        env = Environment()
+
+        def waiter(env):
+            inner = env.any_of([env.timeout(3, "a"), env.timeout(9, "b")])
+            outer = env.all_of([inner, env.timeout(5, "c")])
+            yield outer
+            return env.now
+
+        process = env.process(waiter(env))
+        env.run()
+        assert process.value == 5.0
+
+    def test_condition_value_types(self):
+        env = Environment()
+
+        def waiter(env):
+            t1, t2 = env.timeout(1, "x"), env.timeout(2, "y")
+            result = yield AllOf(env, [t1, t2])
+            assert result[t1] == "x" and result[t2] == "y"
+            return True
+
+        process = env.process(waiter(env))
+        env.run()
+        assert process.value is True
+
+    def test_any_of_alias(self):
+        env = Environment()
+
+        def waiter(env):
+            result = yield AnyOf(env, [env.timeout(1, "v")])
+            return list(result.values())
+
+        process = env.process(waiter(env))
+        env.run()
+        assert process.value == ["v"]

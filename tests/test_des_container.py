@@ -1,0 +1,129 @@
+"""Tests for the blocking Container pool."""
+
+import pytest
+
+from repro.des import Container, ContainerError, Environment
+
+
+class TestValidation:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ContainerError):
+            Container(Environment(), capacity=0)
+
+    def test_init_within_bounds(self):
+        with pytest.raises(ContainerError):
+            Container(Environment(), capacity=10, init=11)
+        with pytest.raises(ContainerError):
+            Container(Environment(), capacity=10, init=-1)
+
+    def test_get_amount_positive(self):
+        pool = Container(Environment(), capacity=10, init=10)
+        with pytest.raises(ContainerError):
+            pool.get(0)
+
+    def test_get_beyond_capacity_rejected_eagerly(self):
+        pool = Container(Environment(), capacity=10, init=10)
+        with pytest.raises(ContainerError):
+            pool.get(11)
+
+    def test_put_beyond_capacity_rejected_eagerly(self):
+        pool = Container(Environment(), capacity=10)
+        with pytest.raises(ContainerError):
+            pool.put(11)
+
+
+class TestSemantics:
+    def test_immediate_get_when_available(self):
+        env = Environment()
+        pool = Container(env, capacity=100, init=50)
+
+        def proc(env):
+            yield pool.get(30)
+            return pool.level
+
+        process = env.process(proc(env))
+        assert env.run(until=process) == 20.0
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        pool = Container(env, capacity=100, init=0)
+        log = []
+
+        def getter(env):
+            yield pool.get(10)
+            log.append(("got", env.now))
+
+        def putter(env):
+            yield env.timeout(5)
+            yield pool.put(10)
+
+        env.process(getter(env))
+        env.process(putter(env))
+        env.run()
+        assert log == [("got", 5.0)]
+
+    def test_put_blocks_when_full(self):
+        env = Environment()
+        pool = Container(env, capacity=10, init=10)
+        log = []
+
+        def putter(env):
+            yield pool.put(5)
+            log.append(("put", env.now))
+
+        def getter(env):
+            yield env.timeout(3)
+            yield pool.get(5)
+
+        env.process(putter(env))
+        env.process(getter(env))
+        env.run()
+        assert log == [("put", 3.0)]
+
+    def test_fifo_no_overtaking(self):
+        env = Environment()
+        pool = Container(env, capacity=100, init=0)
+        order = []
+
+        def getter(env, name, amount):
+            yield pool.get(amount)
+            order.append(name)
+
+        # big request first; the small one behind it must not overtake
+        env.process(getter(env, "big", 50))
+        env.process(getter(env, "small", 5))
+
+        def putter(env):
+            yield env.timeout(1)
+            yield pool.put(10)  # enough for small, not big
+            yield env.timeout(1)
+            yield pool.put(45)  # now big fits, then small
+
+        env.process(putter(env))
+        env.run()
+        assert order == ["big", "small"]
+
+    def test_try_get_success_and_failure(self):
+        env = Environment()
+        pool = Container(env, capacity=10, init=6)
+        assert pool.try_get(4) is True
+        assert pool.level == 2.0
+        assert pool.try_get(4) is False
+        assert pool.level == 2.0  # untouched on failure
+
+    def test_try_get_wakes_putters(self):
+        env = Environment()
+        pool = Container(env, capacity=10, init=10)
+        done = []
+
+        def putter(env):
+            yield pool.put(5)
+            done.append(env.now)
+
+        env.process(putter(env))
+        env.run()
+        assert done == []  # full: blocked
+        assert pool.try_get(5) is True
+        env.run()
+        assert done == [0.0]
+        assert pool.level == 10.0

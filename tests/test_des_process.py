@@ -1,0 +1,212 @@
+"""Tests for generator-based processes: resumption, interrupts, failure."""
+
+import pytest
+
+from repro.des import Environment, Interrupt, Process
+
+
+class TestBasics:
+    def test_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_returns_generator_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(2)
+            return 99
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == 99
+        assert not process.is_alive
+
+    def test_timeout_value_is_sent_back_in(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            value = yield env.timeout(1, value="hello")
+            seen.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == ["hello"]
+
+    def test_processes_can_wait_on_each_other(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(5)
+            return "child-result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return f"got {result} at {env.now}"
+
+        parent_process = env.process(parent(env))
+        env.run()
+        assert parent_process.value == "got child-result at 5.0"
+
+    def test_waiting_on_already_finished_process(self):
+        env = Environment()
+
+        def quick(env):
+            return 7
+            yield  # pragma: no cover - makes this a generator
+
+        def waiter(env, target):
+            yield env.timeout(10)
+            value = yield target
+            return value
+
+        target = env.process(quick(env))
+        waiter_process = env.process(waiter(env, target))
+        env.run()
+        assert waiter_process.value == 7
+
+    def test_yielding_non_event_fails_the_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        process = env.process(bad(env))
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run()
+        assert process.triggered
+
+    def test_exception_in_process_propagates_if_unwaited(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("kaput")
+
+        env.process(bad(env))
+        with pytest.raises(ValueError, match="kaput"):
+            env.run()
+
+    def test_exception_can_be_caught_by_waiter(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise ValueError("kaput")
+
+        def waiter(env, target):
+            try:
+                yield target
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        waiter_process = env.process(waiter(env, env.process(bad(env))))
+        env.run()
+        assert waiter_process.value == "caught kaput"
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+                return "overslept"
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+
+        def interrupter(env, victim):
+            yield env.timeout(4)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert victim.value == ("interrupted", "wake up", 4.0)
+
+    def test_interrupted_process_can_keep_waiting(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                yield env.timeout(5)
+                return env.now
+
+        def interrupter(env, victim):
+            yield env.timeout(2)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert victim.value == 7.0
+
+    def test_unhandled_interrupt_fails_process(self):
+        env = Environment()
+
+        def sleeper(env):
+            yield env.timeout(100)
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt("no handler")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        with pytest.raises(Interrupt):
+            env.run()
+
+    def test_cannot_interrupt_finished_process(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        process = env.process(quick(env))
+        env.run()
+        with pytest.raises(RuntimeError):
+            process.interrupt()
+
+    def test_process_cannot_interrupt_itself(self):
+        env = Environment()
+        failures = []
+
+        def selfish(env, me):
+            yield env.timeout(1)
+            try:
+                me[0].interrupt()
+            except RuntimeError as exc:
+                failures.append(str(exc))
+
+        holder = []
+        holder.append(env.process(selfish(env, holder)))
+        env.run()
+        assert failures and "itself" in failures[0]
+
+    def test_original_event_does_not_resume_twice_after_interrupt(self):
+        env = Environment()
+        resumed = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(3)
+                resumed.append("timeout")
+            except Interrupt:
+                resumed.append("interrupt")
+            yield env.timeout(10)
+            resumed.append("second sleep done")
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert resumed == ["interrupt", "second sleep done"]
+        assert env.now == 11.0

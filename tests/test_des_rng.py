@@ -1,0 +1,84 @@
+"""Tests for named random streams: determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro.des import RandomStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = RandomStreams(42)
+        b = RandomStreams(42)
+        assert [a.uniform("x", 0, 1) for _ in range(5)] == [
+            b.uniform("x", 0, 1) for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1)
+        b = RandomStreams(2)
+        assert a.uniform("x", 0, 1) != b.uniform("x", 0, 1)
+
+    def test_streams_are_independent_of_creation_order(self):
+        a = RandomStreams(7)
+        _ = a.uniform("first", 0, 1)
+        value_a = a.uniform("second", 0, 1)
+        b = RandomStreams(7)
+        value_b = b.uniform("second", 0, 1)
+        assert value_a == value_b
+
+    def test_consuming_one_stream_does_not_shift_another(self):
+        a = RandomStreams(7)
+        for _ in range(100):
+            a.uniform("noise", 0, 1)
+        value_a = a.exponential("arrivals", 1.0)
+        b = RandomStreams(7)
+        value_b = b.exponential("arrivals", 1.0)
+        assert value_a == value_b
+
+    def test_spawn_is_deterministic_and_distinct(self):
+        parent = RandomStreams(3)
+        child1 = parent.spawn("rep1")
+        child2 = parent.spawn("rep2")
+        again = RandomStreams(3).spawn("rep1")
+        assert child1.uniform("x", 0, 1) == again.uniform("x", 0, 1)
+        assert child1.seed != child2.seed
+
+
+class TestValidationAndHelpers:
+    def test_seed_must_be_int(self):
+        with pytest.raises(TypeError):
+            RandomStreams("seed")
+
+    def test_exponential_mean_positive(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).exponential("x", 0)
+
+    def test_uniform_range_validated(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).uniform("x", 2, 1)
+
+    def test_choice_weighted(self):
+        streams = RandomStreams(0)
+        picks = {streams.choice_weighted("c", ["a", "b"], [0.0, 1.0]) for _ in range(20)}
+        assert picks == {"b"}
+
+    def test_choice_weighted_validates(self):
+        streams = RandomStreams(0)
+        with pytest.raises(ValueError):
+            streams.choice_weighted("c", ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            streams.choice_weighted("c", ["a", "b"], [0.0, 0.0])
+
+    def test_getitem_and_contains(self):
+        streams = RandomStreams(0)
+        generator = streams["mine"]
+        assert isinstance(generator, np.random.Generator)
+        assert "mine" in streams
+        assert "other" not in streams
+        assert list(streams.names()) == ["mine"]
+
+    def test_exponential_statistics(self):
+        streams = RandomStreams(123)
+        draws = [streams.exponential("e", 2.0) for _ in range(4000)]
+        assert abs(np.mean(draws) - 2.0) < 0.15

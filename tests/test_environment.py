@@ -1,0 +1,99 @@
+"""Tests for the figure-9 GridEnvironment assembly."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.des import Environment, RandomStreams
+from repro.sim.environment import GridEnvironment, _pair_id
+
+
+@pytest.fixture
+def grid():
+    return GridEnvironment(Environment(), RandomStreams(0))
+
+
+class TestAssembly:
+    def test_resource_inventory(self, grid):
+        ids = grid.resource_ids()
+        cpu = [r for r in ids if r.startswith("cpu:")]
+        links = [r for r in ids if r.startswith("link:")]
+        nets = [r for r in ids if r.startswith("net:")]
+        assert len(cpu) == 4
+        assert len(links) == 14
+        # 6 host-host pairs + 8 proxy-domain pairs
+        assert len(nets) == 14
+
+    def test_capacities_within_range(self, grid):
+        for host, broker in grid.cpu_brokers.items():
+            assert 1000.0 <= broker.capacity <= 4000.0
+        for link_id, broker in grid.link_brokers.items():
+            assert 1000.0 <= broker.capacity <= 4000.0
+
+    def test_capacity_range_configurable(self):
+        grid = GridEnvironment(
+            Environment(), RandomStreams(0), capacity_range=(10.0, 20.0)
+        )
+        assert all(10 <= b.capacity <= 20 for b in grid.cpu_brokers.values())
+
+    def test_invalid_capacity_range(self):
+        with pytest.raises(ModelError):
+            GridEnvironment(Environment(), RandomStreams(0), capacity_range=(0, 10))
+
+    def test_every_resource_owned_by_exactly_one_proxy(self, grid):
+        for resource_id in grid.resource_ids():
+            if resource_id.startswith("link:"):
+                continue  # raw links are fronted by their path brokers
+            owners = [p.host for p in grid.proxies.values() if p.owns(resource_id)]
+            assert len(owners) == 1, (resource_id, owners)
+
+    def test_model_store_has_all_services(self, grid):
+        assert set(grid.model_store.names()) == {"S1", "S2", "S3", "S4"}
+
+    def test_deterministic_given_seed(self):
+        a = GridEnvironment(Environment(), RandomStreams(7))
+        b = GridEnvironment(Environment(), RandomStreams(7))
+        assert [x.capacity for x in a.cpu_brokers.values()] == [
+            x.capacity for x in b.cpu_brokers.values()
+        ]
+
+
+class TestSessionWiring:
+    def test_binding_for_session(self, grid):
+        binding = grid.binding_for("S4", "D2")  # server H4, proxy H1
+        assert binding.resource_id("cS", "hS") == "cpu:H4"
+        assert binding.resource_id("cP", "hP") == "cpu:H1"
+        assert binding.resource_id("cP", "lPS") == _pair_id("H4", "H1")
+        assert binding.resource_id("cC", "lCP") == _pair_id("H1", "D2")
+
+    def test_component_hosts(self, grid):
+        hosts = grid.component_hosts_for("S4", "D2")
+        assert hosts == {"cS": "H4", "cP": "H1", "cC": "D2"}
+
+    def test_excluded_combination_rejected(self, grid):
+        # D1's proxy is H1 = S1's server; §5.1 forbids this session
+        with pytest.raises(ModelError, match="co-locate"):
+            grid.binding_for("S1", "D1")
+
+    def test_excluded_service_rule(self, grid):
+        assert grid.excluded_service_for_domain("D1") == "S1"
+        assert grid.excluded_service_for_domain("D2") == "S1"
+        assert grid.excluded_service_for_domain("D7") == "S4"
+
+    def test_unknown_names(self, grid):
+        with pytest.raises(ModelError):
+            grid.server_of_service("S9")
+        with pytest.raises(ModelError):
+            grid.proxy_host_of_domain("D99")
+
+    def test_lps_and_lcp_use_disjoint_links(self, grid):
+        """server->proxy rides a core link; proxy->client rides the access
+        link -- no sharing, matching the paper's independent treatment."""
+        binding = grid.binding_for("S4", "D2")
+        lps = grid.path_brokers[binding.resource_id("cP", "lPS")]
+        lcp = grid.path_brokers[binding.resource_id("cC", "lCP")]
+        lps_links = {l.link_id for l in lps.links}
+        lcp_links = {l.link_id for l in lcp.links}
+        assert lps_links.isdisjoint(lcp_links)
+
+    def test_pair_id_is_order_insensitive(self):
+        assert _pair_id("H2", "H1") == _pair_id("H1", "H2") == "net:H1-H2"

@@ -1,0 +1,79 @@
+"""GridEnvironment variants: custom topologies and service substitutions."""
+
+import pytest
+
+from repro.core import BasicPlanner
+from repro.core.errors import ModelError
+from repro.des import Environment, RandomStreams
+from repro.network import Domain, Host, Link, Topology
+from repro.sim.environment import GridEnvironment
+from repro.sim.services import compressed_service_families
+
+
+class TestCustomServices:
+    def test_compressed_families_plug_in(self):
+        families = compressed_service_families(3.0)
+        services = {name: family.build_service(name) for name, family in families.items()}
+        grid = GridEnvironment(Environment(), RandomStreams(0), services=services)
+        assert set(grid.model_store.names()) == {"S1", "S2", "S3", "S4"}
+        result = grid.coordinator.establish(
+            "s1", "S1", grid.binding_for("S1", "D5"), BasicPlanner(),
+        )
+        assert result.success
+        grid.coordinator.teardown("s1")
+        grid.registry.assert_quiescent()
+
+
+class TestCustomTopology:
+    def build_two_host_topology(self):
+        hosts = [Host("H1"), Host("H2"), Host("H3"), Host("H4")]
+        domains = [Domain(f"D{i}", proxy_host=f"H{(i + 1) // 2}") for i in range(1, 9)]
+        links = []
+        # a sparse ring instead of the full mesh: H1-H2-H3-H4-H1
+        for index, (a, b) in enumerate(
+            [("H1", "H2"), ("H2", "H3"), ("H3", "H4"), ("H4", "H1")], start=1
+        ):
+            links.append(Link(f"L{index}", a, b))
+        for i in range(1, 9):
+            links.append(Link(f"L{i + 4}", f"H{(i + 1) // 2}", f"D{i}"))
+        return Topology(hosts, domains, links)
+
+    def test_multi_hop_paths_on_sparse_topology(self):
+        """On a ring, some server->proxy routes traverse 2 links; the
+        two-level path broker must aggregate them."""
+        grid = GridEnvironment(
+            Environment(), RandomStreams(1), topology=self.build_two_host_topology()
+        )
+        # H1 -> H3 is two hops on the ring
+        broker = grid.path_brokers["net:H1-H3"]
+        assert len(broker.links) == 2
+        # reserving on the path broker loads both physical links
+        reservation = broker.reserve(10.0, "s1")
+        assert all(link.available == link.capacity - 10.0 for link in broker.links)
+        broker.release(reservation)
+
+    def test_sessions_run_on_sparse_topology(self):
+        grid = GridEnvironment(
+            Environment(), RandomStreams(1), topology=self.build_two_host_topology()
+        )
+        result = grid.coordinator.establish(
+            "s1", "S3", grid.binding_for("S3", "D1"), BasicPlanner(),
+        )
+        assert result.success
+        grid.coordinator.teardown("s1")
+        grid.registry.assert_quiescent()
+
+    def test_shared_links_are_doubly_loaded(self):
+        """Two sessions whose routes share a physical link both charge it."""
+        grid = GridEnvironment(
+            Environment(), RandomStreams(1), topology=self.build_two_host_topology()
+        )
+        # On the ring, net:H1-H3 (via H2) and net:H1-H2 share link H1-H2.
+        shared = grid.topology.link_between("H1", "H2")
+        link_broker = grid.link_brokers[shared.link_id]
+        before = link_broker.available
+        r1 = grid.path_brokers["net:H1-H3"].reserve(10.0, "a")
+        r2 = grid.path_brokers["net:H1-H2"].reserve(5.0, "b")
+        assert link_broker.available == before - 15.0
+        grid.path_brokers["net:H1-H3"].release(r1)
+        grid.path_brokers["net:H1-H2"].release(r2)

@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path):
+    args = [sys.executable, str(EXAMPLES_DIR / name)]
+    if name == "grid_metacomputing.py":
+        args += ["100", "400"]  # small rate/horizon: keep the smoke test quick
+    completed = subprocess.run(
+        args,
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(tmp_path),  # examples write output files to the cwd
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), f"{name} produced no output"

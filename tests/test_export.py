@@ -1,0 +1,54 @@
+"""Tests for DOT/JSON exports (figure 4-5 regeneration)."""
+
+import json
+
+from repro.analysis.export import plan_to_dict, qrg_to_dot, result_to_dict
+from repro.core import BasicPlanner, build_qrg
+from repro.sim import SimulationConfig, WorkloadSpec, run_simulation
+
+
+class TestDot:
+    def test_qrg_without_plan_is_figure4(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        dot = qrg_to_dot(qrg)
+        assert dot.startswith("digraph QRG")
+        # clusters per component, like the dotted rectangles of figure 4
+        assert 'label="c1"' in dot and 'label="c2"' in dot
+        # intra edges labelled with psi values; equivalences dashed
+        assert 'label="0.100"' in dot  # Qa->Qb = 10/100
+        assert "style=dashed" in dot
+        assert "red" not in dot
+
+    def test_qrg_with_plan_is_figure5(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        plan = BasicPlanner().plan(qrg)
+        dot = qrg_to_dot(qrg, plan)
+        # the selected path is emphasised ("thicker edges" of figure 5)
+        assert dot.count("penwidth=2.5") >= len(plan.assignments)
+        assert "fillcolor" in dot
+
+    def test_dot_is_balanced(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        dot = qrg_to_dot(qrg)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestJsonExports:
+    def test_plan_round_trips_through_json(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        plan = BasicPlanner().plan(qrg)
+        payload = plan_to_dict(plan)
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["end_to_end_label"] == "Qf"
+        assert decoded["demand"] == {"cpu:H1": 10.0, "net:L1": 20.0}
+        assert len(decoded["assignments"]) == 2
+
+    def test_result_export(self):
+        result = run_simulation(
+            SimulationConfig(seed=0, workload=WorkloadSpec(rate_per_60tu=80, horizon=200))
+        )
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        assert payload["algorithm"] == "basic"
+        assert payload["attempts"] == result.metrics.attempts
+        assert 0.0 <= payload["success_rate"] <= 1.0
+        assert len(payload["class_rows"]) == 4

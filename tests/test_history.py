@@ -1,0 +1,82 @@
+"""Tests for AvailabilityHistory: alpha windows and change logs."""
+
+import pytest
+
+from repro.brokers import AvailabilityHistory
+from repro.core.errors import BrokerError
+
+
+class TestAlpha:
+    def test_first_report_is_neutral(self):
+        history = AvailabilityHistory(window=3.0)
+        assert history.alpha(0.0, 100.0) == 1.0
+
+    def test_alpha_is_ratio_to_window_mean(self):
+        history = AvailabilityHistory(window=3.0)
+        history.alpha(0.0, 100.0)
+        history.alpha(1.0, 60.0)
+        # mean of {100, 60} = 80; current 40 -> 0.5
+        assert history.alpha(2.0, 40.0) == pytest.approx(0.5)
+
+    def test_window_drops_old_reports(self):
+        history = AvailabilityHistory(window=3.0)
+        history.alpha(0.0, 10.0)
+        # t=5: the t=0 report is outside (5-3, 5]
+        assert history.alpha(5.0, 100.0) == 1.0
+
+    def test_zero_mean_guard(self):
+        history = AvailabilityHistory(window=3.0)
+        history.alpha(0.0, 0.0)
+        assert history.alpha(1.0, 50.0) == 1.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(BrokerError):
+            AvailabilityHistory(window=0.0)
+
+
+class TestChangeLog:
+    def test_value_at_reconstructs_history(self):
+        history = AvailabilityHistory()
+        history.record_change(0.0, 100.0)
+        history.record_change(5.0, 60.0)
+        history.record_change(9.0, 80.0)
+        assert history.value_at(0.0) == 100.0
+        assert history.value_at(4.9) == 100.0
+        assert history.value_at(5.0) == 60.0
+        assert history.value_at(7.0) == 60.0
+        assert history.value_at(100.0) == 80.0
+
+    def test_value_before_first_record_clamps(self):
+        history = AvailabilityHistory()
+        history.record_change(5.0, 60.0)
+        assert history.value_at(1.0) == 60.0
+
+    def test_value_with_no_records(self):
+        assert AvailabilityHistory().value_at(1.0) is None
+
+    def test_same_time_overwrites(self):
+        history = AvailabilityHistory()
+        history.record_change(1.0, 50.0)
+        history.record_change(1.0, 40.0)
+        assert history.value_at(1.0) == 40.0
+        assert len(history) == 1
+
+    def test_out_of_order_rejected(self):
+        history = AvailabilityHistory()
+        history.record_change(5.0, 50.0)
+        with pytest.raises(BrokerError):
+            history.record_change(4.0, 60.0)
+
+    def test_latest(self):
+        history = AvailabilityHistory()
+        assert history.latest() is None
+        history.record_change(2.0, 30.0)
+        assert history.latest() == (2.0, 30.0)
+
+    def test_max_changes_bound(self):
+        history = AvailabilityHistory(max_changes=2)
+        for t in range(5):
+            history.record_change(float(t), float(t * 10))
+        assert len(history) == 2
+        # clamped to the oldest retained point
+        assert history.value_at(0.0) == 30.0

@@ -1,0 +1,132 @@
+"""Tests for metrics collection."""
+
+import pytest
+
+from repro.core.plan import ComponentAssignment, ReservationPlan
+from repro.core.resources import ResourceVector
+from repro.runtime.session import SessionOutcome
+from repro.sim.metrics import ClassBreakdown, MetricsCollector, PathCensus
+
+
+def make_plan(signature=("Qa", "Qb"), bottleneck="net:L1", level=3):
+    assignment = ComponentAssignment(
+        component="c1",
+        qin_label="Qa",
+        qout_label="Qb",
+        requirement=ResourceVector(cpu=1),
+        bound=ResourceVector({"cpu:H1": 1.0}),
+        weight=0.5,
+        bottleneck_resource=bottleneck,
+        alpha=1.0,
+    )
+    return ReservationPlan(
+        service="S1",
+        assignments=(assignment,),
+        end_to_end_label="Qp",
+        end_to_end_rank=0,
+        numeric_level=level,
+        psi=0.5,
+        bottleneck_resource=bottleneck,
+        bottleneck_alpha=1.0,
+        path_signature=signature,
+    )
+
+
+def outcome(success=True, level=3, scale=1.0, duration=30.0, service="S1", plan=None, reason=None):
+    return SessionOutcome(
+        session_id="s",
+        service=service,
+        arrived_at=0.0,
+        success=success,
+        qos_level=level if success else None,
+        plan=plan if plan is not None else (make_plan(level=level) if success else None),
+        reason=reason or ("completed" if success else "no_feasible_plan"),
+        duration=duration,
+        demand_scale=scale,
+    )
+
+
+class TestMetricsCollector:
+    def test_success_rate_and_qos(self):
+        collector = MetricsCollector()
+        collector.record(outcome(success=True, level=3))
+        collector.record(outcome(success=True, level=2))
+        collector.record(outcome(success=False))
+        assert collector.attempts == 3
+        assert collector.success_rate == pytest.approx(2 / 3)
+        assert collector.avg_qos_level == pytest.approx(2.5)
+
+    def test_empty_collector(self):
+        collector = MetricsCollector()
+        assert collector.success_rate == 0.0
+        assert collector.avg_qos_level == 0.0
+
+    def test_failure_reasons_counted(self):
+        collector = MetricsCollector()
+        collector.record(outcome(success=False, reason="no_feasible_plan"))
+        collector.record(outcome(success=False, reason="admission_failed"))
+        collector.record(outcome(success=False, reason="admission_failed"))
+        snap = collector.snapshot()
+        assert snap.failure_reasons == {"no_feasible_plan": 1, "admission_failed": 2}
+
+    def test_census_uses_family_map(self):
+        collector = MetricsCollector(family_of_service={"S1": "A"})
+        collector.record(outcome(plan=make_plan(signature=("Qa", "Qb"))))
+        collector.record(outcome(plan=make_plan(signature=("Qa", "Qb"))))
+        collector.record(outcome(plan=make_plan(signature=("Qa", "Qc"))))
+        rows = collector.paths.percentages("A")
+        assert rows[0] == ("Qa-Qb", pytest.approx(200 / 3))
+
+    def test_failed_with_plan_still_counts_selection(self):
+        collector = MetricsCollector(family_of_service={"S1": "A"})
+        collector.record(
+            outcome(success=False, plan=make_plan(), reason="admission_failed")
+        )
+        assert collector.paths.total("A") == 1
+        assert collector.bottlenecks["net:L1"] == 1
+
+    def test_per_service_counts(self):
+        collector = MetricsCollector()
+        collector.record(outcome(service="S1"))
+        collector.record(outcome(service="S2", success=False))
+        snap = collector.snapshot()
+        assert snap.per_service_attempts == {"S1": 1, "S2": 1}
+        assert snap.per_service_successes == {"S1": 1}
+
+    def test_keep_outcomes_flag(self):
+        collector = MetricsCollector()
+        collector.keep_outcomes = True
+        collector.record(outcome())
+        assert len(collector.outcomes) == 1
+
+
+class TestClassBreakdown:
+    def test_classification_matrix(self):
+        breakdown = ClassBreakdown()
+        breakdown.record(outcome(scale=1.0, duration=30.0))  # norm.-short
+        breakdown.record(outcome(scale=1.0, duration=90.0))  # norm.-long
+        breakdown.record(outcome(scale=2.0, duration=30.0, success=False))  # fat-short
+        breakdown.record(outcome(scale=10.0, duration=90.0))  # fat-long
+        rows = {name: (sr, qos, n) for name, sr, qos, n in breakdown.rows()}
+        assert rows["norm.-short"] == (1.0, 3.0, 1)
+        assert rows["fat-short"][0] == 0.0
+        assert rows["fat-long"][2] == 1
+
+    def test_boundary_at_60(self):
+        breakdown = ClassBreakdown()
+        breakdown.record(outcome(duration=60.0))  # not long (> 60 required)
+        assert breakdown.stats("norm.-short").attempts == 1
+
+
+class TestPathCensus:
+    def test_percentages(self):
+        census = PathCensus()
+        census.record("A", "p1")
+        census.record("A", "p1")
+        census.record("A", "p2")
+        census.record("B", "q1")
+        assert census.percentage_of("A", "p1") == pytest.approx(200 / 3)
+        assert census.percentage_of("A", "missing") == 0.0
+        assert census.total("A") == 3
+        assert census.total("C") == 0
+        assert census.percentages("C") == []

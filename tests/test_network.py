@@ -1,0 +1,116 @@
+"""Tests for topology and routing substrate."""
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.network import Domain, Host, Link, RoutingTable, Topology, build_figure9_topology
+
+
+class TestFigure9:
+    def test_counts_match_paper(self):
+        topology = build_figure9_topology()
+        assert len(topology.hosts) == 4
+        assert len(topology.domains) == 8
+        assert len(topology.links) == 14  # L1-L14
+
+    def test_full_mesh_between_hosts(self):
+        topology = build_figure9_topology()
+        hosts = sorted(topology.hosts)
+        for i, a in enumerate(hosts):
+            for b in hosts[i + 1 :]:
+                assert topology.link_between(a, b) is not None, (a, b)
+
+    def test_domain_proxy_rule(self):
+        topology = build_figure9_topology()
+        # D_i's proxy is H_ceil(i/2)
+        assert topology.domains["D1"].proxy_host == "H1"
+        assert topology.domains["D2"].proxy_host == "H1"
+        assert topology.domains["D3"].proxy_host == "H2"
+        assert topology.domains["D8"].proxy_host == "H4"
+
+    def test_each_domain_has_one_access_link(self):
+        topology = build_figure9_topology()
+        for name, domain in topology.domains.items():
+            neighbors = topology.neighbors(name)
+            assert len(neighbors) == 1
+            assert neighbors[0][0] == domain.proxy_host
+
+
+class TestTopologyValidation:
+    def test_duplicate_host_rejected(self):
+        with pytest.raises(ModelError):
+            Topology([Host("H1"), Host("H1")], [], [])
+
+    def test_domain_needs_known_proxy(self):
+        with pytest.raises(ModelError):
+            Topology([Host("H1")], [Domain("D1", "H9")], [])
+
+    def test_link_endpoints_validated(self):
+        with pytest.raises(ModelError):
+            Topology([Host("H1")], [], [Link("L1", "H1", "H9")])
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ModelError):
+            Link("L1", "H1", "H1")
+
+    def test_duplicate_link_id_rejected(self):
+        with pytest.raises(ModelError):
+            Topology(
+                [Host("H1"), Host("H2")],
+                [],
+                [Link("L1", "H1", "H2"), Link("L1", "H2", "H1")],
+            )
+
+    def test_link_other_end(self):
+        link = Link("L1", "A", "B")
+        assert link.other_end("A") == "B"
+        assert link.other_end("B") == "A"
+        with pytest.raises(ModelError):
+            link.other_end("C")
+
+    def test_unknown_node_neighbors(self):
+        topology = build_figure9_topology()
+        with pytest.raises(ModelError):
+            topology.neighbors("Mars")
+
+
+class TestRouting:
+    def test_direct_route(self):
+        routing = RoutingTable(build_figure9_topology())
+        route = routing.route("H1", "H2")
+        assert len(route) == 1
+        assert route[0].connects("H1", "H2")
+
+    def test_domain_route_via_proxy(self):
+        routing = RoutingTable(build_figure9_topology())
+        route = routing.route("H3", "D1")  # H3 -> H1 -> D1
+        assert len(route) == 2
+        assert route[0].connects("H3", "H1")
+        assert route[1].connects("H1", "D1")
+
+    def test_self_route_is_empty(self):
+        routing = RoutingTable(build_figure9_topology())
+        assert routing.route("H1", "H1") == ()
+
+    def test_route_is_cached_and_symmetric(self):
+        routing = RoutingTable(build_figure9_topology())
+        forward = routing.route("H1", "D8")
+        backward = routing.route("D8", "H1")
+        assert [l.link_id for l in backward] == [l.link_id for l in reversed(forward)]
+
+    def test_unknown_node_raises(self):
+        routing = RoutingTable(build_figure9_topology())
+        with pytest.raises(ModelError):
+            routing.route("H1", "Mars")
+        with pytest.raises(ModelError):
+            routing.route("Pluto", "Pluto")
+
+    def test_no_route_raises(self):
+        topology = Topology([Host("A"), Host("B")], [], [])
+        with pytest.raises(ModelError, match="no route"):
+            RoutingTable(topology).route("A", "B")
+
+    def test_hop_count(self):
+        routing = RoutingTable(build_figure9_topology())
+        assert routing.hop_count("H1", "H4") == 1
+        assert routing.hop_count("D1", "D2") == 2  # D1 -> H1 -> D2

@@ -1,0 +1,135 @@
+"""Tests for BasicPlanner and RandomPlanner (paper §4.1, §5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AvailabilitySnapshot,
+    BasicPlanner,
+    RandomPlanner,
+    build_qrg,
+    compute_plan,
+    enumerate_paths,
+    feasible_end_to_end_levels,
+    path_bottleneck,
+)
+from repro.core.errors import PlanningError
+
+
+class TestBasicPlanner:
+    def test_reaches_best_sink_with_minimal_bottleneck(
+        self, small_service, small_binding, ample_snapshot
+    ):
+        plan = compute_plan(small_service, small_binding, ample_snapshot, algorithm="basic")
+        assert plan is not None
+        assert plan.end_to_end_label == "Qf"
+        assert plan.numeric_level == 2
+        # Qa-Qb-Qd-Qf: max(10/100, 20/100) = 0.2 (the other Qf path costs 0.4)
+        assert plan.psi == pytest.approx(0.2)
+        assert plan.signature_string() == "Qa-Qb-Qd-Qf"
+        assert plan.bottleneck_resource == "net:L1"
+
+    def test_degrades_to_lower_level_when_top_unreachable(self, small_service, small_binding):
+        snapshot = AvailabilitySnapshot.from_amounts({"cpu:H1": 100, "net:L1": 15})
+        plan = compute_plan(small_service, small_binding, snapshot, algorithm="basic")
+        assert plan.end_to_end_label == "Qg"
+        # Qa-Qc-Qe-Qg: max(5/100, 8/15) beats Qa-Qb-Qd-Qg: max(0.1, 12/15)
+        assert plan.signature_string() == "Qa-Qc-Qe-Qg"
+
+    def test_returns_none_when_infeasible(self, small_service, small_binding):
+        snapshot = AvailabilitySnapshot.from_amounts({"cpu:H1": 1, "net:L1": 1})
+        assert compute_plan(small_service, small_binding, snapshot, algorithm="basic") is None
+
+    def test_plan_demand_aggregates_resources(self, small_service, small_binding, ample_snapshot):
+        plan = compute_plan(small_service, small_binding, ample_snapshot, algorithm="basic")
+        assert dict(plan.demand) == {"cpu:H1": 10.0, "net:L1": 20.0}
+
+    def test_plan_matches_brute_force_over_random_availability(
+        self, small_service, small_binding
+    ):
+        rng = np.random.default_rng(3)
+        planner = BasicPlanner()
+        for _ in range(60):
+            snapshot = AvailabilitySnapshot.from_amounts(
+                {
+                    "cpu:H1": float(rng.uniform(1, 60)),
+                    "net:L1": float(rng.uniform(1, 60)),
+                }
+            )
+            qrg = build_qrg(small_service, small_binding, snapshot)
+            plan = planner.plan(qrg)
+            levels = feasible_end_to_end_levels(qrg)
+            if plan is None:
+                assert levels == []
+                continue
+            assert plan.end_to_end_label == levels[0]
+            sink = next(n for n in qrg.sink_nodes() if n.label == plan.end_to_end_label)
+            paths = enumerate_paths(qrg.source_node, sink, qrg.successors)
+            best = min(path_bottleneck(p) for p in paths)
+            assert plan.psi == pytest.approx(best)
+
+    def test_assignment_lookup(self, small_service, small_binding, ample_snapshot):
+        plan = compute_plan(small_service, small_binding, ample_snapshot)
+        assert plan.assignment_for("c1").qout_label == "Qb"
+        with pytest.raises(Exception):
+            plan.assignment_for("zz")
+
+    def test_describe_mentions_components(self, small_service, small_binding, ample_snapshot):
+        text = compute_plan(small_service, small_binding, ample_snapshot).describe()
+        assert "c1" in text and "c2" in text and "Psi" in text
+
+
+class TestRandomPlanner:
+    def test_always_best_sink_but_varied_paths(
+        self, small_service, small_binding, ample_snapshot
+    ):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        planner = RandomPlanner(rng=np.random.default_rng(0))
+        signatures = set()
+        for _ in range(60):
+            plan = planner.plan(qrg)
+            assert plan.end_to_end_label == "Qf"
+            signatures.add(plan.signature_string())
+        assert signatures == {"Qa-Qb-Qd-Qf", "Qa-Qc-Qe-Qf"}
+
+    def test_none_when_infeasible(self, small_service, small_binding):
+        snapshot = AvailabilitySnapshot.from_amounts({"cpu:H1": 1, "net:L1": 1})
+        qrg = build_qrg(small_service, small_binding, snapshot)
+        assert RandomPlanner(rng=np.random.default_rng(0)).plan(qrg) is None
+
+    def test_reproducible_given_rng(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        a = [RandomPlanner(rng=np.random.default_rng(5)).plan(qrg).signature_string() for _ in range(5)]
+        b = [RandomPlanner(rng=np.random.default_rng(5)).plan(qrg).signature_string() for _ in range(5)]
+        assert a == b
+
+
+class TestComputePlanFacade:
+    def test_unknown_algorithm(self, small_service, small_binding, ample_snapshot):
+        with pytest.raises(PlanningError):
+            compute_plan(small_service, small_binding, ample_snapshot, algorithm="mystery")
+
+    def test_dag_algorithms_accept_chains(self, small_service, small_binding, ample_snapshot):
+        basic = compute_plan(small_service, small_binding, ample_snapshot, algorithm="basic")
+        dag = compute_plan(small_service, small_binding, ample_snapshot, algorithm="dag")
+        exhaustive = compute_plan(
+            small_service, small_binding, ample_snapshot, algorithm="dag-exhaustive"
+        )
+        assert basic.psi == pytest.approx(dag.psi) == pytest.approx(exhaustive.psi)
+        assert basic.end_to_end_label == dag.end_to_end_label == exhaustive.end_to_end_label
+
+
+class TestChainGuard:
+    def test_chain_algorithms_reject_dag_services(self):
+        import numpy as np
+
+        from repro.core import compute_plan
+        from repro.core.errors import PlanningError
+        from repro.core.synthetic import synthetic_diamond_dag
+
+        service, binding, snapshot = synthetic_diamond_dag(2, 2, rng=np.random.default_rng(0))
+        for algorithm in ("basic", "tradeoff", "random"):
+            with pytest.raises(PlanningError, match="chain"):
+                compute_plan(service, binding, snapshot, algorithm=algorithm)
+        # the DAG planners accept it
+        assert compute_plan(service, binding, snapshot, algorithm="dag") is not None

@@ -1,0 +1,123 @@
+"""Tests for QoS vectors, levels, concatenation, and rankings."""
+
+import pytest
+
+from repro.core import IncomparableError, ModelError, QoSLevel, QoSRanking, QoSVector, concat_levels
+
+
+class TestQoSVector:
+    def test_requires_at_least_one_parameter(self):
+        with pytest.raises(ModelError):
+            QoSVector({})
+
+    def test_rejects_bad_names_and_values(self):
+        with pytest.raises(ModelError):
+            QoSVector({"": 1})
+        with pytest.raises(ModelError):
+            QoSVector({"q": object()})
+
+    def test_mapping_interface(self):
+        vector = QoSVector({"rate": 30, "size": 480})
+        assert vector["rate"] == 30
+        assert len(vector) == 2
+        assert set(vector) == {"rate", "size"}
+
+    def test_equality_and_hash(self):
+        a = QoSVector({"rate": 30, "size": 480})
+        b = QoSVector(rate=30, size=480)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QoSVector(rate=15, size=480)
+
+    def test_partial_order(self):
+        low = QoSVector(rate=15, size=240)
+        high = QoSVector(rate=30, size=480)
+        mixed = QoSVector(rate=30, size=240)
+        assert low <= high and low < high
+        assert high >= low and high > low
+        assert low <= mixed and mixed <= high
+        # incomparable pair under the product order
+        other = QoSVector(rate=15, size=480)
+        assert not (other <= mixed) and not (mixed <= other)
+
+    def test_comparison_requires_same_parameters(self):
+        a = QoSVector(rate=30)
+        b = QoSVector(size=480)
+        with pytest.raises(IncomparableError):
+            _ = a <= b
+        assert not a.comparable_with(b)
+        assert a.comparable_with(QoSVector(rate=1))
+
+    def test_string_numeric_mix_incomparable(self):
+        a = QoSVector(codec="h261")
+        b = QoSVector(codec=3)
+        with pytest.raises(IncomparableError):
+            _ = a <= b
+
+    def test_concat_disjoint(self):
+        merged = QoSVector(rate=30).concat(QoSVector(size=480))
+        assert dict(merged) == {"rate": 30, "size": 480}
+
+    def test_concat_collision_requires_prefixes(self):
+        a = QoSVector(rate=30)
+        with pytest.raises(ModelError):
+            a.concat(QoSVector(rate=15))
+        merged = a.concat(QoSVector(rate=15), prefixes=("u0.", "u1."))
+        assert dict(merged) == {"u0.rate": 30, "u1.rate": 15}
+
+
+class TestQoSLevel:
+    def test_label_required(self):
+        with pytest.raises(ModelError):
+            QoSLevel("", QoSVector(q=1))
+
+    def test_str_is_label(self):
+        assert str(QoSLevel("Qa", QoSVector(q=1))) == "Qa"
+
+    def test_concat_levels_single_passthrough(self):
+        level = QoSLevel("Qa", QoSVector(q=1))
+        assert concat_levels([level]) is level
+
+    def test_concat_levels_merges_with_prefixes(self):
+        a = QoSLevel("Qn", QoSVector(q=2))
+        b = QoSLevel("Qp", QoSVector(q=1))
+        merged = concat_levels([a, b])
+        assert merged.label == "Qn|Qp"
+        assert dict(merged.vector) == {"u0.q": 2, "u1.q": 1}
+
+    def test_concat_levels_empty_rejected(self):
+        with pytest.raises(ModelError):
+            concat_levels([])
+
+
+class TestQoSRanking:
+    def test_basic_ranks(self):
+        ranking = QoSRanking(["Qp", "Qq", "Qr"])
+        assert ranking.rank("Qp") == 0
+        assert ranking.numeric_level("Qp") == 3
+        assert ranking.numeric_level("Qr") == 1
+        assert ranking.better("Qp", "Qq")
+        assert not ranking.better("Qq", "Qp")
+
+    def test_best_and_sort(self):
+        ranking = QoSRanking(["Qp", "Qq", "Qr"])
+        assert ranking.best(["Qr", "Qq"]) == "Qq"
+        assert ranking.best([]) is None
+        assert ranking.sorted_best_first(["Qr", "Qp", "Qq"]) == ["Qp", "Qq", "Qr"]
+
+    def test_unknown_label_raises(self):
+        ranking = QoSRanking(["Qp"])
+        with pytest.raises(ModelError):
+            ranking.rank("Qz")
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ModelError):
+            QoSRanking(["Qp", "Qp"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            QoSRanking([])
+
+    def test_contains(self):
+        ranking = QoSRanking(["Qp", "Qq"])
+        assert "Qp" in ranking and "Qz" not in ranking

@@ -1,0 +1,114 @@
+"""Tests for QoS-Resource Graph construction (paper §4.1.1)."""
+
+import pytest
+
+from repro.core import (
+    AvailabilitySnapshot,
+    Binding,
+    PlanningError,
+    QRGNode,
+    ResourceObservation,
+    build_qrg,
+    headroom_contention_index,
+)
+from repro.core.qrg import QoSResourceGraph
+
+
+class TestConstruction:
+    def test_nodes_cover_all_levels(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        labels = {(n.component, n.kind, n.label) for n in qrg.nodes}
+        assert ("c1", "in", "Qa") in labels
+        assert ("c1", "out", "Qb") in labels and ("c1", "out", "Qc") in labels
+        assert ("c2", "in", "Qd") in labels and ("c2", "in", "Qe") in labels
+        assert ("c2", "out", "Qf") in labels and ("c2", "out", "Qg") in labels
+        assert qrg.source_node == QRGNode("c1", "in", "Qa")
+
+    def test_all_feasible_edges_present(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        # 2 c1 edges + 4 c2 edges, 2 equivalence edges
+        assert len(qrg.intra_edges) == 6
+        assert len(qrg.equiv_edges) == 2
+        assert qrg.count_edges() == 8
+        assert qrg.count_nodes() == 7
+
+    def test_edge_weights_follow_eq2_eq3(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        edge = qrg.edge_between(QRGNode("c1", "in", "Qa"), QRGNode("c1", "out", "Qb"))
+        assert edge is not None
+        assert edge.weight == pytest.approx(10 / 100)
+        assert edge.bottleneck_resource == "cpu:H1"
+        assert edge.bound["cpu:H1"] == 10
+
+    def test_infeasible_pairs_dropped(self, small_service, small_binding):
+        snapshot = AvailabilitySnapshot.from_amounts({"cpu:H1": 100, "net:L1": 15})
+        qrg = build_qrg(small_service, small_binding, snapshot)
+        # (Qd,Qf)=20 and (Qe,Qf)=40 exceed 15: both dropped
+        assert qrg.edge_between(QRGNode("c2", "in", "Qd"), QRGNode("c2", "out", "Qf")) is None
+        assert qrg.edge_between(QRGNode("c2", "in", "Qe"), QRGNode("c2", "out", "Qf")) is None
+        assert qrg.edge_between(QRGNode("c2", "in", "Qd"), QRGNode("c2", "out", "Qg")) is not None
+
+    def test_every_edge_satisfiable_invariant(self, small_service, small_binding):
+        snapshot = AvailabilitySnapshot.from_amounts({"cpu:H1": 7, "net:L1": 15})
+        qrg = build_qrg(small_service, small_binding, snapshot)
+        availability = snapshot.availability()
+        for edge in qrg.intra_edges:
+            assert edge.bound.satisfiable_under(availability)
+            assert edge.weight <= 1.0
+
+    def test_equivalence_edges_carry_zero_weight(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        for _node, weight, edge in qrg.successors(QRGNode("c1", "out", "Qb")):
+            assert weight == 0.0 and edge is None
+
+    def test_missing_resource_raises(self, small_service, small_binding):
+        snapshot = AvailabilitySnapshot.from_amounts({"cpu:H1": 100})
+        with pytest.raises(PlanningError, match="net:L1"):
+            build_qrg(small_service, small_binding, snapshot)
+
+    def test_alpha_recorded_from_snapshot(self, small_service, small_binding):
+        snapshot = AvailabilitySnapshot(
+            {
+                "cpu:H1": ResourceObservation(available=100, alpha=0.5),
+                "net:L1": ResourceObservation(available=100, alpha=1.2),
+            }
+        )
+        qrg = build_qrg(small_service, small_binding, snapshot)
+        edge = qrg.edge_between(QRGNode("c1", "in", "Qa"), QRGNode("c1", "out", "Qb"))
+        assert edge.alpha == 0.5
+
+    def test_custom_contention_index(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(
+            small_service,
+            small_binding,
+            ample_snapshot,
+            contention_index=headroom_contention_index,
+        )
+        edge = qrg.edge_between(QRGNode("c1", "in", "Qa"), QRGNode("c1", "out", "Qb"))
+        assert edge.weight == pytest.approx(10 / 90)
+
+    def test_source_label_selection(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(
+            small_service, small_binding, ample_snapshot, source_label="Qa"
+        )
+        assert qrg.source_node.label == "Qa"
+        with pytest.raises(Exception):
+            build_qrg(small_service, small_binding, ample_snapshot, source_label="Qz")
+
+    def test_sink_nodes(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        assert {n.label for n in qrg.sink_nodes()} == {"Qf", "Qg"}
+
+
+class TestQRGNode:
+    def test_kind_validated(self):
+        with pytest.raises(Exception):
+            QRGNode("c", "sideways", "Q")
+
+    def test_str(self):
+        assert str(QRGNode("c1", "in", "Qa")) == "c1.in:Qa"
+
+    def test_ordering_is_stable(self):
+        a = QRGNode("c1", "in", "Qa")
+        b = QRGNode("c1", "out", "Qa")
+        assert a < b  # "in" < "out"

@@ -1,0 +1,114 @@
+"""Tests for resource vectors, contention indices, and snapshots."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AvailabilitySnapshot,
+    IncomparableError,
+    ModelError,
+    ResourceObservation,
+    ResourceVector,
+    headroom_contention_index,
+    log_contention_index,
+    ratio_contention_index,
+)
+
+
+class TestResourceVector:
+    def test_requires_entries(self):
+        with pytest.raises(ModelError):
+            ResourceVector({})
+
+    def test_rejects_negative_and_nonfinite(self):
+        with pytest.raises(ModelError):
+            ResourceVector({"cpu": -1})
+        with pytest.raises(ModelError):
+            ResourceVector({"cpu": float("nan")})
+
+    def test_ordering(self):
+        small = ResourceVector(cpu=5, net=10)
+        big = ResourceVector(cpu=10, net=20)
+        assert small <= big and small < big
+        assert big >= small and big > small
+        incomparable = ResourceVector(cpu=20, net=5)
+        assert not (incomparable <= big) and not (big <= incomparable)
+
+    def test_ordering_requires_same_resources(self):
+        with pytest.raises(IncomparableError):
+            _ = ResourceVector(cpu=5) <= ResourceVector(net=5)
+
+    def test_scaled(self):
+        doubled = ResourceVector(cpu=5, net=10).scaled(2)
+        assert doubled == ResourceVector(cpu=10, net=20)
+        with pytest.raises(ModelError):
+            ResourceVector(cpu=5).scaled(0)
+
+    def test_merged_sum(self):
+        merged = ResourceVector(cpu=5).merged_sum(ResourceVector(cpu=2, net=1))
+        assert merged == ResourceVector(cpu=7, net=1)
+
+    def test_satisfiable_under(self):
+        req = ResourceVector(cpu=5, net=10)
+        assert req.satisfiable_under({"cpu": 5, "net": 10})
+        assert not req.satisfiable_under({"cpu": 4, "net": 10})
+        with pytest.raises(ModelError):
+            req.satisfiable_under({"cpu": 5})
+
+
+class TestContention:
+    def test_ratio_index_matches_eq2(self):
+        assert ratio_contention_index(25, 100) == 0.25
+        assert ratio_contention_index(1, 0) == math.inf
+
+    def test_headroom_index(self):
+        assert headroom_contention_index(25, 100) == 25 / 75
+        assert headroom_contention_index(100, 100) == math.inf
+
+    def test_log_index(self):
+        assert log_contention_index(0, 100) == 0.0
+        assert log_contention_index(100, 100) == math.inf
+        # monotone in requirement
+        assert log_contention_index(10, 100) < log_contention_index(20, 100)
+
+    def test_all_indices_monotone(self):
+        for index in (ratio_contention_index, headroom_contention_index, log_contention_index):
+            assert index(10, 100) < index(20, 100), index
+            assert index(10, 100) > index(10, 200), index
+
+    def test_contention_report_bottleneck(self):
+        req = ResourceVector(cpu=10, net=50)
+        report = req.contention({"cpu": 100, "net": 100})
+        assert report.bottleneck_resource == "net"
+        assert report.psi == 0.5
+        assert report.per_resource["cpu"] == 0.1
+        assert report.feasible
+
+    def test_contention_report_tie_is_deterministic(self):
+        req = ResourceVector(a=10, b=10)
+        report = req.contention({"a": 100, "b": 100})
+        assert report.bottleneck_resource == "b"  # (psi, name) max -> lexicographically last
+
+    def test_infeasible_report(self):
+        report = ResourceVector(cpu=200).contention({"cpu": 100})
+        assert not report.feasible
+
+
+class TestObservationsAndSnapshots:
+    def test_observation_validation(self):
+        with pytest.raises(ModelError):
+            ResourceObservation(available=-1)
+        with pytest.raises(ModelError):
+            ResourceObservation(available=1, alpha=-0.1)
+
+    def test_snapshot_from_amounts(self):
+        snapshot = AvailabilitySnapshot.from_amounts({"cpu": 10, "net": 20})
+        assert snapshot["cpu"].available == 10
+        assert snapshot["cpu"].alpha == 1.0
+        assert snapshot.availability() == {"cpu": 10, "net": 20}
+        assert len(snapshot) == 2
+
+    def test_snapshot_type_checked(self):
+        with pytest.raises(ModelError):
+            AvailabilitySnapshot({"cpu": 10})  # not an observation

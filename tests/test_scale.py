@@ -1,0 +1,118 @@
+"""Tests for scaled evaluation environments."""
+
+import pytest
+
+from repro.core import BasicPlanner
+from repro.core.errors import ModelError
+from repro.des import Environment, RandomStreams
+from repro.network.topology import build_scaled_topology
+from repro.runtime.session import ServiceSession
+from repro.sim.scale import build_scaled_grid, scaled_exclusions, scaled_workload_spec
+from repro.sim.workload import WorkloadGenerator
+
+
+class TestScaledTopology:
+    def test_figure9_is_the_4x2_instance(self):
+        scaled = build_scaled_topology(4, 2)
+        assert len(scaled.hosts) == 4
+        assert len(scaled.domains) == 8
+        assert len(scaled.links) == 14
+
+    def test_mesh_link_count(self):
+        topology = build_scaled_topology(8, 3)
+        assert len(topology.links) == 8 * 7 // 2 + 24
+
+    def test_ring_variant(self):
+        topology = build_scaled_topology(6, 1, mesh=False)
+        # ring: 6 core links + 6 access links
+        assert len(topology.links) == 12
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            build_scaled_topology(1, 2)
+        with pytest.raises(ModelError):
+            build_scaled_topology(4, 0)
+
+
+class TestScaledGrid:
+    def test_services_alternate_families(self):
+        grid = build_scaled_grid(Environment(), RandomStreams(0), num_hosts=6)
+        assert set(grid.model_store.names()) == {f"S{i}" for i in range(1, 7)}
+        # S1 family A (ranking Qp..), S2 family B (ranking Ql..)
+        assert grid.services["S1"].ranking.labels[0] == "Qp"
+        assert grid.services["S2"].ranking.labels[0] == "Ql"
+        assert grid.server_of_service("S5") == "H5"
+
+    def test_session_on_scaled_grid(self):
+        env = Environment()
+        grid = build_scaled_grid(env, RandomStreams(3), num_hosts=6, domains_per_host=2)
+        # domain D12's proxy is H6; request S1 (server H1)
+        session = ServiceSession(
+            env,
+            grid.coordinator,
+            "s1",
+            "S1",
+            grid.binding_for("S1", "D12"),
+            BasicPlanner(),
+            duration=10.0,
+            component_hosts=grid.component_hosts_for("S1", "D12"),
+        )
+        process = env.process(session.run())
+        env.run()
+        assert process.value.success
+        grid.registry.assert_quiescent()
+
+    def test_exclusion_rule_generalises(self):
+        exclusions = scaled_exclusions(6, 2)
+        assert exclusions["D1"] == "S1"
+        assert exclusions["D2"] == "S1"
+        assert exclusions["D11"] == "S6"
+        assert exclusions["D12"] == "S6"
+
+    def test_workload_spec_matches_grid(self):
+        spec = scaled_workload_spec(6, 2, rate_per_60tu=120, horizon=200)
+        assert len(spec.domains) == 12
+        assert len(spec.services) == 6
+
+    def test_scaled_workload_respects_exclusions(self):
+        spec = scaled_workload_spec(6, 2, rate_per_60tu=600, horizon=120)
+        generator = WorkloadGenerator(
+            spec, RandomStreams(9), excluded_service=scaled_exclusions(6, 2)
+        )
+        requests = list(generator.generate())
+        assert requests
+        exclusions = scaled_exclusions(6, 2)
+        for request in requests:
+            assert request.service != exclusions[request.domain]
+
+    def test_end_to_end_scaled_simulation(self):
+        """A miniature full run on an 8-host grid with all the pieces."""
+        env = Environment()
+        streams = RandomStreams(5)
+        grid = build_scaled_grid(env, streams, num_hosts=8, domains_per_host=2)
+        spec = scaled_workload_spec(8, 2, rate_per_60tu=200, horizon=150)
+        generator = WorkloadGenerator(
+            spec, streams, excluded_service=scaled_exclusions(8, 2)
+        )
+        planner = BasicPlanner()
+        outcomes = []
+
+        def arrivals():
+            for request in generator.generate():
+                if request.arrival_time > env.now:
+                    yield env.timeout(request.arrival_time - env.now)
+                session = ServiceSession(
+                    env, grid.coordinator, request.session_id, request.service,
+                    grid.binding_for(request.service, request.domain),
+                    planner, request.duration,
+                    demand_scale=request.demand_scale,
+                    on_finish=outcomes.append,
+                )
+                env.process(session.run())
+
+        env.process(arrivals())
+        env.run()
+        assert len(outcomes) > 100
+        success_rate = sum(o.success for o in outcomes) / len(outcomes)
+        assert success_rate > 0.5
+        grid.registry.assert_quiescent()

@@ -1,0 +1,180 @@
+"""Tests for DependencyGraph and DistributedService validation."""
+
+import pytest
+
+from repro.core import (
+    DependencyGraph,
+    DistributedService,
+    ModelError,
+    QoSLevel,
+    QoSRanking,
+    QoSVector,
+    ServiceComponent,
+    TabularTranslation,
+    concat_levels,
+)
+
+
+def lv(label: str, **params) -> QoSLevel:
+    return QoSLevel(label, QoSVector(params))
+
+
+class TestDependencyGraph:
+    def test_chain_helper(self):
+        graph = DependencyGraph.chain(["a", "b", "c"])
+        assert graph.edges == (("a", "b"), ("b", "c"))
+        assert graph.source == "a" and graph.sink == "c"
+        assert graph.is_chain()
+        assert graph.topological_order() == ("a", "b", "c")
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ModelError):
+            DependencyGraph.chain([])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ModelError):
+            DependencyGraph(["a", "a"], [])
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(ModelError):
+            DependencyGraph(["a"], [("a", "b")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModelError):
+            DependencyGraph(["a"], [("a", "a")])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ModelError):
+            DependencyGraph(["a", "b"], [("a", "b"), ("a", "b")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ModelError, match="cycle"):
+            DependencyGraph(["a", "b", "c"], [("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_single_source_and_sink_required(self):
+        # two sources
+        with pytest.raises(ModelError, match="source"):
+            DependencyGraph(["a", "b", "c"], [("a", "c"), ("b", "c")])
+
+    def test_fan_in_fan_out_queries(self):
+        graph = DependencyGraph(
+            ["s", "f", "x", "y", "t"],
+            [("s", "f"), ("f", "x"), ("f", "y"), ("x", "t"), ("y", "t")],
+        )
+        assert graph.is_fan_out("f")
+        assert graph.is_fan_in("t")
+        assert not graph.is_chain()
+        assert graph.upstreams("t") == ("x", "y")
+        assert graph.downstreams("f") == ("x", "y")
+
+
+def make_chain_service(client_inputs_match: bool = True) -> DistributedService:
+    c1 = ServiceComponent(
+        "c1",
+        (lv("Qa", q=2),),
+        (lv("Qb", q=1),),
+        TabularTranslation({("Qa", "Qb"): {"cpu": 1}}),
+    )
+    input_vector = {"q": 1} if client_inputs_match else {"q": 99}
+    c2 = ServiceComponent(
+        "c2",
+        (lv("Qc", **input_vector),),
+        (lv("Qd", e=1),),
+        TabularTranslation({("Qc", "Qd"): {"net": 1}}),
+    )
+    return DistributedService(
+        "svc", [c1, c2], DependencyGraph.chain(["c1", "c2"]), QoSRanking(["Qd"])
+    )
+
+
+class TestDistributedService:
+    def test_valid_service_builds(self):
+        service = make_chain_service()
+        assert service.source_component.name == "c1"
+        assert service.sink_component.name == "c2"
+        assert [level.label for level in service.end_to_end_levels()] == ["Qd"]
+
+    def test_component_lookup(self):
+        service = make_chain_service()
+        assert service.component("c1").name == "c1"
+        with pytest.raises(ModelError):
+            service.component("zz")
+
+    def test_mismatched_equivalence_rejected(self):
+        with pytest.raises(ModelError, match="equivalent"):
+            make_chain_service(client_inputs_match=False)
+
+    def test_ranking_must_cover_sink_levels(self):
+        c1 = ServiceComponent(
+            "c1", (lv("Qa", q=1),), (lv("Qb", e=2), lv("Qc", e=1)),
+            TabularTranslation({("Qa", "Qb"): {"cpu": 1}, ("Qa", "Qc"): {"cpu": 1}}),
+        )
+        with pytest.raises(ModelError, match="misses"):
+            DistributedService("s", [c1], DependencyGraph.chain(["c1"]), QoSRanking(["Qb"]))
+        with pytest.raises(ModelError, match="unknown"):
+            DistributedService(
+                "s", [c1], DependencyGraph.chain(["c1"]), QoSRanking(["Qb", "Qc", "Qz"])
+            )
+
+    def test_component_set_must_match_graph(self):
+        c1 = ServiceComponent(
+            "c1", (lv("Qa", q=1),), (lv("Qb", e=1),),
+            TabularTranslation({("Qa", "Qb"): {"cpu": 1}}),
+        )
+        with pytest.raises(ModelError, match="mismatch"):
+            DistributedService("s", [c1], DependencyGraph.chain(["c1", "c2"]), QoSRanking(["Qb"]))
+
+    def test_duplicate_components_rejected(self):
+        c1 = ServiceComponent(
+            "c1", (lv("Qa", q=1),), (lv("Qb", e=1),),
+            TabularTranslation({("Qa", "Qb"): {"cpu": 1}}),
+        )
+        with pytest.raises(ModelError, match="duplicate"):
+            DistributedService("s", [c1, c1], DependencyGraph.chain(["c1"]), QoSRanking(["Qb"]))
+
+
+class TestFanInCombinations:
+    def build_diamond(self):
+        src = ServiceComponent(
+            "src", (lv("Qs", q=1),), (lv("Qo", q=0),),
+            TabularTranslation({("Qs", "Qo"): {"r": 1}}),
+        )
+        x = ServiceComponent(
+            "x", (lv("Qxi", q=0),), (lv("Qx1", a=2), lv("Qx2", a=1)),
+            TabularTranslation({("Qxi", "Qx1"): {"r": 1}, ("Qxi", "Qx2"): {"r": 1}}),
+        )
+        y = ServiceComponent(
+            "y", (lv("Qyi", q=0),), (lv("Qy1", b=2), lv("Qy2", b=1)),
+            TabularTranslation({("Qyi", "Qy1"): {"r": 1}, ("Qyi", "Qy2"): {"r": 1}}),
+        )
+        fanin_inputs = tuple(
+            concat_levels([xl, yl])
+            for xl in x.output_levels
+            for yl in y.output_levels
+        )
+        sink = ServiceComponent(
+            "t",
+            fanin_inputs,
+            (lv("Qt", e=1),),
+            TabularTranslation({(li.label, "Qt"): {"r": 1} for li in fanin_inputs}),
+        )
+        graph = DependencyGraph(
+            ["src", "x", "y", "t"],
+            [("src", "x"), ("src", "y"), ("x", "t"), ("y", "t")],
+        )
+        return DistributedService("diamond", [src, x, y, sink], graph, QoSRanking(["Qt"]))
+
+    def test_fan_in_combinations_enumerated(self):
+        service = self.build_diamond()
+        combos = list(service.upstream_output_combinations("t"))
+        assert len(combos) == 4  # 2 x-levels times 2 y-levels
+        parts, combined = combos[0]
+        assert [p[0] for p in parts] == ["x", "y"]
+        assert combined.label in {"Qx1|Qy1", "Qx1|Qy2", "Qx2|Qy1", "Qx2|Qy2"}
+
+    def test_equivalent_input_levels_found(self):
+        service = self.build_diamond()
+        for _parts, combined in service.upstream_output_combinations("t"):
+            matches = service.equivalent_input_levels("t", combined)
+            assert len(matches) == 1
+            assert matches[0].vector == combined.vector

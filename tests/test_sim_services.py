@@ -1,0 +1,195 @@
+"""Tests for the figure-10 service definitions and diversity compression."""
+
+import pytest
+
+from repro.core import build_qrg
+from repro.core.dijkstra import enumerate_paths
+from repro.sim.services import (
+    FAMILY_A,
+    FAMILY_B,
+    SERVICE_FAMILIES,
+    build_evaluation_services,
+    compress_diversity,
+    compressed_service_families,
+    family_of_service,
+)
+
+#: All reservation paths enumerated in the paper's Tables 1 and 2 --
+#: they must all exist as structural paths in our requirement tables.
+TABLE_1_PATHS = [
+    "Qa-Qb-Qe-Qh-Ql-Qp",
+    "Qa-Qc-Qf-Qh-Ql-Qp",
+    "Qa-Qb-Qe-Qi-Qm-Qp",
+    "Qa-Qc-Qf-Qi-Qm-Qp",
+    "Qa-Qc-Qf-Qj-Qn-Qp",
+    "Qa-Qd-Qg-Qj-Qn-Qp",
+    "Qa-Qb-Qe-Qi-Qm-Qq",
+    "Qa-Qc-Qf-Qi-Qm-Qq",
+    "Qa-Qd-Qg-Qj-Qn-Qq",
+    "Qa-Qc-Qf-Qk-Qo-Qq",
+    "Qa-Qd-Qg-Qk-Qo-Qq",
+]
+
+TABLE_2_PATHS = [
+    "Qa-Qb-Qd-Qf-Qi-Ql",
+    "Qa-Qc-Qe-Qf-Qi-Ql",
+    "Qa-Qb-Qd-Qg-Qj-Ql",
+    "Qa-Qc-Qe-Qg-Qj-Ql",
+    "Qa-Qb-Qd-Qh-Qk-Ql",
+    "Qa-Qc-Qe-Qh-Qk-Ql",
+    "Qa-Qb-Qd-Qf-Qi-Qm",
+    "Qa-Qc-Qe-Qf-Qi-Qm",
+    "Qa-Qb-Qd-Qg-Qj-Qm",
+    "Qa-Qc-Qe-Qg-Qj-Qm",
+    "Qa-Qb-Qd-Qh-Qk-Qm",
+    "Qa-Qc-Qe-Qh-Qk-Qm",
+]
+
+
+def paths_of_family(family, service_name="S"):
+    """All source->sink path signatures under ample availability."""
+    from repro.core import AvailabilitySnapshot, Binding
+
+    service = family.build_service(service_name)
+    binding = Binding(
+        {
+            ("cS", "hS"): "r:hS",
+            ("cP", "hP"): "r:hP",
+            ("cP", "lPS"): "r:lPS",
+            ("cC", "lCP"): "r:lCP",
+        }
+    )
+    snapshot = AvailabilitySnapshot.from_amounts(
+        {"r:hS": 1e6, "r:hP": 1e6, "r:lPS": 1e6, "r:lCP": 1e6}
+    )
+    qrg = build_qrg(service, binding, snapshot)
+    signatures = set()
+    for sink in qrg.sink_nodes():
+        for path in enumerate_paths(qrg.source_node, sink, qrg.successors):
+            nodes = [qrg.source_node.label] + [n.label for n, _w, _e in path]
+            signatures.add("-".join(nodes))
+    return signatures
+
+
+class TestFamilyStructure:
+    def test_all_table1_paths_exist(self):
+        signatures = paths_of_family(FAMILY_A)
+        for path in TABLE_1_PATHS:
+            assert path in signatures, path
+
+    def test_all_table2_paths_exist(self):
+        signatures = paths_of_family(FAMILY_B)
+        for path in TABLE_2_PATHS:
+            assert path in signatures, path
+
+    def test_family_assignment_matches_paper(self):
+        # figure 10(a) for S1 and S4; figure 10(b) for S2 and S3
+        assert SERVICE_FAMILIES["S1"] is FAMILY_A
+        assert SERVICE_FAMILIES["S4"] is FAMILY_A
+        assert SERVICE_FAMILIES["S2"] is FAMILY_B
+        assert SERVICE_FAMILIES["S3"] is FAMILY_B
+        assert family_of_service("S2").key == "B"
+        with pytest.raises(Exception):
+            family_of_service("S9")
+
+    def test_rankings(self):
+        service_a = FAMILY_A.build_service("S1")
+        assert service_a.ranking.labels == ("Qp", "Qq", "Qr")
+        assert service_a.ranking.numeric_level("Qp") == 3
+        service_b = FAMILY_B.build_service("S2")
+        assert service_b.ranking.labels == ("Ql", "Qm", "Qn")
+
+    def test_no_level3_path_dominates_another(self):
+        """The trade-off property: among level-3 paths, none is
+        component-wise cheaper-or-equal than another (otherwise the
+        minimax choice degenerates and the path census collapses)."""
+        from repro.core import AvailabilitySnapshot, Binding
+
+        for family, top in ((FAMILY_A, "Qp"), (FAMILY_B, "Ql")):
+            service = family.build_service("S")
+            binding = Binding(
+                {
+                    ("cS", "hS"): "r:hS",
+                    ("cP", "hP"): "r:hP",
+                    ("cP", "lPS"): "r:lPS",
+                    ("cC", "lCP"): "r:lCP",
+                }
+            )
+            snapshot = AvailabilitySnapshot.from_amounts(
+                {"r:hS": 1e6, "r:hP": 1e6, "r:lPS": 1e6, "r:lCP": 1e6}
+            )
+            qrg = build_qrg(service, binding, snapshot)
+            sink = next(n for n in qrg.sink_nodes() if n.label == top)
+            profiles = []
+            for path in enumerate_paths(qrg.source_node, sink, qrg.successors):
+                totals = {}
+                for _node, _w, edge in path:
+                    if edge is None:
+                        continue
+                    for rid, amount in edge.bound.items():
+                        totals[rid] = totals.get(rid, 0.0) + amount
+                profiles.append(totals)
+            for i, a in enumerate(profiles):
+                for j, b in enumerate(profiles):
+                    if i == j:
+                        continue
+                    dominated = all(a[k] <= b[k] for k in a) and any(a[k] < b[k] for k in a)
+                    assert not dominated, (family.key, i, j, a, b)
+
+    def test_build_evaluation_services(self):
+        services = build_evaluation_services()
+        assert set(services) == {"S1", "S2", "S3", "S4"}
+        assert services["S1"].graph.is_chain()
+
+
+class TestDiversityCompression:
+    def test_preserves_mean_per_slot(self):
+        compressed = compress_diversity(FAMILY_A, ratio=3.0)
+        for original_table, new_table in (
+            (FAMILY_A.proxy_table, compressed.proxy_table),
+            (FAMILY_A.client_table, compressed.client_table),
+            (FAMILY_A.server_table, compressed.server_table),
+        ):
+            slots = {s for req in original_table.values() for s in req}
+            for slot in slots:
+                old = [req[slot] for req in original_table.values()]
+                new = [req[slot] for req in new_table.values()]
+                assert sum(new) / len(new) == pytest.approx(sum(old) / len(old))
+
+    def test_limits_ratio_to_3_to_1(self):
+        compressed = compress_diversity(FAMILY_B, ratio=3.0)
+        for table in (compressed.proxy_table, compressed.client_table):
+            slots = {s for req in table.values() for s in req}
+            for slot in slots:
+                values = [req[slot] for req in table.values()]
+                assert max(values) / min(values) == pytest.approx(3.0)
+
+    def test_preserves_rank_order(self):
+        compressed = compress_diversity(FAMILY_A, ratio=3.0)
+        keys = sorted(FAMILY_A.client_table)
+        old = [FAMILY_A.client_table[k]["lCP"] for k in keys]
+        new = [compressed.client_table[k]["lCP"] for k in keys]
+        old_order = sorted(range(len(old)), key=lambda i: old[i])
+        new_order = sorted(range(len(new)), key=lambda i: new[i])
+        assert old_order == new_order
+
+    def test_single_entry_slot_keeps_mean(self):
+        compressed = compress_diversity(FAMILY_B, ratio=3.0)
+        # server table of family B has 2 entries; ratio must be exactly 3
+        values = [req["hS"] for req in compressed.server_table.values()]
+        assert max(values) / min(values) == pytest.approx(3.0)
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(Exception):
+            compress_diversity(FAMILY_A, ratio=0.5)
+
+    def test_compressed_families_cover_all_services(self):
+        families = compressed_service_families(3.0)
+        assert set(families) == {"S1", "S2", "S3", "S4"}
+        assert families["S1"].key.startswith("A/compressed")
+
+    def test_compressed_service_still_has_all_paths(self):
+        compressed = compress_diversity(FAMILY_A, ratio=3.0)
+        signatures = paths_of_family(compressed)
+        for path in TABLE_1_PATHS:
+            assert path in signatures

@@ -1,0 +1,42 @@
+"""Tests for the §5.2.4 stale-observation model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.staleness import StaleObservationModel
+
+
+class TestStaleObservationModel:
+    def test_disabled_when_zero(self):
+        model = StaleObservationModel(0.0, np.random.default_rng(0), clock=lambda: 100.0)
+        assert not model.enabled
+        assert model.schedule_for_session() is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(Exception):
+            StaleObservationModel(-1.0, np.random.default_rng(0), clock=lambda: 0.0)
+
+    def test_observation_within_window(self):
+        now = 100.0
+        model = StaleObservationModel(8.0, np.random.default_rng(1), clock=lambda: now)
+        schedule = model.schedule_for_session()
+        for rid in ("a", "b", "c"):
+            when = schedule(rid)
+            assert now - 8.0 <= when <= now
+
+    def test_consistent_within_session(self):
+        model = StaleObservationModel(8.0, np.random.default_rng(2), clock=lambda: 50.0)
+        schedule = model.schedule_for_session()
+        assert schedule("x") == schedule("x")
+
+    def test_independent_across_sessions_and_resources(self):
+        model = StaleObservationModel(8.0, np.random.default_rng(3), clock=lambda: 50.0)
+        s1, s2 = model.schedule_for_session(), model.schedule_for_session()
+        draws = {s1("x"), s1("y"), s2("x"), s2("y")}
+        assert len(draws) == 4  # almost surely distinct
+
+    def test_clamped_at_time_zero(self):
+        model = StaleObservationModel(8.0, np.random.default_rng(4), clock=lambda: 1.0)
+        schedule = model.schedule_for_session()
+        for rid in "abcdefgh":
+            assert schedule(rid) >= 0.0

@@ -1,0 +1,71 @@
+"""Tests for the synthetic service generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import BasicPlanner, build_qrg
+from repro.core.synthetic import (
+    random_availability,
+    synthetic_chain,
+    synthetic_diamond_dag,
+)
+
+
+class TestSyntheticChain:
+    def test_structure(self):
+        service, binding, snapshot = synthetic_chain(4, 3)
+        assert len(service.components) == 4
+        assert service.graph.is_chain()
+        assert len(service.ranking.labels) == 3
+        assert len(snapshot) == 8  # 4 components x 2 resources
+
+    def test_plannable(self):
+        service, binding, snapshot = synthetic_chain(3, 4)
+        qrg = build_qrg(service, binding, snapshot)
+        plan = BasicPlanner().plan(qrg)
+        assert plan is not None
+        assert plan.end_to_end_label == service.ranking.labels[0]
+
+    def test_density_drops_edges_but_keeps_diagonal(self):
+        rng = np.random.default_rng(0)
+        service, binding, snapshot = synthetic_chain(3, 4, rng=rng, density=0.1)
+        qrg = build_qrg(service, binding, snapshot)
+        assert BasicPlanner().plan(qrg) is not None  # diagonal guarantees a path
+
+    def test_parameter_validation(self):
+        with pytest.raises(Exception):
+            synthetic_chain(0, 3)
+        with pytest.raises(Exception):
+            synthetic_chain(3, 3, density=0.0)
+
+    def test_deterministic_given_rng(self):
+        a = synthetic_chain(3, 3, rng=np.random.default_rng(5))
+        b = synthetic_chain(3, 3, rng=np.random.default_rng(5))
+        qrg_a = build_qrg(a[0], a[1], a[2])
+        qrg_b = build_qrg(b[0], b[1], b[2])
+        assert BasicPlanner().plan(qrg_a).psi == BasicPlanner().plan(qrg_b).psi
+
+
+class TestSyntheticDiamond:
+    def test_structure(self):
+        service, binding, snapshot = synthetic_diamond_dag(3, 2)
+        assert len(service.components) == 5  # fan + 3 branches + sink
+        assert service.graph.is_fan_out("fan")
+        assert service.graph.is_fan_in("sink")
+        # fan-in inputs: 2^3 concatenations
+        assert len(service.sink_component.input_levels) == 8
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            synthetic_diamond_dag(1, 2)
+        with pytest.raises(Exception):
+            synthetic_diamond_dag(2, 0)
+
+
+class TestRandomAvailability:
+    def test_redraws_within_range(self):
+        _svc, _bind, snapshot = synthetic_chain(2, 2)
+        redrawn = random_availability(snapshot, np.random.default_rng(0), low=5, high=10)
+        assert set(redrawn) == set(snapshot)
+        for rid in redrawn:
+            assert 5 <= redrawn[rid].available <= 10

@@ -1,0 +1,89 @@
+"""Tests for the QoS / success-rate tradeoff policy (paper §4.3.1)."""
+
+import pytest
+
+from repro.core import (
+    AvailabilitySnapshot,
+    ResourceObservation,
+    TradeoffPlanner,
+    build_qrg,
+    sink_report,
+)
+
+
+def snapshot_with_alpha(cpu_alpha: float, net_alpha: float, cpu=100.0, net=100.0):
+    return AvailabilitySnapshot(
+        {
+            "cpu:H1": ResourceObservation(available=cpu, alpha=cpu_alpha),
+            "net:L1": ResourceObservation(available=net, alpha=net_alpha),
+        }
+    )
+
+
+class TestTradeoffPolicy:
+    def test_keeps_best_sink_when_trend_up(self, small_service, small_binding):
+        qrg = build_qrg(small_service, small_binding, snapshot_with_alpha(1.0, 1.1))
+        plan = TradeoffPlanner().plan(qrg)
+        assert plan.end_to_end_label == "Qf"
+
+    def test_downgrades_when_bottleneck_trending_down(self, small_service, small_binding):
+        # best sink Qf via Qa-Qb-Qd-Qf: psi0 = 0.2 (net bottleneck).
+        # alpha(net)=0.5 => budget 0.1; Qg reachable at psi=0.1 via
+        # Qa-Qb/Qc...: Qa-Qc-Qe-Qg: max(0.05, 0.08)=0.08 <= 0.1 -> Qg.
+        qrg = build_qrg(small_service, small_binding, snapshot_with_alpha(1.0, 0.5))
+        plan = TradeoffPlanner().plan(qrg)
+        assert plan.end_to_end_label == "Qg"
+        assert plan.psi <= 0.5 * 0.2 + 1e-12
+
+    def test_mild_downturn_keeps_level_if_within_budget(self, small_service, small_binding):
+        # alpha = 0.99 => budget 0.198; no sink fits except via fallback:
+        # Qg's best psi is 0.08 <= 0.198, so Qg satisfies the inequality.
+        qrg = build_qrg(small_service, small_binding, snapshot_with_alpha(1.0, 0.99))
+        plan = TradeoffPlanner().plan(qrg)
+        assert plan.end_to_end_label == "Qg"
+
+    def test_fallback_to_most_conservative_when_none_fit(self, small_service, small_binding):
+        # Make ALL paths expensive: tiny availability so psi values are large
+        # and close; alpha small so no sink passes the budget test.
+        snapshot = AvailabilitySnapshot(
+            {
+                "cpu:H1": ResourceObservation(available=12.0, alpha=1.0),
+                "net:L1": ResourceObservation(available=21.0, alpha=0.05),
+            }
+        )
+        qrg = build_qrg(small_service, small_binding, snapshot)
+        plan = TradeoffPlanner().plan(qrg)
+        assert plan is not None
+        # the most conservative reachable sink = the one with min psi
+        rows = sink_report(qrg)
+        min_psi = min(psi for _label, psi, _alpha in rows)
+        assert plan.psi == pytest.approx(min_psi)
+
+    def test_none_when_infeasible(self, small_service, small_binding):
+        snapshot = AvailabilitySnapshot.from_amounts({"cpu:H1": 1, "net:L1": 1})
+        qrg = build_qrg(small_service, small_binding, snapshot)
+        assert TradeoffPlanner().plan(qrg) is None
+
+    def test_never_exceeds_basic_choice(self, small_service, small_binding):
+        from repro.core import BasicPlanner
+
+        for net_alpha in (0.3, 0.7, 1.0, 1.4):
+            qrg = build_qrg(small_service, small_binding, snapshot_with_alpha(1.0, net_alpha))
+            basic = BasicPlanner().plan(qrg)
+            tradeoff = TradeoffPlanner().plan(qrg)
+            assert tradeoff.end_to_end_rank >= basic.end_to_end_rank
+
+
+class TestSinkReport:
+    def test_rows_sorted_best_first(self, small_service, small_binding, ample_snapshot):
+        qrg = build_qrg(small_service, small_binding, ample_snapshot)
+        rows = sink_report(qrg)
+        assert [label for label, _psi, _alpha in rows] == ["Qf", "Qg"]
+        assert rows[0][1] == pytest.approx(0.2)
+        assert rows[1][1] == pytest.approx(0.08)
+
+    def test_alpha_attached_to_bottleneck(self, small_service, small_binding):
+        qrg = build_qrg(small_service, small_binding, snapshot_with_alpha(0.4, 0.9))
+        rows = sink_report(qrg)
+        # bottleneck of every path here is the net resource (weights larger)
+        assert all(alpha == 0.9 for _label, _psi, alpha in rows)

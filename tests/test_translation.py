@@ -1,0 +1,102 @@
+"""Tests for translation functions (T_c plug-ins)."""
+
+import pytest
+
+from repro.core import (
+    CallableTranslation,
+    ModelError,
+    QoSLevel,
+    QoSVector,
+    ResourceVector,
+    ScaledTranslation,
+    TabularTranslation,
+    TranslationError,
+    TranslationFunction,
+)
+
+
+def lv(label: str, q: int = 1) -> QoSLevel:
+    return QoSLevel(label, QoSVector(q=q))
+
+
+class TestTabularTranslation:
+    def test_empty_table_rejected(self):
+        with pytest.raises(ModelError):
+            TabularTranslation({})
+
+    def test_lookup_and_missing_pairs(self):
+        table = TabularTranslation({("Qa", "Qb"): {"cpu": 5}})
+        assert table(lv("Qa"), lv("Qb")) == ResourceVector(cpu=5)
+        assert table(lv("Qa"), lv("Qz")) is None
+
+    def test_entry_raises_on_missing(self):
+        table = TabularTranslation({("Qa", "Qb"): {"cpu": 5}})
+        with pytest.raises(TranslationError):
+            table.entry("Qa", "Qz")
+
+    def test_inconsistent_slots_rejected(self):
+        with pytest.raises(ModelError):
+            TabularTranslation({("a", "b"): {"cpu": 1}, ("a", "c"): {"net": 1}})
+
+    def test_key_types_validated(self):
+        with pytest.raises(ModelError):
+            TabularTranslation({(1, "b"): {"cpu": 1}})
+
+    def test_slots_and_pairs(self):
+        table = TabularTranslation(
+            {("a", "b"): {"cpu": 1, "net": 2}, ("a", "c"): {"cpu": 3, "net": 4}}
+        )
+        assert table.slots == frozenset({"cpu", "net"})
+        assert table.pairs == (("a", "b"), ("a", "c"))
+
+    def test_mapped_transform(self):
+        table = TabularTranslation({("a", "b"): {"cpu": 10}})
+        halved = table.mapped(lambda _key, vec: vec.scaled(0.5))
+        assert halved.entry("a", "b") == ResourceVector(cpu=5)
+        # original untouched
+        assert table.entry("a", "b") == ResourceVector(cpu=10)
+
+    def test_satisfies_protocol(self):
+        table = TabularTranslation({("a", "b"): {"cpu": 1}})
+        assert isinstance(table, TranslationFunction)
+
+
+class TestScaledTranslation:
+    def test_scales_requirements(self):
+        base = TabularTranslation({("a", "b"): {"cpu": 5, "net": 10}})
+        fat = ScaledTranslation(base, 10.0)
+        assert fat(lv("a"), lv("b")) == ResourceVector(cpu=50, net=100)
+        assert fat.factor == 10.0
+        assert fat.base is base
+
+    def test_passes_none_through(self):
+        base = TabularTranslation({("a", "b"): {"cpu": 5}})
+        fat = ScaledTranslation(base, 2.0)
+        assert fat(lv("a"), lv("zz")) is None
+
+    def test_identity_factor_returns_same_vector(self):
+        base = TabularTranslation({("a", "b"): {"cpu": 5}})
+        assert ScaledTranslation(base, 1.0)(lv("a"), lv("b")) is base(lv("a"), lv("b"))
+
+    def test_invalid_factor(self):
+        base = TabularTranslation({("a", "b"): {"cpu": 5}})
+        with pytest.raises(ModelError):
+            ScaledTranslation(base, 0.0)
+
+
+class TestCallableTranslation:
+    def test_wraps_formula(self):
+        def formula(qin, qout):
+            return {"cpu": float(qin.vector["q"] + qout.vector["q"])}
+
+        translation = CallableTranslation(formula)
+        assert translation(lv("a", 2), lv("b", 3)) == ResourceVector(cpu=5)
+
+    def test_none_means_unsupported(self):
+        translation = CallableTranslation(lambda qin, qout: None)
+        assert translation(lv("a"), lv("b")) is None
+
+    def test_resource_vector_passthrough(self):
+        vector = ResourceVector(cpu=1)
+        translation = CallableTranslation(lambda qin, qout: vector)
+        assert translation(lv("a"), lv("b")) is vector
