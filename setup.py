@@ -1,0 +1,16 @@
+"""Legacy setuptools shim.
+
+All project metadata lives in ``pyproject.toml`` (PEP 621); this file
+only enables editable installs on toolchains that cannot build PEP 660
+editable wheels (e.g. setuptools < 70.1 without the ``wheel`` package,
+offline):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+On current toolchains a plain ``pip install -e .`` works and ignores
+this shim's code path entirely.
+"""
+
+from setuptools import setup
+
+setup()

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional
 from repro.brokers.history import AvailabilityHistory
 from repro.core.errors import AdmissionError, BrokerError
 from repro.core.resources import ResourceObservation
+from repro.obs import metrics as _metrics
 
 #: A clock callable, normally ``lambda: env.now`` of the DES environment.
 Clock = Callable[[], float]
@@ -61,6 +62,8 @@ class ResourceBroker:
         self._reservations: Dict[int, Reservation] = {}
         self.history = AvailabilityHistory(window=trend_window)
         self.history.record_change(self._clock(), self._capacity)
+        #: Labels attached to this broker's metrics; subclasses extend.
+        self._metric_labels: Dict[str, str] = {"resource": resource_id}
 
     # -- reporting (broker operation 1) -------------------------------------
 
@@ -110,6 +113,9 @@ class ResourceBroker:
         if amount <= 0:
             raise BrokerError(f"reservation amount must be positive, got {amount!r}")
         if amount > self.available + 1e-9:
+            registry = _metrics.active_registry()
+            if registry is not None:
+                registry.counter("broker.rejections", **self._metric_labels).inc()
             raise AdmissionError(
                 f"{self.resource_id}: requested {amount:g} exceeds availability "
                 f"{self.available:g} (capacity {self._capacity:g})",
@@ -126,6 +132,12 @@ class ResourceBroker:
         self._reserved += reservation.amount
         self._reservations[reservation.reservation_id] = reservation
         self.history.record_change(now, self.available)
+        registry = _metrics.active_registry()
+        if registry is not None:
+            registry.counter("broker.grants", **self._metric_labels).inc()
+            registry.gauge("broker.utilization", **self._metric_labels).set(
+                self.utilization()
+            )
         return reservation
 
     # -- terminating (broker operation 3) ---------------------------------------
@@ -143,6 +155,12 @@ class ResourceBroker:
             raise BrokerError(f"{self.resource_id}: negative reserved amount")
         self._reserved = max(self._reserved, 0.0)
         self.history.record_change(self._clock(), self.available)
+        registry = _metrics.active_registry()
+        if registry is not None:
+            registry.counter("broker.releases", **self._metric_labels).inc()
+            registry.gauge("broker.utilization", **self._metric_labels).set(
+                self.utilization()
+            )
 
     def outstanding(self) -> int:
         """Number of live reservations (diagnostics / invariants)."""

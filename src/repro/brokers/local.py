@@ -35,3 +35,6 @@ class LocalResourceBroker(ResourceBroker):
         )
         self.host = host
         self.kind = kind
+        # Host/kind dimensions let the metrics layer aggregate local
+        # pools across the grid (e.g. all "cpu" grants per host).
+        self._metric_labels.update(host=host, kind=kind)

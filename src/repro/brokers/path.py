@@ -24,6 +24,7 @@ from repro.brokers.history import AvailabilityHistory
 from repro.brokers.link import LinkBandwidthBroker
 from repro.core.errors import AdmissionError, BrokerError
 from repro.core.resources import ResourceObservation
+from repro.obs import metrics as _metrics
 
 _path_reservation_ids = itertools.count(1)
 
@@ -58,6 +59,8 @@ class PathBroker:
         self._clock: Clock = clock if clock is not None else (lambda: 0.0)
         self.history = AvailabilityHistory(window=trend_window)
         self.history.record_change(self._clock(), self.available)
+        #: Labels attached to this broker's metrics (mirrors ResourceBroker).
+        self._metric_labels = {"resource": resource_id, "hops": str(len(self.links))}
 
     # -- reporting -----------------------------------------------------------
 
@@ -115,6 +118,9 @@ class PathBroker:
             for link_reservation in reversed(made):
                 broker = self._link_by_id(link_reservation.resource_id)
                 broker.release(link_reservation)
+            registry = _metrics.active_registry()
+            if registry is not None:
+                registry.counter("broker.rejections", **self._metric_labels).inc()
             raise AdmissionError(
                 f"{self.resource_id}: {amount:g} exceeds availability "
                 f"{self.available:g} on link {self.bottleneck_link().link_id}",
@@ -122,6 +128,12 @@ class PathBroker:
             ) from None
         now = self._clock()
         self.history.record_change(now, self.available)
+        registry = _metrics.active_registry()
+        if registry is not None:
+            registry.counter("broker.grants", **self._metric_labels).inc()
+            registry.gauge("broker.utilization", **self._metric_labels).set(
+                self.utilization()
+            )
         return PathReservation(
             reservation_id=next(_path_reservation_ids),
             resource_id=self.resource_id,
@@ -136,6 +148,12 @@ class PathBroker:
         for link_reservation in reservation.link_reservations:
             self._link_by_id(link_reservation.resource_id).release(link_reservation)
         self.history.record_change(self._clock(), self.available)
+        registry = _metrics.active_registry()
+        if registry is not None:
+            registry.counter("broker.releases", **self._metric_labels).inc()
+            registry.gauge("broker.utilization", **self._metric_labels).set(
+                self.utilization()
+            )
 
     def outstanding(self) -> int:
         """Number of live reservations (diagnostics / invariants)."""

@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
 
+from repro.obs import trace as _trace
+
 Node = TypeVar("Node", bound=Hashable)
 
 #: Adjacency oracle: node -> iterable of (successor, weight, edge payload).
@@ -74,6 +76,16 @@ def minimax_dijkstra(
         Apply the paper's min-edge-weight tie-breaking rule.  Disabling it
         (ablation) keeps first-found predecessors.
     """
+    with _trace.span("dijkstra") as span:
+        result = _minimax_dijkstra(source, successors, tie_break)
+        span.set(settled=len(result.distance))
+        return result
+
+
+def _minimax_dijkstra(
+    source: Node, successors: Successors, tie_break: bool
+) -> PathSearchResult[Node]:
+    """The uninstrumented search body of :func:`minimax_dijkstra`."""
     distance: Dict[Node, float] = {source: 0.0}
     predecessor: Dict[Node, Node] = {}
     predecessor_edge: Dict[Node, object] = {}

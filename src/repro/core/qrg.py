@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.component import Binding
 from repro.core.errors import ModelError, PlanningError
+from repro.obs import trace as _trace
 from repro.core.qos import QoSLevel
 from repro.core.resources import (
     AvailabilitySnapshot,
@@ -332,20 +333,23 @@ def build_qrg(
     contention_index:
         The psi definition (paper footnote 2 allows alternatives).
     """
-    source_level = resolve_source_level(service, source_label)
-    intra_edges: List[IntraEdge] = []
-    for name in service.graph.topological_order():
-        component = service.component(name)
-        allowed = (
-            frozenset({source_level.label}) if name == service.graph.source else None
-        )
-        intra_edges.extend(
-            price_component_edges(
-                component,
-                binding,
-                snapshot,
-                allowed_input_labels=allowed,
-                contention_index=contention_index,
+    with _trace.span("qrg_build", service=service.name) as span:
+        source_level = resolve_source_level(service, source_label)
+        intra_edges: List[IntraEdge] = []
+        for name in service.graph.topological_order():
+            component = service.component(name)
+            allowed = (
+                frozenset({source_level.label}) if name == service.graph.source else None
             )
-        )
-    return assemble_qrg(service, source_level, intra_edges, snapshot)
+            intra_edges.extend(
+                price_component_edges(
+                    component,
+                    binding,
+                    snapshot,
+                    allowed_input_labels=allowed,
+                    contention_index=contention_index,
+                )
+            )
+        qrg = assemble_qrg(service, source_level, intra_edges, snapshot)
+        span.set(nodes=qrg.count_nodes(), edges=qrg.count_edges())
+        return qrg

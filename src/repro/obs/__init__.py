@@ -1,0 +1,176 @@
+"""repro.obs -- tracing and metrics for the reservation system.
+
+The observability layer has three parts:
+
+* :mod:`repro.obs.trace`   -- span-style structured tracer (per-phase
+  wall times of QRG construction, minimax Dijkstra, plan assembly, and
+  the two-phase establish/teardown protocol);
+* :mod:`repro.obs.metrics` -- counters / gauges / histograms (per-broker
+  grants, rejections, releases, utilization; per-session outcomes);
+* :mod:`repro.obs.export`  -- JSON trace, CSV metrics, and text summary
+  exporters.
+
+Instrumented code dispatches through module-level "active" handles that
+default to no-ops, so the whole layer is effectively free unless an
+:class:`ObservationSession` (or the lower-level ``install`` functions)
+turns it on::
+
+    from repro.obs import ObservationSession
+
+    with ObservationSession() as obs:
+        result = run_simulation(config)
+    obs.write_trace_json("trace.json")
+    print(obs.summary())
+
+See ``docs/observability.md`` for the event schema and exporter formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.obs import export as _export
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.export import (
+    observability_to_dict,
+    summary_report,
+    write_metrics_csv,
+    write_summary,
+    write_trace_json,
+)
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_PSI_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    metering,
+)
+from repro.obs.trace import SpanRecord, Tracer, active_tracer, tracing
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PSI_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilityConfig",
+    "ObservationSession",
+    "SpanRecord",
+    "Tracer",
+    "active_registry",
+    "active_tracer",
+    "metering",
+    "observability_to_dict",
+    "summary_report",
+    "tracing",
+    "write_metrics_csv",
+    "write_summary",
+    "write_trace_json",
+]
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What to observe in a run and where to export it.
+
+    Hangs off :class:`repro.sim.SimulationConfig` (``observability``
+    field); all paths are optional -- with none set, the collected
+    tracer/registry are still attached to the
+    :class:`~repro.sim.SimulationResult` for in-process inspection.
+    """
+
+    #: Collect span records (per-phase timings).
+    trace: bool = True
+    #: Collect counters/gauges/histograms.
+    metrics: bool = True
+    #: Write the machine-readable JSON trace document here.
+    trace_path: Optional[str] = None
+    #: Write flat CSV metric rows here.
+    metrics_path: Optional[str] = None
+    #: Write the results/-style text summary here.
+    summary_path: Optional[str] = None
+
+    @property
+    def enabled(self) -> bool:
+        """True when anything at all is being collected."""
+        return self.trace or self.metrics
+
+
+class ObservationSession:
+    """Installs a tracer and/or metrics registry for one block of work.
+
+    A thin convenience over :func:`repro.obs.trace.install` and
+    :func:`repro.obs.metrics.install` that restores the previously
+    installed handles on exit and bundles the exporters.
+    """
+
+    def __init__(self, config: Optional[ObservabilityConfig] = None) -> None:
+        self.config = config if config is not None else ObservabilityConfig()
+        self.tracer: Optional[Tracer] = Tracer() if self.config.trace else None
+        self.registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if self.config.metrics else None
+        )
+        self._previous_tracer: Optional[Tracer] = None
+        self._previous_registry: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> "ObservationSession":
+        self._previous_tracer = _trace.active_tracer()
+        self._previous_registry = _metrics.active_registry()
+        if self.tracer is not None:
+            _trace.install(self.tracer)
+        if self.registry is not None:
+            _metrics.install(self.registry)
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        if self.tracer is not None:
+            if self._previous_tracer is None:
+                _trace.uninstall()
+            else:
+                _trace.install(self._previous_tracer)
+        if self.registry is not None:
+            if self._previous_registry is None:
+                _metrics.uninstall()
+            else:
+                _metrics.install(self._previous_registry)
+        return False
+
+    # -- exports -----------------------------------------------------------
+
+    def to_dict(self, *, meta: Optional[dict] = None) -> dict:
+        """The JSON trace document as a plain dict."""
+        return observability_to_dict(self.tracer, self.registry, meta=meta)
+
+    def write_trace_json(self, path, *, meta: Optional[dict] = None) -> Path:
+        """Write the JSON trace document; returns the written path."""
+        return write_trace_json(path, self.tracer, self.registry, meta=meta)
+
+    def write_metrics_csv(self, path) -> Path:
+        """Write the flat CSV metric rows; returns the written path."""
+        if self.registry is None:
+            raise ValueError("metrics collection is disabled for this session")
+        return write_metrics_csv(path, self.registry)
+
+    def summary(self, *, title: str = "observability summary") -> str:
+        """The results/-style text report."""
+        return summary_report(self.tracer, self.registry, title=title)
+
+    def write_summary(self, path, *, title: str = "observability summary") -> Path:
+        """Write the text report; returns the written path."""
+        return write_summary(path, self.tracer, self.registry, title=title)
+
+    def export(self, *, meta: Optional[dict] = None) -> None:
+        """Write every export path configured on the config (if any)."""
+        if self.config.trace_path:
+            self.write_trace_json(self.config.trace_path, meta=meta)
+        if self.config.metrics_path and self.registry is not None:
+            self.write_metrics_csv(self.config.metrics_path)
+        if self.config.summary_path:
+            self.write_summary(self.config.summary_path)

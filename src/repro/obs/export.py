@@ -1,0 +1,153 @@
+"""Exporters: JSON traces, CSV metrics, and text summary reports.
+
+Three output shapes, all built from a :class:`~repro.obs.trace.Tracer`
+and/or a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`write_trace_json` -- one self-describing JSON document with the
+  span records (see :meth:`SpanRecord.to_dict` for the event schema) and
+  the full metrics snapshot; the machine-readable artifact of a run;
+* :func:`write_metrics_csv` -- flat ``kind,name,labels,field,value``
+  rows, loadable by any spreadsheet/pandas pipeline;
+* :func:`summary_report` / :func:`write_summary` -- the human-readable
+  digest in the style of the ``results/*.txt`` artifacts: per-phase
+  timing totals and per-broker grant/reject tallies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, format_labels
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "observability_to_dict",
+    "summary_report",
+    "write_metrics_csv",
+    "write_summary",
+    "write_trace_json",
+]
+
+PathLike = Union[str, Path]
+
+#: Schema version stamped into every JSON trace document.
+TRACE_SCHEMA_VERSION = 1
+
+
+def observability_to_dict(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    meta: Optional[dict] = None,
+) -> dict:
+    """The JSON trace document as a plain dict (see the docs' schema)."""
+    document: dict = {"schema_version": TRACE_SCHEMA_VERSION}
+    if meta:
+        document["meta"] = dict(meta)
+    if tracer is not None:
+        document["spans"] = tracer.to_dicts()
+        document["span_totals"] = {
+            name: {"count": tracer.count(name), "total_seconds": tracer.total_time(name)}
+            for name in tracer.names()
+        }
+    if registry is not None:
+        document["metrics"] = registry.snapshot()
+    return document
+
+
+def write_trace_json(
+    path: PathLike,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    meta: Optional[dict] = None,
+) -> Path:
+    """Write the JSON trace document; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    document = observability_to_dict(tracer, registry, meta=meta)
+    target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def write_metrics_csv(path: PathLike, registry: MetricsRegistry) -> Path:
+    """Write every instrument as flat CSV rows; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["kind", "name", "labels", "field", "value"])
+        for row in registry.rows():
+            writer.writerow(row)
+    return target
+
+
+def _broker_table(registry: MetricsRegistry) -> List[str]:
+    """Per-resource grants/rejections/releases rows, aligned."""
+    per_resource: Dict[str, Dict[str, float]] = {}
+    for name, labels, value in registry.iter_counters():
+        if not name.startswith("broker."):
+            continue
+        resource = labels.get("resource", format_labels(tuple(sorted(labels.items()))) or "-")
+        per_resource.setdefault(resource, {})[name.split(".", 1)[1]] = value
+    if not per_resource:
+        return []
+    lines = ["per-broker reservations:", f"  {'resource':<14} {'grants':>8} {'rejects':>8} {'releases':>9}"]
+    for resource in sorted(per_resource):
+        counts = per_resource[resource]
+        lines.append(
+            f"  {resource:<14} {counts.get('grants', 0):>8g} "
+            f"{counts.get('rejections', 0):>8g} {counts.get('releases', 0):>9g}"
+        )
+    return lines
+
+
+def summary_report(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    title: str = "observability summary",
+) -> str:
+    """A ``results/``-style text report of one traced run."""
+    lines: List[str] = [title, "=" * len(title)]
+    if tracer is not None and tracer.records:
+        lines.append("")
+        lines.append("per-phase timings:")
+        lines.append(f"  {'span':<22} {'count':>7} {'total_s':>10} {'mean_us':>10}")
+        for name in tracer.names():
+            count = tracer.count(name)
+            total = tracer.total_time(name)
+            mean_us = 1e6 * total / count if count else 0.0
+            lines.append(f"  {name:<22} {count:>7} {total:>10.4f} {mean_us:>10.1f}")
+    if registry is not None:
+        broker_lines = _broker_table(registry)
+        if broker_lines:
+            lines.append("")
+            lines.extend(broker_lines)
+        session_names = sorted(
+            {name for name, _labels, _value in registry.iter_counters() if name.startswith("session.")}
+        )
+        if session_names:
+            lines.append("")
+            lines.append("session outcomes:")
+            for name in session_names:
+                lines.append(f"  {name:<24} {registry.counter_total(name):g}")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_summary(
+    path: PathLike,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    *,
+    title: str = "observability summary",
+) -> Path:
+    """Write the text summary report; returns the written path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(summary_report(tracer, registry, title=title))
+    return target

@@ -1,0 +1,286 @@
+"""Counters, gauges and histograms for brokers, proxies and sessions.
+
+A :class:`MetricsRegistry` hands out labelled instruments on demand:
+
+* :class:`Counter` -- monotonically increasing count (grants, rejections,
+  releases, session outcomes);
+* :class:`Gauge` -- last-written value (per-broker utilization);
+* :class:`Histogram` -- fixed-boundary bucketed distribution (establish
+  latency, the contention index of chosen plans).
+
+Instruments are keyed by ``(name, sorted labels)``, so
+``registry.counter("broker.grants", resource="cpu:H1")`` always returns
+the same object.  Like :mod:`repro.obs.trace`, instrumented code goes
+through the module-level :func:`active_registry`; when no registry is
+installed (the default) the check is a single global read and recording
+costs nothing.
+"""
+
+from __future__ import annotations
+
+import bisect
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_PSI_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "active_registry",
+    "install",
+    "metering",
+    "uninstall",
+]
+
+#: Establish-latency boundaries (seconds): sub-millisecond planning up
+#: to protocol round trips.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+#: Contention-index boundaries: psi of an admissible plan lies in (0, 1].
+DEFAULT_PSI_BUCKETS: Tuple[float, ...] = (
+    0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counters only increase; got {amount!r}")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta``."""
+        self.value += delta
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation."""
+        return {"value": self.value}
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max.
+
+    ``boundaries`` are inclusive upper bounds of the finite buckets; one
+    implicit overflow bucket catches everything beyond the last bound.
+    """
+
+    __slots__ = ("boundaries", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, boundaries: Tuple[float, ...]) -> None:
+        if not boundaries:
+            raise ValueError("a histogram needs at least one bucket boundary")
+        if list(boundaries) != sorted(boundaries):
+            raise ValueError(f"bucket boundaries must be sorted: {boundaries!r}")
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self.bucket_counts = [0] * (len(boundaries) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (boundaries + counts + stats)."""
+        return {
+            "boundaries": list(self.boundaries),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+def _label_key(labels: Dict[str, object]) -> Labels:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: Labels) -> str:
+    """Prometheus-style ``{k=v,...}`` suffix ("" when unlabelled)."""
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class MetricsRegistry:
+    """Directory of every instrument created during one run."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, Labels], Counter] = {}
+        self._gauges: Dict[Tuple[str, Labels], Gauge] = {}
+        self._histograms: Dict[Tuple[str, Labels], Histogram] = {}
+
+    # -- instrument access (get-or-create) ----------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for (name, labels), created on first use."""
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for (name, labels), created on first use."""
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """The histogram for (name, labels), created on first use.
+
+        ``buckets`` only matters at creation; later calls reuse the
+        existing boundaries.
+        """
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    # -- reading -------------------------------------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """Current value of a counter (0 when never written)."""
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        return sum(
+            instrument.value
+            for (counter_name, _labels), instrument in self._counters.items()
+            if counter_name == name
+        )
+
+    def iter_counters(self) -> List[Tuple[str, Dict[str, str], float]]:
+        """Every counter as ``(name, labels, value)``, sorted by key."""
+        return [
+            (name, dict(labels), counter.value)
+            for (name, labels), counter in sorted(self._counters.items())
+        ]
+
+    def rows(self) -> List[Tuple[str, str, str, str, float]]:
+        """Flat ``(kind, name, labels, field, value)`` rows for CSV export.
+
+        Histograms expand to one row per summary field plus one per
+        bucket (field ``le=<bound>``; the overflow bucket is ``le=inf``).
+        """
+        out: List[Tuple[str, str, str, str, float]] = []
+        for (name, labels), counter in sorted(self._counters.items()):
+            out.append(("counter", name, format_labels(labels), "value", counter.value))
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            out.append(("gauge", name, format_labels(labels), "value", gauge.value))
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            label_text = format_labels(labels)
+            out.append(("histogram", name, label_text, "count", float(histogram.count)))
+            out.append(("histogram", name, label_text, "sum", histogram.sum))
+            bounds = [f"le={bound:g}" for bound in histogram.boundaries] + ["le=inf"]
+            for bound, bucket_count in zip(bounds, histogram.bucket_counts):
+                out.append(("histogram", name, label_text, bound, float(bucket_count)))
+        return out
+
+    def snapshot(self) -> dict:
+        """JSON-compatible dump of every instrument, keyed ``name{labels}``."""
+        return {
+            "counters": {
+                name + format_labels(labels): counter.to_dict()
+                for (name, labels), counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name + format_labels(labels): gauge.to_dict()
+                for (name, labels), gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name + format_labels(labels): histogram.to_dict()
+                for (name, labels), histogram in sorted(self._histograms.items())
+            },
+        }
+
+
+#: The installed registry; None means metrics are disabled (the default).
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def install(registry: MetricsRegistry) -> None:
+    """Make ``registry`` receive every metric from instrumented code."""
+    global _ACTIVE
+    _ACTIVE = registry
+
+
+def uninstall() -> None:
+    """Disable metrics (instrumentation reverts to the no-op path)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The installed registry, or None when metrics are disabled."""
+    return _ACTIVE
+
+
+@contextmanager
+def metering(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` for the duration of the block, then restore."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous

@@ -18,6 +18,7 @@ under contention.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -28,6 +29,8 @@ from repro.core.plan import ReservationPlan
 from repro.core.qrg import build_qrg
 from repro.core.resources import AvailabilitySnapshot, ResourceObservation
 from repro.core.translation import ScaledTranslation
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.runtime.messages import AvailabilityRequest, PlanSegment
 from repro.runtime.model_store import ModelStore
 from repro.runtime.proxy import QoSProxy
@@ -100,49 +103,100 @@ class ReservationCoordinator:
         ``demand_scale`` scales every translation-function requirement
         (the evaluation's "fat" sessions, §5.1).
         """
+        registry = _metrics.active_registry()
+        started = _time.perf_counter() if registry is not None else 0.0
+        with _trace.span("establish", session=session_id, service=service_name) as span:
+            result = self._establish(
+                session_id,
+                service_name,
+                binding,
+                planner,
+                component_hosts=component_hosts,
+                source_label=source_label,
+                demand_scale=demand_scale,
+                observed_at=observed_at,
+                contention_index=contention_index,
+            )
+            span.set(outcome="established" if result.success else result.reason)
+            if registry is not None:
+                outcome = "established" if result.success else result.reason
+                registry.counter("coordinator.establish", outcome=outcome).inc()
+                if result.failed_resource is not None:
+                    registry.counter(
+                        "coordinator.admission_failures", resource=result.failed_resource
+                    ).inc()
+                registry.histogram("coordinator.establish_seconds").observe(
+                    _time.perf_counter() - started
+                )
+            return result
+
+    def _establish(
+        self,
+        session_id: str,
+        service_name: str,
+        binding: Binding,
+        planner,
+        *,
+        component_hosts: Optional[Mapping[str, str]] = None,
+        source_label: Optional[str] = None,
+        demand_scale: float = 1.0,
+        observed_at: Optional[ObservationSchedule] = None,
+        contention_index=None,
+    ) -> EstablishmentResult:
+        """The three phases themselves (timing/accounting in :meth:`establish`)."""
         service = self.model_store.service(service_name)
         if demand_scale != 1.0:
             service = _scaled_service(service, demand_scale)
 
         # Phase 1: collect availability from the owning proxies.
         resource_ids = sorted(binding.resource_ids())
-        request = AvailabilityRequest(session_id=session_id, resource_ids=tuple(resource_ids))
-        observations: Dict[str, ResourceObservation] = {}
-        for proxy in self._participating_proxies(resource_ids):
-            report = proxy.report_availability(request, observed_at=observed_at)
-            observations.update(report.observations)
-        missing = set(resource_ids) - set(observations)
-        if missing:
-            raise BrokerError(f"no proxy reported resources {sorted(missing)}")
-        snapshot = AvailabilitySnapshot(observations)
+        with _trace.span("phase1_availability", resources=len(resource_ids)):
+            request = AvailabilityRequest(
+                session_id=session_id, resource_ids=tuple(resource_ids)
+            )
+            observations: Dict[str, ResourceObservation] = {}
+            for proxy in self._participating_proxies(resource_ids):
+                report = proxy.report_availability(request, observed_at=observed_at)
+                observations.update(report.observations)
+            missing = set(resource_ids) - set(observations)
+            if missing:
+                raise BrokerError(f"no proxy reported resources {sorted(missing)}")
+            snapshot = AvailabilitySnapshot(observations)
 
         # Phase 2: local plan computation at the main proxy.
-        kwargs = {} if contention_index is None else {"contention_index": contention_index}
-        try:
-            qrg = build_qrg(service, binding, snapshot, source_label=source_label, **kwargs)
-        except PlanningError as exc:
-            return EstablishmentResult(session_id, False, None, reason=f"qrg: {exc}")
-        plan = planner.plan(qrg)
-        if plan is None:
-            return EstablishmentResult(session_id, False, None, reason="no_feasible_plan")
+        with _trace.span("phase2_plan"):
+            kwargs = (
+                {} if contention_index is None else {"contention_index": contention_index}
+            )
+            try:
+                qrg = build_qrg(
+                    service, binding, snapshot, source_label=source_label, **kwargs
+                )
+            except PlanningError as exc:
+                return EstablishmentResult(session_id, False, None, reason=f"qrg: {exc}")
+            plan = planner.plan(qrg)
+            if plan is None:
+                return EstablishmentResult(session_id, False, None, reason="no_feasible_plan")
 
         # Phase 3: dispatch plan segments to the owning proxies.
         segments = self._segments(session_id, plan)
-        applied: List[QoSProxy] = []
-        try:
-            for proxy, segment in segments:
-                proxy.apply_segment(segment)
-                applied.append(proxy)
-        except AdmissionError as exc:
-            for proxy in applied:
-                proxy.release_session(session_id)
-            return EstablishmentResult(
-                session_id,
-                False,
-                plan,
-                reason="admission_failed",
-                failed_resource=exc.resource_id,
-            )
+        with _trace.span("phase3_dispatch", segments=len(segments)) as dispatch_span:
+            applied: List[QoSProxy] = []
+            try:
+                for proxy, segment in segments:
+                    proxy.apply_segment(segment)
+                    applied.append(proxy)
+            except AdmissionError as exc:
+                for proxy in applied:
+                    proxy.release_session(session_id)
+                dispatch_span.set(rolled_back=len(applied), failed_resource=exc.resource_id)
+                return EstablishmentResult(
+                    session_id,
+                    False,
+                    plan,
+                    reason="admission_failed",
+                    failed_resource=exc.resource_id,
+                )
         # Start the session's components on their hosts.
         if component_hosts:
             by_host: Dict[str, List[str]] = {}
@@ -182,10 +236,15 @@ class ReservationCoordinator:
 
     def teardown(self, session_id: str) -> int:
         """Release everything every proxy holds for the session."""
-        released = 0
-        for proxy in self.proxies.values():
-            released += proxy.release_session(session_id)
-        return released
+        with _trace.span("teardown", session=session_id) as span:
+            released = 0
+            for proxy in self.proxies.values():
+                released += proxy.release_session(session_id)
+            span.set(released=released)
+            registry = _metrics.active_registry()
+            if registry is not None:
+                registry.counter("coordinator.teardowns").inc()
+            return released
 
     # -- helpers --------------------------------------------------------------
 

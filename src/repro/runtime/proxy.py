@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.brokers.registry import AnyReservation, BrokerRegistry
 from repro.core.errors import AdmissionError, BrokerError
 from repro.core.resources import ResourceObservation
+from repro.obs import metrics as _metrics
 from repro.runtime.messages import AvailabilityReport, AvailabilityRequest, PlanSegment
 
 
@@ -96,8 +97,14 @@ class QoSProxy:
         except AdmissionError:
             for reservation in reversed(made):
                 self.registry.broker(reservation.resource_id).release(reservation)
+            registry = _metrics.active_registry()
+            if registry is not None:
+                registry.counter("proxy.segment_rejections", host=self.host).inc()
             raise
         self._held.setdefault(segment.session_id, []).extend(made)
+        registry = _metrics.active_registry()
+        if registry is not None:
+            registry.counter("proxy.segments_applied", host=self.host).inc()
 
     def release_session(self, session_id: str) -> int:
         """Release everything held for a session; returns count released."""
@@ -105,6 +112,12 @@ class QoSProxy:
         for reservation in reservations:
             self.registry.broker(reservation.resource_id).release(reservation)
         self._started_components.pop(session_id, None)
+        if reservations:
+            registry = _metrics.active_registry()
+            if registry is not None:
+                registry.counter("proxy.reservations_released", host=self.host).inc(
+                    len(reservations)
+                )
         return len(reservations)
 
     def held_for(self, session_id: str) -> Tuple[AnyReservation, ...]:

@@ -32,6 +32,7 @@ from repro.des.engine import Environment
 from repro.des.rng import RandomStreams
 from repro.network.routing import RoutingTable
 from repro.network.topology import Topology, build_figure9_topology
+from repro.obs import metrics as _metrics
 from repro.runtime.coordinator import ReservationCoordinator
 from repro.runtime.model_store import ModelStore
 from repro.runtime.proxy import QoSProxy
@@ -143,6 +144,30 @@ class GridEnvironment:
             self.service_servers = dict(self.SERVICE_SERVERS)
         self.model_store.register_all(self.services.values())
         self.coordinator = ReservationCoordinator(self.registry, self.model_store, self.proxies)
+
+        # With observability enabled, publish the drawn capacities so
+        # traces/exports are self-describing about the environment.
+        registry_metrics = _metrics.active_registry()
+        if registry_metrics is not None:
+            for broker in self.registry.brokers():
+                registry_metrics.gauge(
+                    "broker.capacity", resource=broker.resource_id
+                ).set(broker.capacity)
+
+    def snapshot_utilization(self) -> Dict[str, float]:
+        """Current utilization per broker; also refreshes the gauges."""
+        registry_metrics = _metrics.active_registry()
+        utilization: Dict[str, float] = {}
+        for broker in self.registry.brokers():
+            utilization[broker.resource_id] = broker.utilization()
+            if registry_metrics is not None:
+                labels = getattr(
+                    broker, "_metric_labels", {"resource": broker.resource_id}
+                )
+                registry_metrics.gauge("broker.utilization", **labels).set(
+                    broker.utilization()
+                )
+        return utilization
 
     def _add_path_broker(self, a: str, b: str, clock, trend_window: float) -> None:
         resource_id = _pair_id(a, b)

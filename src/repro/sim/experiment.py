@@ -23,7 +23,9 @@ from repro.core.resources import (
 from repro.core.tradeoff import TradeoffPlanner
 from repro.des.engine import Environment
 from repro.des.rng import RandomStreams
-from repro.runtime.session import ServiceSession
+from repro.obs import ObservabilityConfig, ObservationSession
+from repro.obs.metrics import DEFAULT_PSI_BUCKETS, active_registry
+from repro.runtime.session import ServiceSession, SessionOutcome
 from repro.sim.environment import GridEnvironment
 from repro.sim.metrics import MetricsCollector, MetricsSnapshot, PathCensus
 from repro.sim.services import (
@@ -65,6 +67,9 @@ class SimulationConfig:
     tie_break: bool = True
     #: Retain individual SessionOutcome records (memory-heavy).
     keep_outcomes: bool = False
+    #: Tracing/metrics collection and export (None = fully disabled,
+    #: the zero-overhead default).  See :mod:`repro.obs`.
+    observability: Optional[ObservabilityConfig] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -90,6 +95,9 @@ class SimulationResult:
     metrics: MetricsSnapshot
     paths: PathCensus
     wall_seconds: float
+    #: The run's tracer + metrics registry (None unless the config
+    #: enabled observability).
+    observation: Optional[ObservationSession] = None
 
     @property
     def success_rate(self) -> float:
@@ -110,12 +118,58 @@ def _make_planner(config: SimulationConfig, streams: RandomStreams):
     return RandomPlanner(rng=streams.stream("random-planner"))
 
 
+def _record_session_metrics(outcome: SessionOutcome) -> None:
+    """Per-session outcome counters/histograms (no-op when disabled)."""
+    registry = active_registry()
+    if registry is None:
+        return
+    if outcome.success:
+        registry.counter("session.admitted", service=outcome.service).inc()
+        if outcome.plan is not None and outcome.plan.end_to_end_rank > 0:
+            # Admitted, but below the service's top end-to-end level --
+            # the trade-off/feasibility degradation the paper trades
+            # against success rate.
+            registry.counter("session.degraded", service=outcome.service).inc()
+    else:
+        registry.counter(
+            "session.rejected", service=outcome.service, reason=outcome.reason
+        ).inc()
+    if outcome.plan is not None:
+        registry.histogram("session.psi", buckets=DEFAULT_PSI_BUCKETS).observe(
+            outcome.plan.psi
+        )
+
+
 def run_simulation(config: SimulationConfig) -> SimulationResult:
     """Execute one run and return its metrics.
 
     The run is fully deterministic given ``config`` (all randomness goes
-    through named, seeded streams).
+    through named, seeded streams).  With ``config.observability`` set,
+    the run collects a span trace and a metrics registry (attached to
+    the result as ``observation``) and writes any configured export
+    paths (JSON trace, CSV metrics, text summary) before returning.
     """
+    observation: Optional[ObservationSession] = None
+    if config.observability is not None and config.observability.enabled:
+        observation = ObservationSession(config.observability)
+        with observation:
+            result = _run_simulation(config, observation)
+        observation.export(
+            meta={
+                "algorithm": config.algorithm,
+                "seed": config.seed,
+                "rate_per_60tu": config.workload.rate_per_60tu,
+                "horizon": config.workload.horizon,
+                "wall_seconds": result.wall_seconds,
+            }
+        )
+        return result
+    return _run_simulation(config, None)
+
+
+def _run_simulation(
+    config: SimulationConfig, observation: Optional[ObservationSession]
+) -> SimulationResult:
     started = _time.perf_counter()
     env = Environment()
     streams = RandomStreams(config.seed)
@@ -146,6 +200,11 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         config.staleness, streams.stream("staleness"), clock=lambda: env.now
     )
 
+    def record_outcome(outcome: SessionOutcome) -> None:
+        """Feed the run's collector and the observability layer."""
+        metrics.record(outcome)
+        _record_session_metrics(outcome)
+
     def arrivals():
         """Drive the Poisson arrival process on the DES engine."""
         for request in generator.generate():
@@ -164,7 +223,7 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
                 observed_at=stale_model.schedule_for_session(),
                 latency=config.latency,
                 contention_index=contention_index,
-                on_finish=metrics.record,
+                on_finish=record_outcome,
             )
             env.process(session.run())
 
@@ -180,6 +239,7 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
         metrics=metrics.snapshot(),
         paths=metrics.paths,
         wall_seconds=_time.perf_counter() - started,
+        observation=observation,
     )
 
 

@@ -5,6 +5,8 @@ import pytest
 from repro.brokers import BrokerRegistry, LinkBandwidthBroker, LocalResourceBroker, PathBroker
 from repro.core import BasicPlanner, headroom_contention_index
 from repro.core.errors import BrokerError
+from repro.core.plan import ComponentAssignment, ReservationPlan
+from repro.core.resources import ResourceVector
 from repro.des import Environment
 from repro.runtime import ModelStore, QoSProxy, ReservationCoordinator, ServiceSession
 from repro.runtime.messages import PlanSegment
@@ -94,3 +96,65 @@ class TestCoordinatorConfig:
     def test_teardown_of_unknown_session_is_zero(self, small_service):
         _registry, coordinator, *_ = build_rig(small_service)
         assert coordinator.teardown("never-existed") == 0
+
+
+class TestEstablishRollback:
+    """Regression: when a *later* proxy's segment is rejected in phase 3,
+    every segment already applied by earlier proxies must be released and
+    the brokers' availability fully restored (paper §4.2 atomicity)."""
+
+    def test_partial_failure_releases_earlier_proxies(self, small_service, small_binding):
+        registry = BrokerRegistry()
+        cpu1 = LocalResourceBroker("H1", "cpu", 100.0)
+        cpu2 = LocalResourceBroker("H2", "cpu", 100.0)
+        link = LinkBandwidthBroker("L1", "H1", "H2", 100.0)
+        path = PathBroker("net:L1", [link])
+        for broker in (cpu1, cpu2, link, path):
+            registry.register(broker)
+        # Segments dispatch in sorted-host order, so the over-demanded
+        # network resource (owned by "H3") is applied *after* both CPU
+        # segments have already been reserved.
+        proxies = {host: QoSProxy(host, registry) for host in ("H1", "H2", "H3")}
+        proxies["H1"].own("cpu:H1")
+        proxies["H2"].own("cpu:H2")
+        proxies["H3"].own("net:L1")
+        store = ModelStore()
+        store.register(small_service)
+        coordinator = ReservationCoordinator(registry, store, proxies)
+
+        doomed_plan = ReservationPlan(
+            service=small_service.name,
+            assignments=(
+                ComponentAssignment(
+                    component="c1", qin_label="Qa", qout_label="Qb",
+                    requirement=ResourceVector({"cpu": 10.0}),
+                    bound=ResourceVector({"cpu:H1": 10.0, "cpu:H2": 10.0}),
+                    weight=0.1, bottleneck_resource="cpu:H1", alpha=0.0,
+                ),
+                ComponentAssignment(
+                    component="c2", qin_label="Qb", qout_label="Qf",
+                    requirement=ResourceVector({"net": 150.0}),
+                    bound=ResourceVector({"net:L1": 150.0}),  # > capacity 100
+                    weight=1.5, bottleneck_resource="net:L1", alpha=0.0,
+                ),
+            ),
+            end_to_end_label="Qf", end_to_end_rank=0, numeric_level=1,
+            psi=1.5, bottleneck_resource="net:L1", bottleneck_alpha=0.0,
+        )
+
+        class StubPlanner:
+            name = "stub"
+
+            def plan(self, qrg):
+                return doomed_plan
+
+        before = {rid: registry.broker(rid).available for rid in registry.resource_ids()}
+        result = coordinator.establish("s1", "small", small_binding, StubPlanner())
+
+        assert not result.success
+        assert result.reason == "admission_failed"
+        assert result.failed_resource == "net:L1"
+        after = {rid: registry.broker(rid).available for rid in registry.resource_ids()}
+        assert after == before, "rollback must restore every broker's availability"
+        for proxy in proxies.values():
+            assert proxy.held_for("s1") == ()

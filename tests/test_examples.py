@@ -1,14 +1,32 @@
 """Smoke tests: every shipped example runs cleanly end to end."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+REPO = pathlib.Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO / "examples"
 
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def subprocess_env() -> dict:
+    """The parent environment with ``src/`` prepended to PYTHONPATH.
+
+    Examples import :mod:`repro`; when the test runner itself found the
+    package via ``PYTHONPATH=src`` (the tier-1 invocation), a spawned
+    interpreter inherits the relative path with the wrong cwd -- so pass
+    the absolute path explicitly.  Also correct when repro is installed
+    (``pip install -e .``): the extra entry is harmless.
+    """
+    env = {**os.environ}
+    existing = env.get("PYTHONPATH", "")
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
 
 
 def test_examples_exist():
@@ -27,6 +45,7 @@ def test_example_runs(name, tmp_path):
         text=True,
         timeout=300,
         cwd=str(tmp_path),  # examples write output files to the cwd
+        env=subprocess_env(),
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip(), f"{name} produced no output"
