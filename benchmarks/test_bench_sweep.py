@@ -1,0 +1,112 @@
+"""Parallel sweep runner and QRG skeleton cache benchmarks.
+
+Two claims are measured:
+
+* a parallel ``rate_sweep`` (3 algorithms x 4 rates) beats the serial
+  runner on wall time while producing byte-identical metrics -- the
+  speedup assertion (>= 2x on 4 workers) only fires on hosts with at
+  least 4 CPUs, but the identity assertion always runs;
+* a warm :class:`~repro.core.qrg.QRGSkeletonCache` makes QRG
+  construction >= 3x faster than the cold (skeleton-rebuilding) path,
+  since only per-snapshot feasibility filtering + psi pricing remain.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import BENCH_SEED
+from repro.core.qrg import QRGSkeletonCache, build_qrg
+from repro.core.synthetic import random_availability, synthetic_chain
+from repro.sim import (
+    ParallelSweepRunner,
+    SerialSweepRunner,
+    SimulationConfig,
+    WorkloadSpec,
+    rate_sweep,
+)
+
+SWEEP_ALGORITHMS = ("basic", "tradeoff", "random")
+SWEEP_RATES = [60.0, 120.0, 180.0, 240.0]
+SWEEP_WORKERS = 4
+#: The >= 2x wall-time claim needs real parallel hardware.
+ENOUGH_CPUS = (os.cpu_count() or 1) >= SWEEP_WORKERS
+
+
+def _sweep_base() -> SimulationConfig:
+    return SimulationConfig(seed=BENCH_SEED, workload=WorkloadSpec(horizon=400.0))
+
+
+def test_bench_parallel_rate_sweep(benchmark):
+    """Serial vs 4-worker parallel wall time for 3 algorithms x 4 rates."""
+    base = _sweep_base()
+
+    start = time.perf_counter()
+    serial = rate_sweep(SWEEP_ALGORITHMS, SWEEP_RATES, base=base, runner=SerialSweepRunner())
+    serial_seconds = time.perf_counter() - start
+
+    def parallel_once():
+        return rate_sweep(
+            SWEEP_ALGORITHMS,
+            SWEEP_RATES,
+            base=base,
+            runner=ParallelSweepRunner(max_workers=SWEEP_WORKERS),
+        )
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(parallel_once, rounds=1, iterations=1)
+    parallel_seconds = time.perf_counter() - start
+
+    # Identity first: parallel execution must not change a single number.
+    for algorithm in SWEEP_ALGORITHMS:
+        for s, p in zip(serial[algorithm], parallel[algorithm]):
+            assert p.metrics == s.metrics
+            assert p.paths == s.paths
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    benchmark.extra_info["serial_seconds"] = serial_seconds
+    benchmark.extra_info["parallel_seconds"] = parallel_seconds
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["workers"] = SWEEP_WORKERS
+    benchmark.extra_info["cpus"] = os.cpu_count()
+    if ENOUGH_CPUS:
+        assert speedup >= 2.0, (
+            f"parallel sweep only {speedup:.2f}x faster than serial "
+            f"({parallel_seconds:.2f}s vs {serial_seconds:.2f}s on "
+            f"{os.cpu_count()} CPUs)"
+        )
+
+
+def test_bench_qrg_skeleton_cache(benchmark):
+    """Cold (skeleton rebuilt) vs warm (skeleton cached) QRG construction."""
+    rng = np.random.default_rng(BENCH_SEED)
+    service, binding, snapshot = synthetic_chain(8, 16, rng=rng)
+    snapshots = [random_availability(snapshot, rng, low=5.0, high=90.0) for _ in range(20)]
+    cache = QRGSkeletonCache()
+
+    def build_all(*, cached: bool) -> float:
+        start = time.perf_counter()
+        for snap in snapshots:
+            if cached:
+                build_qrg(service, binding, snap, skeleton_cache=cache)
+            else:
+                build_qrg(service, binding, snap)
+        return time.perf_counter() - start
+
+    cold_seconds = build_all(cached=False)
+    build_qrg(service, binding, snapshots[0], skeleton_cache=cache)  # prime
+    warm_seconds = benchmark.pedantic(
+        lambda: build_all(cached=True), rounds=1, iterations=1
+    )
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    benchmark.extra_info["cold_seconds"] = cold_seconds
+    benchmark.extra_info["warm_seconds"] = warm_seconds
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["cache_stats"] = cache.stats()
+    assert cache.stats()["misses"] == 1
+    assert speedup >= 3.0, (
+        f"warm QRG build only {speedup:.2f}x faster than cold "
+        f"({warm_seconds * 1e3:.1f}ms vs {cold_seconds * 1e3:.1f}ms)"
+    )

@@ -19,9 +19,13 @@ from repro.analysis.figures import Series, ascii_chart, format_series_table
 from repro.analysis.tables import format_class_table, format_path_census_table
 from repro.core.dagplan import ExhaustiveDagPlanner, TwoPassDagPlanner
 from repro.core.planner import BasicPlanner
-from repro.core.qrg import build_qrg
+from repro.core.qrg import QRGSkeletonCache, build_qrg
 from repro.core.synthetic import random_availability, synthetic_chain, synthetic_diamond_dag
-from repro.sim.experiment import SimulationConfig, SimulationResult, run_simulation
+from repro.sim.experiment import (
+    SimulationConfig,
+    SimulationResult,
+    run_configs,
+)
 from repro.sim.workload import WorkloadSpec
 
 
@@ -53,19 +57,25 @@ def _base_config(seed: int, quick: bool, **kw) -> SimulationConfig:
 def _run_rate_sweep(
     base: SimulationConfig, algorithms: Sequence[str], rates: Sequence[float]
 ) -> Dict[str, List[SimulationResult]]:
-    out: Dict[str, List[SimulationResult]] = {}
+    """One batch of ``len(algorithms) * len(rates)`` runs through the
+    configured sweep runner (serial by default, parallel under
+    ``REPRO_SWEEP_WORKERS`` or :func:`repro.sim.parallel_sweeps`)."""
+    configs: List[SimulationConfig] = []
     for algorithm in algorithms:
-        runs = []
         for rate in rates:
-            config = base.with_(
-                algorithm=algorithm,
-                workload=WorkloadSpec(
-                    rate_per_60tu=rate, horizon=base.workload.horizon,
-                    fat_weights=base.workload.fat_weights,
-                ),
+            configs.append(
+                base.with_(
+                    algorithm=algorithm,
+                    workload=WorkloadSpec(
+                        rate_per_60tu=rate, horizon=base.workload.horizon,
+                        fat_weights=base.workload.fat_weights,
+                    ),
+                )
             )
-            runs.append(run_simulation(config))
-        out[algorithm] = runs
+    results = run_configs(configs)
+    out: Dict[str, List[SimulationResult]] = {}
+    for position, algorithm in enumerate(algorithms):
+        out[algorithm] = results[position * len(rates) : (position + 1) * len(rates)]
     return out
 
 
@@ -117,15 +127,15 @@ def run_fig11(seed: int = 0, quick: bool = False) -> ExperimentReport:
 
 def run_tables_1_2(seed: int = 0, quick: bool = False) -> ExperimentReport:
     """Tables 1-2: path census for basic and tradeoff at 80 ssn/60TU."""
-    censuses = {}
-    results = []
-    for algorithm in ("basic", "tradeoff"):
-        config = _base_config(seed, quick, algorithm=algorithm).with_(
+    algorithms = ("basic", "tradeoff")
+    configs = [
+        _base_config(seed, quick, algorithm=algorithm).with_(
             workload=WorkloadSpec(rate_per_60tu=80, horizon=_horizon(quick))
         )
-        result = run_simulation(config)
-        censuses[algorithm] = result.paths
-        results.append(result)
+        for algorithm in algorithms
+    ]
+    results = run_configs(configs)
+    censuses = {algorithm: result.paths for algorithm, result in zip(algorithms, results)}
     text = (
         format_path_census_table(
             "Table 1: selected reservation paths, services of figure 10(a)",
@@ -160,19 +170,22 @@ def run_tables_1_2(seed: int = 0, quick: bool = False) -> ExperimentReport:
 def run_tables_3_4(seed: int = 0, quick: bool = False) -> ExperimentReport:
     """Tables 3-4: per-class breakdowns for basic and tradeoff."""
     rates = [60.0, 100.0, 180.0]
-    sections = []
-    results = []
-    for algorithm, title in (
+    titled = (
         ("basic", "Table 3: reservation success rates / average QoS levels, basic"),
         ("tradeoff", "Table 4: reservation success rates / average QoS levels, tradeoff"),
-    ):
-        by_rate: Dict[float, SimulationResult] = {}
-        for rate in rates:
-            config = _base_config(seed, quick, algorithm=algorithm).with_(
-                workload=WorkloadSpec(rate_per_60tu=rate, horizon=_horizon(quick))
-            )
-            by_rate[rate] = run_simulation(config)
-            results.append(by_rate[rate])
+    )
+    configs = [
+        _base_config(seed, quick, algorithm=algorithm).with_(
+            workload=WorkloadSpec(rate_per_60tu=rate, horizon=_horizon(quick))
+        )
+        for algorithm, _title in titled
+        for rate in rates
+    ]
+    results = run_configs(configs)
+    sections = []
+    for position, (_algorithm, title) in enumerate(titled):
+        chunk = results[position * len(rates) : (position + 1) * len(rates)]
+        by_rate: Dict[float, SimulationResult] = dict(zip(rates, chunk))
         sections.append(format_class_table(title, by_rate))
     return ExperimentReport("tab34", "\n".join(sections), results=results)
 
@@ -293,7 +306,44 @@ def run_complexity(seed: int = 0, quick: bool = False) -> ExperimentReport:
         f"fitted t ~ K^{coeffs[0]:.2f} * Q^{coeffs[1]:.2f}  "
         "(paper claims O(K*Q^2): exponents ~1 and ~2)"
     )
-    return ExperimentReport("complexity", "\n".join(lines), extras={"rows": rows, "coeffs": coeffs})
+    # Cold vs warm QRG construction: the skeleton (nodes, equivalence
+    # edges, priced requirement vectors) is availability-independent, so
+    # a warm cache leaves only per-snapshot feasibility filtering + psi
+    # pricing.  One invalidation round confirms the explicit hook forces
+    # a full rebuild.
+    cache = QRGSkeletonCache()
+    cache_rows: List[Tuple[int, int, float, float]] = []
+    repeats = 5
+    for k, q in ((ks[-1], qs[0]), (ks[-1], qs[-1])):
+        service, binding, snapshot = synthetic_chain(k, q, rng=rng)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            cache.invalidate()
+            build_qrg(service, binding, snapshot, skeleton_cache=cache)
+        cold = (time.perf_counter() - start) / repeats
+        build_qrg(service, binding, snapshot, skeleton_cache=cache)
+        start = time.perf_counter()
+        for _ in range(repeats):
+            build_qrg(service, binding, snapshot, skeleton_cache=cache)
+        warm = (time.perf_counter() - start) / repeats
+        cache_rows.append((k, q, cold, warm))
+    lines.append("QRG construction, cold (skeleton rebuilt) vs warm (skeleton cached):")
+    for k, q, cold, warm in cache_rows:
+        speedup = cold / warm if warm > 0 else float("inf")
+        lines.append(
+            f"  K={k:<3d} Q={q:<3d} cold={cold * 1e6:9.1f}us "
+            f"warm={warm * 1e6:9.1f}us  ({speedup:.1f}x)"
+        )
+    dropped = cache.invalidate()
+    lines.append(
+        f"  cache invalidation dropped {dropped} skeleton(s); "
+        f"stats={cache.stats()}"
+    )
+    return ExperimentReport(
+        "complexity",
+        "\n".join(lines),
+        extras={"rows": rows, "coeffs": coeffs, "qrg_cache": cache_rows},
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -377,10 +427,9 @@ def run_ablation(seed: int = 0, quick: bool = False) -> ExperimentReport:
         variants.append(
             (f"tradeoff/psi={name}", base.with_(algorithm="tradeoff", contention_index=name))
         )
-    for label, config in variants:
-        result = run_simulation(config)
+    results = run_configs([config for _label, config in variants])
+    for (label, _config), result in zip(variants, results):
         rows.append((label, result.success_rate, result.avg_qos_level))
-        results.append(result)
     lines = [f"Design ablations (rate={rate:g} ssn/60TU):"]
     for label, success, qos in rows:
         lines.append(f"  {label:<22s} success={100 * success:5.1f}%  avg_qos={qos:.2f}")

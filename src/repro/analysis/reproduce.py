@@ -4,22 +4,26 @@ Usage::
 
     repro-reproduce --experiment fig11 --quick
     repro-reproduce --experiment all --seed 7 --out results/
+    repro-reproduce --experiment fig11 --workers 4
     python -m repro.analysis.reproduce --list
 
 Each experiment prints the same rows/series as the corresponding paper
 artifact; ``--out`` additionally writes the text report (and CSV for
-figure experiments) to files.
+figure experiments) to files.  ``--workers N`` runs every sweep through
+the parallel runner (byte-identical results, N-way process pool).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
 import sys
 from typing import List, Optional
 
 from repro.analysis.experiments import EXPERIMENTS
 from repro.analysis.figures import to_csv
+from repro.sim.experiment import parallel_sweeps
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=pathlib.Path, default=None, help="directory to write reports/CSVs into"
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run sweeps on a process pool of this size (results are "
+        "byte-identical to serial execution; default: serial, or "
+        "REPRO_SWEEP_WORKERS from the environment)",
+    )
     return parser
 
 
@@ -61,18 +73,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         requested = sorted(EXPERIMENTS)
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    for experiment_id in requested:
-        runner = EXPERIMENTS[experiment_id]
-        print(f"=== {experiment_id} (seed={args.seed}, quick={args.quick}) ===")
-        report = runner(seed=args.seed, quick=args.quick)
-        print(report.text)
-        print()
-        if args.out is not None:
-            (args.out / f"{experiment_id}.txt").write_text(report.text)
-            if report.series:
-                (args.out / f"{experiment_id}.csv").write_text(
-                    to_csv(report.series, x_label="rate")
-                )
+    runner_scope = (
+        parallel_sweeps(args.workers) if args.workers else contextlib.nullcontext()
+    )
+    with runner_scope:
+        for experiment_id in requested:
+            runner = EXPERIMENTS[experiment_id]
+            print(f"=== {experiment_id} (seed={args.seed}, quick={args.quick}) ===")
+            report = runner(seed=args.seed, quick=args.quick)
+            print(report.text)
+            print()
+            if args.out is not None:
+                (args.out / f"{experiment_id}.txt").write_text(report.text)
+                if report.series:
+                    (args.out / f"{experiment_id}.csv").write_text(
+                        to_csv(report.series, x_label="rate")
+                    )
     return 0
 
 

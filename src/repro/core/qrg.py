@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.component import Binding
 from repro.core.errors import ModelError, PlanningError
+from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.core.qos import QoSLevel
 from repro.core.resources import (
@@ -46,6 +47,14 @@ class QRGNode:
     def __post_init__(self) -> None:
         if self.kind not in ("in", "out"):
             raise ModelError(f"invalid QRG node kind: {self.kind!r}")
+        # Nodes are hashed constantly (adjacency indices, planner maps);
+        # the cached value keeps repeated hashing O(1).
+        object.__setattr__(
+            self, "_hash", hash((self.component, self.kind, self.label))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     def __str__(self) -> str:
         return f"{self.component}.{self.kind}:{self.label}"
@@ -307,6 +316,295 @@ def assemble_qrg(
     )
 
 
+# ---------------------------------------------------------------------------
+# Skeleton / pricing split (availability-independent vs per-snapshot).
+#
+# Only two things about a QRG depend on the availability snapshot: which
+# intra-component edges survive the feasibility filter, and the psi
+# weights (paper §4.1).  Everything else -- the node set, the equivalence
+# edges, the fan-in groups, and the *bound* requirement vector of every
+# candidate edge -- is a pure function of (service, binding, source
+# level).  A :class:`QRGSkeleton` captures that invariant half once, so
+# repeated sessions with the same (service, binding) pay only the cheap
+# per-snapshot pricing pass.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EdgeTemplate:
+    """One candidate (Q_in -> Q_out) edge before feasibility/pricing.
+
+    ``requirement`` is slot-keyed, ``bound`` resource-id-keyed -- exactly
+    the two vectors an :class:`IntraEdge` carries, minus the
+    snapshot-dependent weight fields.  ``bound_items`` repeats the bound
+    vector as a flat tuple so the per-snapshot pricing loop iterates
+    without Mapping-protocol overhead.
+    """
+
+    src: QRGNode
+    dst: QRGNode
+    requirement: ResourceVector
+    bound: ResourceVector
+    bound_items: Tuple[Tuple[str, float], ...] = field(default=(), compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.bound_items:
+            object.__setattr__(self, "bound_items", tuple(self.bound.items()))
+
+
+@dataclass(frozen=True)
+class QRGSkeleton:
+    """The availability-independent half of a QRG.
+
+    Immutable and reusable across snapshots: :func:`price_skeleton`
+    turns it plus one :class:`AvailabilitySnapshot` into a full
+    :class:`QoSResourceGraph` identical to a from-scratch
+    :func:`build_qrg`.
+    """
+
+    service: DistributedService
+    source_node: QRGNode
+    source_level: QoSLevel
+    nodes: Tuple[Tuple[QRGNode, QoSLevel], ...]
+    edge_templates: Tuple[EdgeTemplate, ...]
+    equiv_edges: Tuple[EquivEdge, ...]
+    fanin_groups: Tuple[FanInGroup, ...]
+
+
+def component_edge_templates(
+    component,
+    binding: Binding,
+    *,
+    allowed_input_labels: Optional[frozenset] = None,
+) -> List[EdgeTemplate]:
+    """Unpriced candidate edges of ONE component (the local half)."""
+    templates: List[EdgeTemplate] = []
+    for qin, qout, requirement in component.supported_pairs():
+        if allowed_input_labels is not None and qin.label not in allowed_input_labels:
+            continue
+        templates.append(
+            EdgeTemplate(
+                src=QRGNode(component.name, "in", qin.label),
+                dst=QRGNode(component.name, "out", qout.label),
+                requirement=requirement,
+                bound=binding.bind_requirement(component.name, requirement),
+            )
+        )
+    return templates
+
+
+def build_skeleton(
+    service: DistributedService,
+    binding: Binding,
+    *,
+    source_label: Optional[str] = None,
+) -> QRGSkeleton:
+    """Construct the availability-independent skeleton of a QRG.
+
+    Mirrors :func:`build_qrg` exactly, minus everything that needs an
+    availability snapshot: nodes, equivalence edges and fan-in groups
+    are complete; intra-component edges are kept as *templates* (with
+    their bound requirement vectors already computed) awaiting the
+    feasibility filter and psi weights of :func:`price_skeleton`.
+    """
+    source_level = resolve_source_level(service, source_label)
+    source_node = QRGNode(service.graph.source, "in", source_level.label)
+
+    templates: List[EdgeTemplate] = []
+    nodes: Dict[QRGNode, QoSLevel] = {}
+    equiv_edges: List[EquivEdge] = []
+    fanin_groups: List[FanInGroup] = []
+
+    for name in service.graph.topological_order():
+        component = service.component(name)
+        allowed = (
+            frozenset({source_level.label}) if name == service.graph.source else None
+        )
+        templates.extend(
+            component_edge_templates(component, binding, allowed_input_labels=allowed)
+        )
+
+        if name == service.graph.source:
+            input_levels: Tuple[QoSLevel, ...] = (source_level,)
+        else:
+            input_levels = component.input_levels
+        for level in input_levels:
+            nodes[QRGNode(name, "in", level.label)] = level
+        for level in component.output_levels:
+            nodes[QRGNode(name, "out", level.label)] = level
+
+        upstream_names = service.graph.upstreams(name)
+        if not upstream_names:
+            continue
+        fan_in = len(upstream_names) > 1
+        for parts, combined in service.upstream_output_combinations(name):
+            matches = service.equivalent_input_levels(name, combined)
+            for match in matches:
+                input_node = QRGNode(name, "in", match.label)
+                part_nodes = tuple(
+                    QRGNode(upstream, "out", level.label) for upstream, level in parts
+                )
+                if fan_in:
+                    fanin_groups.append(FanInGroup(input_node=input_node, parts=part_nodes))
+                    for part_node in part_nodes:
+                        equiv_edges.append(EquivEdge(src=part_node, dst=input_node))
+                else:
+                    equiv_edges.append(EquivEdge(src=part_nodes[0], dst=input_node))
+
+    return QRGSkeleton(
+        service=service,
+        source_node=source_node,
+        source_level=source_level,
+        nodes=tuple(nodes.items()),
+        edge_templates=tuple(templates),
+        equiv_edges=tuple(equiv_edges),
+        fanin_groups=tuple(fanin_groups),
+    )
+
+
+def price_skeleton(
+    skeleton: QRGSkeleton,
+    snapshot: AvailabilitySnapshot,
+    *,
+    contention_index: ContentionIndex = ratio_contention_index,
+) -> QoSResourceGraph:
+    """The cheap per-snapshot pass: feasibility filter + psi weights.
+
+    Produces a graph equal (same nodes, edges, weights) to calling
+    :func:`build_qrg` from scratch against the same snapshot.
+    """
+    availability = snapshot.availability()
+    intra_edges: List[IntraEdge] = []
+    # Inlined equivalent of bound.satisfiable_under + bound.contention
+    # (this loop runs per session; the Mapping-protocol round trips are
+    # measurable at that frequency).
+    for template in skeleton.edge_templates:
+        feasible = True
+        for resource_id, required in template.bound_items:
+            available = availability.get(resource_id)
+            if available is None:
+                raise PlanningError(
+                    f"snapshot lacks resource {resource_id!r} needed by "
+                    f"component {template.src.component!r}"
+                )
+            if required > available:
+                feasible = False
+        if not feasible:
+            continue
+        per_resource: Dict[str, float] = {}
+        best: Optional[Tuple[float, str]] = None
+        for resource_id, required in template.bound_items:
+            value = contention_index(required, availability[resource_id])
+            per_resource[resource_id] = value
+            if best is None or (value, resource_id) > best:
+                best = (value, resource_id)
+        assert best is not None
+        psi, bottleneck = best
+        intra_edges.append(
+            IntraEdge(
+                src=template.src,
+                dst=template.dst,
+                requirement=template.requirement,
+                bound=template.bound,
+                weight=psi,
+                bottleneck_resource=bottleneck,
+                alpha=snapshot[bottleneck].alpha,
+                per_resource=per_resource,
+            )
+        )
+    return QoSResourceGraph(
+        service=skeleton.service,
+        source_node=skeleton.source_node,
+        nodes=dict(skeleton.nodes),
+        intra_edges=intra_edges,
+        equiv_edges=list(skeleton.equiv_edges),
+        fanin_groups=list(skeleton.fanin_groups),
+        snapshot=snapshot,
+    )
+
+
+#: Cache key: (service name, source label, extra discriminators, binding items).
+SkeletonKey = Tuple
+
+
+class QRGSkeletonCache:
+    """Memoises :func:`build_skeleton` results across sessions.
+
+    Keyed *by value* on (service name, source label, caller-supplied
+    extras, binding contents) -- bindings are rebuilt per session, so
+    identity-based caching would never hit.  The cache trusts the caller
+    to keep one service name pointing at one definition; anything that
+    swaps a definition under a live cache must call :meth:`invalidate`
+    (the explicit invalidation hook).
+
+    ``hits`` / ``misses`` are plain counters for benchmarks; with a
+    metrics registry installed the cache also increments the
+    ``qrg.skeleton_cache`` counter (label ``outcome=hit|miss``).
+    """
+
+    def __init__(self) -> None:
+        self._skeletons: Dict[SkeletonKey, QRGSkeleton] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def binding_key(binding: Binding) -> Tuple:
+        """Hashable by-value key of a session binding."""
+        return tuple(sorted(binding.items()))
+
+    def skeleton_for(
+        self,
+        service: DistributedService,
+        binding: Binding,
+        *,
+        source_label: Optional[str] = None,
+        extra: Tuple = (),
+    ) -> QRGSkeleton:
+        """The (possibly cached) skeleton for (service, binding).
+
+        ``extra`` lets callers add discriminators that change the service
+        definition without changing its name -- e.g. the coordinator's
+        per-session ``demand_scale``.
+        """
+        key: SkeletonKey = (service.name, source_label, extra, self.binding_key(binding))
+        skeleton = self._skeletons.get(key)
+        registry = _metrics.active_registry()
+        if skeleton is None:
+            self.misses += 1
+            if registry is not None:
+                registry.counter("qrg.skeleton_cache", outcome="miss").inc()
+            skeleton = build_skeleton(service, binding, source_label=source_label)
+            self._skeletons[key] = skeleton
+        else:
+            self.hits += 1
+            if registry is not None:
+                registry.counter("qrg.skeleton_cache", outcome="hit").inc()
+        return skeleton
+
+    def invalidate(self, service_name: Optional[str] = None) -> int:
+        """Drop cached skeletons; returns how many were dropped.
+
+        With ``service_name`` only that service's entries go; without it
+        the whole cache is cleared.  Call this whenever a service
+        definition changes behind a name the cache has seen.
+        """
+        if service_name is None:
+            dropped = len(self._skeletons)
+            self._skeletons.clear()
+            return dropped
+        stale = [key for key in self._skeletons if key[0] == service_name]
+        for key in stale:
+            del self._skeletons[key]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._skeletons)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (for benchmarks and reports)."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._skeletons)}
+
+
 def build_qrg(
     service: DistributedService,
     binding: Binding,
@@ -314,6 +612,7 @@ def build_qrg(
     *,
     source_label: Optional[str] = None,
     contention_index: ContentionIndex = ratio_contention_index,
+    skeleton_cache: Optional[QRGSkeletonCache] = None,
 ) -> QoSResourceGraph:
     """Construct the QRG for one session (paper §4.1.1).
 
@@ -332,24 +631,17 @@ def build_qrg(
         level; required when it has several.
     contention_index:
         The psi definition (paper footnote 2 allows alternatives).
+    skeleton_cache:
+        Reuse availability-independent skeletons across calls (the graph
+        is identical either way; only construction cost changes).
     """
     with _trace.span("qrg_build", service=service.name) as span:
-        source_level = resolve_source_level(service, source_label)
-        intra_edges: List[IntraEdge] = []
-        for name in service.graph.topological_order():
-            component = service.component(name)
-            allowed = (
-                frozenset({source_level.label}) if name == service.graph.source else None
+        if skeleton_cache is not None:
+            skeleton = skeleton_cache.skeleton_for(
+                service, binding, source_label=source_label
             )
-            intra_edges.extend(
-                price_component_edges(
-                    component,
-                    binding,
-                    snapshot,
-                    allowed_input_labels=allowed,
-                    contention_index=contention_index,
-                )
-            )
-        qrg = assemble_qrg(service, source_level, intra_edges, snapshot)
+        else:
+            skeleton = build_skeleton(service, binding, source_label=source_label)
+        qrg = price_skeleton(skeleton, snapshot, contention_index=contention_index)
         span.set(nodes=qrg.count_nodes(), edges=qrg.count_edges())
         return qrg

@@ -27,9 +27,9 @@ See ``docs/observability.md`` for the event schema and exporter formats.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Dict, Mapping, Optional
 
 from repro.obs import export as _export
 from repro.obs import metrics as _metrics
@@ -61,19 +61,27 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ObservabilityConfig",
+    "ObservabilityError",
     "ObservationSession",
+    "ObservationSummary",
     "SpanRecord",
     "Tracer",
+    "active_observation_session",
     "active_registry",
     "active_tracer",
     "metering",
     "observability_to_dict",
+    "reset_worker_observability",
     "summary_report",
     "tracing",
     "write_metrics_csv",
     "write_summary",
     "write_trace_json",
 ]
+
+
+class ObservabilityError(RuntimeError):
+    """Misuse of the observability layer (e.g. nested sessions)."""
 
 
 @dataclass(frozen=True)
@@ -103,12 +111,78 @@ class ObservabilityConfig:
         return self.trace or self.metrics
 
 
+@dataclass(frozen=True)
+class ObservationSummary:
+    """A detached, picklable digest of one finished observed run.
+
+    The live :class:`Tracer` / :class:`MetricsRegistry` of an
+    :class:`ObservationSession` hold per-record object graphs that have
+    no business crossing a process boundary; pool workers ship this
+    summary back instead (see ``SimulationResult.detached()``).  It
+    carries the span totals and the full metrics snapshot -- the same
+    aggregates the JSON trace document reports.
+    """
+
+    #: span name -> {"count": ..., "total_seconds": ...}
+    span_totals: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+    #: :meth:`MetricsRegistry.snapshot` output (counters/gauges/histograms).
+    metrics: Mapping[str, Mapping[str, dict]] = field(default_factory=dict)
+
+    def span_count(self, name: str) -> int:
+        """Number of finished spans with the given name (0 when absent)."""
+        return int(self.span_totals.get(name, {}).get("count", 0))
+
+    def span_seconds(self, name: str) -> float:
+        """Summed duration of spans with the given name (0 when absent)."""
+        return float(self.span_totals.get(name, {}).get("total_seconds", 0.0))
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        counters = self.metrics.get("counters", {})
+        total = 0.0
+        for key, value in counters.items():
+            if key == name or key.startswith(name + "{"):
+                total += value["value"]
+        return total
+
+
+#: The process's active session; at most one may be live at a time.
+_ACTIVE_SESSION: Optional["ObservationSession"] = None
+
+
+def active_observation_session() -> Optional["ObservationSession"]:
+    """The live :class:`ObservationSession`, or None."""
+    return _ACTIVE_SESSION
+
+
+def reset_worker_observability() -> None:
+    """Give a pool worker a clean, isolated observability state.
+
+    A forked worker inherits the parent's installed tracer/registry and
+    active-session marker; recording into them from the child is exactly
+    the cross-run interleaving the exclusive-session rule exists to
+    prevent.  Process-pool initialisers call this first.
+    """
+    global _ACTIVE_SESSION
+    _ACTIVE_SESSION = None
+    _trace.uninstall()
+    _metrics.uninstall()
+
+
 class ObservationSession:
     """Installs a tracer and/or metrics registry for one block of work.
 
     A thin convenience over :func:`repro.obs.trace.install` and
     :func:`repro.obs.metrics.install` that restores the previously
     installed handles on exit and bundles the exporters.
+
+    Sessions are *exclusive* per process: the instrumented hot paths
+    dispatch through module-level handles, so a second session activated
+    while one is live would silently interleave spans and metrics from
+    unrelated runs into one registry.  Nested or concurrent activation
+    therefore raises :class:`ObservabilityError`; run concurrent observed
+    simulations in separate worker processes instead (each worker gets
+    its own isolated handles via :func:`reset_worker_observability`).
     """
 
     def __init__(self, config: Optional[ObservabilityConfig] = None) -> None:
@@ -121,6 +195,16 @@ class ObservationSession:
         self._previous_registry: Optional[MetricsRegistry] = None
 
     def __enter__(self) -> "ObservationSession":
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is not None:
+            raise ObservabilityError(
+                "an ObservationSession is already active in this process; "
+                "concurrent sessions would interleave their spans and metrics "
+                "into one registry.  Finish the active session first, or run "
+                "the second observed simulation in its own worker process "
+                "(the parallel sweep runner does this for you)."
+            )
+        _ACTIVE_SESSION = self
         self._previous_tracer = _trace.active_tracer()
         self._previous_registry = _metrics.active_registry()
         if self.tracer is not None:
@@ -130,6 +214,9 @@ class ObservationSession:
         return self
 
     def __exit__(self, *_exc) -> bool:
+        global _ACTIVE_SESSION
+        if _ACTIVE_SESSION is self:
+            _ACTIVE_SESSION = None
         if self.tracer is not None:
             if self._previous_tracer is None:
                 _trace.uninstall()
@@ -141,6 +228,22 @@ class ObservationSession:
             else:
                 _metrics.install(self._previous_registry)
         return False
+
+    # -- detaching ---------------------------------------------------------
+
+    def summarize(self) -> ObservationSummary:
+        """A detached, picklable :class:`ObservationSummary` of this session."""
+        span_totals: Dict[str, Dict[str, float]] = {}
+        if self.tracer is not None:
+            span_totals = {
+                name: {
+                    "count": self.tracer.count(name),
+                    "total_seconds": self.tracer.total_time(name),
+                }
+                for name in self.tracer.names()
+            }
+        metrics = self.registry.snapshot() if self.registry is not None else {}
+        return ObservationSummary(span_totals=span_totals, metrics=metrics)
 
     # -- exports -----------------------------------------------------------
 

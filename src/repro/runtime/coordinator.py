@@ -26,7 +26,7 @@ from repro.brokers.registry import BrokerRegistry
 from repro.core.component import Binding
 from repro.core.errors import AdmissionError, BrokerError, PlanningError
 from repro.core.plan import ReservationPlan
-from repro.core.qrg import build_qrg
+from repro.core.qrg import QRGSkeletonCache, price_skeleton
 from repro.core.resources import AvailabilitySnapshot, ResourceObservation
 from repro.core.translation import ScaledTranslation
 from repro.obs import metrics as _metrics
@@ -69,6 +69,9 @@ class ReservationCoordinator:
         self.model_store = model_store
         self.proxies: Dict[str, QoSProxy] = dict(proxies)
         self._owner_cache: Dict[str, QoSProxy] = {}
+        #: Availability-independent QRG skeletons, shared across sessions.
+        self.qrg_skeletons = QRGSkeletonCache()
+        self._scaled_services: Dict[Tuple[str, float], object] = {}
 
     # -- ownership ------------------------------------------------------------
 
@@ -144,9 +147,7 @@ class ReservationCoordinator:
         contention_index=None,
     ) -> EstablishmentResult:
         """The three phases themselves (timing/accounting in :meth:`establish`)."""
-        service = self.model_store.service(service_name)
-        if demand_scale != 1.0:
-            service = _scaled_service(service, demand_scale)
+        service = self._service_at_scale(service_name, demand_scale)
 
         # Phase 1: collect availability from the owning proxies.
         resource_ids = sorted(binding.resource_ids())
@@ -163,15 +164,25 @@ class ReservationCoordinator:
                 raise BrokerError(f"no proxy reported resources {sorted(missing)}")
             snapshot = AvailabilitySnapshot(observations)
 
-        # Phase 2: local plan computation at the main proxy.
+        # Phase 2: local plan computation at the main proxy.  The QRG
+        # skeleton (nodes, equivalence edges, bound requirement vectors)
+        # depends only on (service, binding, demand_scale), so it comes
+        # from the cache; only feasibility filtering and psi pricing run
+        # against this session's snapshot.
         with _trace.span("phase2_plan"):
             kwargs = (
                 {} if contention_index is None else {"contention_index": contention_index}
             )
             try:
-                qrg = build_qrg(
-                    service, binding, snapshot, source_label=source_label, **kwargs
-                )
+                with _trace.span("qrg_build", service=service.name) as qrg_span:
+                    skeleton = self.qrg_skeletons.skeleton_for(
+                        service,
+                        binding,
+                        source_label=source_label,
+                        extra=(demand_scale,),
+                    )
+                    qrg = price_skeleton(skeleton, snapshot, **kwargs)
+                    qrg_span.set(nodes=qrg.count_nodes(), edges=qrg.count_edges())
             except PlanningError as exc:
                 return EstablishmentResult(session_id, False, None, reason=f"qrg: {exc}")
             plan = planner.plan(qrg)
@@ -245,6 +256,38 @@ class ReservationCoordinator:
             if registry is not None:
                 registry.counter("coordinator.teardowns").inc()
             return released
+
+    # -- caching --------------------------------------------------------------
+
+    def _service_at_scale(self, service_name: str, demand_scale: float):
+        """The stored definition, requirement-scaled for "fat" sessions.
+
+        Scaled variants are memoised per (name, factor): the evaluation
+        uses a handful of discrete multipliers (§5.1's N in {2, 10}), so
+        rebuilding the scaled component list per session is pure waste.
+        """
+        if demand_scale == 1.0:
+            return self.model_store.service(service_name)
+        key = (service_name, demand_scale)
+        service = self._scaled_services.get(key)
+        if service is None:
+            service = _scaled_service(self.model_store.service(service_name), demand_scale)
+            self._scaled_services[key] = service
+        return service
+
+    def invalidate_qrg_cache(self, service_name: Optional[str] = None) -> int:
+        """Drop cached QRG skeletons (and scaled-service variants).
+
+        The explicit invalidation hook: required whenever a service
+        definition changes behind a name this coordinator has already
+        planned for.  Returns the number of skeletons dropped.
+        """
+        if service_name is None:
+            self._scaled_services.clear()
+        else:
+            for key in [k for k in self._scaled_services if k[0] == service_name]:
+                del self._scaled_services[key]
+        return self.qrg_skeletons.invalidate(service_name)
 
     # -- helpers --------------------------------------------------------------
 

@@ -14,9 +14,17 @@
 
 from repro.sim.environment import GridEnvironment
 from repro.sim.experiment import (
+    ParallelSweepRunner,
+    SerialSweepRunner,
     SimulationConfig,
     SimulationResult,
+    default_sweep_runner,
+    derive_run_seed,
+    parallel_sweeps,
+    rate_sweep,
+    run_configs,
     run_simulation,
+    set_default_sweep_runner,
     sweep,
 )
 from repro.sim.metrics import ClassBreakdown, MetricsCollector, PathCensus
@@ -26,6 +34,8 @@ from repro.sim.services import (
     ServiceFamily,
     build_evaluation_services,
     compress_diversity,
+    evaluation_family_keys,
+    evaluation_services_for,
     family_of_service,
 )
 from repro.sim.staleness import StaleObservationModel
@@ -37,7 +47,9 @@ __all__ = [
     "FAMILY_B",
     "GridEnvironment",
     "MetricsCollector",
+    "ParallelSweepRunner",
     "PathCensus",
+    "SerialSweepRunner",
     "ServiceFamily",
     "SessionClassifier",
     "SimulationConfig",
@@ -47,7 +59,15 @@ __all__ = [
     "WorkloadSpec",
     "build_evaluation_services",
     "compress_diversity",
+    "default_sweep_runner",
+    "derive_run_seed",
+    "evaluation_family_keys",
+    "evaluation_services_for",
     "family_of_service",
+    "parallel_sweeps",
+    "rate_sweep",
+    "run_configs",
     "run_simulation",
+    "set_default_sweep_runner",
     "sweep",
 ]

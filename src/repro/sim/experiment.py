@@ -5,13 +5,28 @@ figure-9 grid, generate the Poisson workload, plan + reserve + hold +
 release every session with the configured algorithm, and return the
 collected metrics.  :func:`sweep` maps a config factory over a parameter
 list (the generation-rate sweeps of figures 11-13).
+
+Sweeps execute through a *runner*: the default
+:class:`SerialSweepRunner` runs in-process, while
+:class:`ParallelSweepRunner` fans runs out over a process pool.  Runs
+are pure functions of their config (all randomness goes through named,
+seed-derived streams), so parallel results are byte-identical to serial
+ones.  ``REPRO_SWEEP_WORKERS=<n>`` in the environment makes every sweep
+parallel by default; :func:`parallel_sweeps` does the same for one
+block of code.
 """
 
 from __future__ import annotations
 
+import os as _os
 import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import PurePath
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as _np
 
 from repro.core.errors import ModelError
 from repro.core.planner import BasicPlanner, RandomPlanner
@@ -23,15 +38,19 @@ from repro.core.resources import (
 from repro.core.tradeoff import TradeoffPlanner
 from repro.des.engine import Environment
 from repro.des.rng import RandomStreams
-from repro.obs import ObservabilityConfig, ObservationSession
+from repro.obs import (
+    ObservabilityConfig,
+    ObservationSession,
+    ObservationSummary,
+    reset_worker_observability,
+)
 from repro.obs.metrics import DEFAULT_PSI_BUCKETS, active_registry
 from repro.runtime.session import ServiceSession, SessionOutcome
 from repro.sim.environment import GridEnvironment
 from repro.sim.metrics import MetricsCollector, MetricsSnapshot, PathCensus
 from repro.sim.services import (
-    SERVICE_FAMILIES,
-    build_evaluation_services,
-    compressed_service_families,
+    evaluation_family_keys,
+    evaluation_services_for,
 )
 from repro.sim.staleness import StaleObservationModel
 from repro.sim.workload import WorkloadGenerator, WorkloadSpec
@@ -96,8 +115,13 @@ class SimulationResult:
     paths: PathCensus
     wall_seconds: float
     #: The run's tracer + metrics registry (None unless the config
-    #: enabled observability).
+    #: enabled observability).  Dropped when the result crosses a
+    #: process boundary; see :attr:`observation_summary`.
     observation: Optional[ObservationSession] = None
+    #: Picklable digest of the observation (span totals + metrics
+    #: snapshot), set by :meth:`detached` -- what pool workers ship back
+    #: in place of the live session.
+    observation_summary: Optional[ObservationSummary] = None
 
     @property
     def success_rate(self) -> float:
@@ -108,6 +132,23 @@ class SimulationResult:
     def avg_qos_level(self) -> float:
         """Mean numeric QoS level over successful sessions."""
         return self.metrics.avg_qos_level
+
+    def detached(self) -> "SimulationResult":
+        """A picklable copy safe to ship across a process boundary.
+
+        The live :class:`ObservationSession` (tracer + registry object
+        graphs) is replaced by its :class:`ObservationSummary`; all
+        exports configured on the run have already been written inside
+        the worker by then.  A result without an observation is returned
+        unchanged.
+        """
+        if self.observation is None:
+            return self
+        return replace(
+            self,
+            observation=None,
+            observation_summary=self.observation.summarize(),
+        )
 
 
 def _make_planner(config: SimulationConfig, streams: RandomStreams):
@@ -174,11 +215,7 @@ def _run_simulation(
     env = Environment()
     streams = RandomStreams(config.seed)
 
-    if config.diversity_ratio is not None:
-        families = compressed_service_families(config.diversity_ratio)
-        services = {name: family.build_service(name) for name, family in families.items()}
-    else:
-        services = build_evaluation_services()
+    services = evaluation_services_for(config.diversity_ratio)
 
     grid = GridEnvironment(
         env,
@@ -189,11 +226,7 @@ def _run_simulation(
     )
     planner = _make_planner(config, streams)
     contention_index = CONTENTION_INDICES[config.contention_index]
-    metrics = MetricsCollector(
-        family_of_service={
-            name: family.key.split("/")[0] for name, family in SERVICE_FAMILIES.items()
-        }
-    )
+    metrics = MetricsCollector(family_of_service=evaluation_family_keys())
     metrics.keep_outcomes = config.keep_outcomes
     generator = WorkloadGenerator(config.workload, streams)
     stale_model = StaleObservationModel(
@@ -243,27 +276,207 @@ def _run_simulation(
     )
 
 
+# -- sweep runners ------------------------------------------------------------
+
+#: Environment variable holding a worker count; when set, every sweep
+#: that does not pass an explicit runner goes parallel with that many
+#: workers (the CI smoke of the parallel path sets this to 2).
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+def derive_run_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-run seed for run ``index`` of a batch.
+
+    Derived through :class:`numpy.random.SeedSequence` spawn keys so the
+    seeds are statistically independent of each other *and* of the base
+    seed, yet a pure function of ``(base_seed, index)`` -- the property
+    that makes parallel batches byte-identical to serial ones.
+    """
+    sequence = _np.random.SeedSequence(entropy=base_seed, spawn_key=(index,))
+    return int(sequence.generate_state(1)[0])
+
+
+def _worker_initializer() -> None:
+    """Runs once in each pool worker before it takes any work.
+
+    A forked worker inherits the parent's module-level observability
+    handles (active tracer/registry and session marker); clearing them
+    gives each worker isolated, no-op handles until its own runs install
+    their sessions.
+    """
+    reset_worker_observability()
+
+
+def _execute_detached(config: SimulationConfig) -> SimulationResult:
+    """Worker entry point: run one config, return a picklable result.
+
+    Exports (JSON trace / CSV metrics / text summary) happen inside
+    :func:`run_simulation`, i.e. inside the worker, before the live
+    observation is replaced by its summary.
+    """
+    return run_simulation(config).detached()
+
+
+def _derive_export_paths(configs: Sequence[SimulationConfig]) -> List[SimulationConfig]:
+    """Give each run of a batch its own export files.
+
+    A batch whose configs share export paths would have every run
+    overwrite the previous run's files (serial) or race on them
+    (parallel).  For batches of more than one config, ``.runNNN`` is
+    inserted before each path's extension -- applied identically for the
+    serial and parallel runners so both produce the same files and, via
+    the rewritten configs, byte-identical results.
+    """
+    if len(configs) <= 1:
+        return list(configs)
+
+    def rewrite(path: Optional[str], index: int) -> Optional[str]:
+        if not path:
+            return path
+        pure = PurePath(path)
+        return str(pure.with_name(f"{pure.stem}.run{index:03d}{pure.suffix}"))
+
+    derived: List[SimulationConfig] = []
+    for index, config in enumerate(configs):
+        obs = config.observability
+        if obs is None or not (obs.trace_path or obs.metrics_path or obs.summary_path):
+            derived.append(config)
+            continue
+        derived.append(
+            config.with_(
+                observability=replace(
+                    obs,
+                    trace_path=rewrite(obs.trace_path, index),
+                    metrics_path=rewrite(obs.metrics_path, index),
+                    summary_path=rewrite(obs.summary_path, index),
+                )
+            )
+        )
+    return derived
+
+
+@dataclass(frozen=True)
+class SerialSweepRunner:
+    """Run a batch in-process, in order.
+
+    Results keep their live :class:`ObservationSession` attached, which
+    is what interactive inspection (and the seed's tests) rely on.
+    """
+
+    def run(self, configs: Sequence[SimulationConfig]) -> List[SimulationResult]:
+        return [run_simulation(config) for config in configs]
+
+
+@dataclass(frozen=True)
+class ParallelSweepRunner:
+    """Run a batch over a process pool.
+
+    Each run is a pure function of its config (all randomness flows
+    through named streams seeded from ``config.seed``), so results are
+    byte-identical to :class:`SerialSweepRunner` -- only wall time and
+    the form of the observation differ: workers write any configured
+    exports themselves and ship back a detached
+    :class:`~repro.obs.ObservationSummary` instead of the live session
+    (live tracers/registries are not picklable and must not cross a
+    process boundary).
+    """
+
+    #: Pool size; None = ``os.cpu_count()``.  Values <= 1 (or batches of
+    #: one) run inline, still returning detached results so the output
+    #: shape does not depend on the worker count.
+    max_workers: Optional[int] = None
+
+    def run(self, configs: Sequence[SimulationConfig]) -> List[SimulationResult]:
+        configs = list(configs)
+        workers = self.max_workers if self.max_workers is not None else _os.cpu_count() or 1
+        if workers <= 1 or len(configs) <= 1:
+            return [_execute_detached(config) for config in configs]
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(configs)),
+            initializer=_worker_initializer,
+        ) as pool:
+            return list(pool.map(_execute_detached, configs))
+
+
+#: Session-wide default runner override (set via set_default_sweep_runner
+#: or the parallel_sweeps context manager); None = consult WORKERS_ENV,
+#: then fall back to serial.
+_DEFAULT_RUNNER = None
+
+
+def default_sweep_runner():
+    """The runner used when a sweep is not passed one explicitly."""
+    if _DEFAULT_RUNNER is not None:
+        return _DEFAULT_RUNNER
+    env_workers = _os.environ.get(WORKERS_ENV)
+    if env_workers:
+        return ParallelSweepRunner(max_workers=int(env_workers))
+    return SerialSweepRunner()
+
+
+def set_default_sweep_runner(runner) -> None:
+    """Install (or with None, clear) the session-wide default runner."""
+    global _DEFAULT_RUNNER
+    _DEFAULT_RUNNER = runner
+
+
+@contextmanager
+def parallel_sweeps(max_workers: Optional[int] = None) -> Iterator[ParallelSweepRunner]:
+    """Make every sweep in the block parallel by default.
+
+    ::
+
+        with parallel_sweeps(4):
+            results = rate_sweep(ALGORITHMS, rates)
+    """
+    previous = _DEFAULT_RUNNER
+    runner = ParallelSweepRunner(max_workers=max_workers)
+    set_default_sweep_runner(runner)
+    try:
+        yield runner
+    finally:
+        set_default_sweep_runner(previous)
+
+
+def run_configs(
+    configs: Sequence[SimulationConfig], *, runner=None
+) -> List[SimulationResult]:
+    """Execute a batch of configs through a sweep runner.
+
+    The central execution funnel: every sweep builds its config list and
+    hands it here, so serial and parallel execution see the exact same
+    configs (including the per-run export-path derivation) and produce
+    byte-identical metrics.
+    """
+    runner = runner if runner is not None else default_sweep_runner()
+    return runner.run(_derive_export_paths(configs))
+
+
+# -- sweeps -------------------------------------------------------------------
+
+
 def sweep(
     base: SimulationConfig,
     parameter: str,
     values: Sequence,
     *,
     workload_field: bool = False,
+    runner=None,
 ) -> List[SimulationResult]:
     """Run ``base`` once per value of ``parameter``.
 
     ``workload_field=True`` varies a field of the nested
     :class:`WorkloadSpec` (e.g. ``rate_per_60tu``) instead of the config
-    itself.
+    itself.  ``runner`` picks the execution strategy (default: serial,
+    or parallel under :func:`parallel_sweeps` / ``REPRO_SWEEP_WORKERS``).
     """
-    results: List[SimulationResult] = []
+    configs: List[SimulationConfig] = []
     for value in values:
         if workload_field:
-            config = base.with_(workload=replace(base.workload, **{parameter: value}))
+            configs.append(base.with_(workload=replace(base.workload, **{parameter: value})))
         else:
-            config = base.with_(**{parameter: value})
-        results.append(run_simulation(config))
-    return results
+            configs.append(base.with_(**{parameter: value}))
+    return run_configs(configs, runner=runner)
 
 
 def rate_sweep(
@@ -271,12 +484,27 @@ def rate_sweep(
     rates: Sequence[float],
     *,
     base: Optional[SimulationConfig] = None,
+    runner=None,
 ) -> Dict[str, List[SimulationResult]]:
-    """The figures' common shape: one success/QoS series per algorithm."""
+    """The figures' common shape: one success/QoS series per algorithm.
+
+    All ``len(algorithms) * len(rates)`` runs form one batch, so a
+    parallel runner overlaps runs across algorithms, not just within
+    one series.
+    """
     base = base if base is not None else SimulationConfig()
-    out: Dict[str, List[SimulationResult]] = {}
+    algorithms = list(algorithms)
+    configs: List[SimulationConfig] = []
     for algorithm in algorithms:
-        out[algorithm] = sweep(
-            base.with_(algorithm=algorithm), "rate_per_60tu", rates, workload_field=True
-        )
+        for rate in rates:
+            configs.append(
+                base.with_(
+                    algorithm=algorithm,
+                    workload=replace(base.workload, rate_per_60tu=rate),
+                )
+            )
+    results = run_configs(configs, runner=runner)
+    out: Dict[str, List[SimulationResult]] = {}
+    for position, algorithm in enumerate(algorithms):
+        out[algorithm] = results[position * len(rates) : (position + 1) * len(rates)]
     return out

@@ -104,6 +104,11 @@ class PathCensus:
         total = sum(counter.values())
         return 100.0 * counter.get(signature, 0) / total if total else 0.0
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PathCensus):
+            return NotImplemented
+        return self._counts == other._counts
+
 
 @dataclass
 class MetricsSnapshot:

@@ -27,7 +27,9 @@ below are hand-authored to preserve everything the text *does* pin down:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from functools import lru_cache
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.component import ServiceComponent
 from repro.core.errors import ModelError
@@ -267,11 +269,55 @@ def family_of_service(name: str) -> ServiceFamily:
         raise ModelError(f"unknown evaluation service {name!r}") from None
 
 
+@lru_cache(maxsize=None)
+def _default_services_cached() -> Mapping[str, DistributedService]:
+    """The S1-S4 definitions, built once per process.
+
+    Service definitions are immutable (frozen components, tabular
+    translations), so every run with default parameters can share one
+    instance instead of re-deriving levels and calibrated tables per
+    sweep point.
+    """
+    return MappingProxyType(
+        {name: family.build_service(name) for name, family in SERVICE_FAMILIES.items()}
+    )
+
+
 def build_evaluation_services(
-    families: Mapping[str, ServiceFamily] = SERVICE_FAMILIES,
+    families: Optional[Mapping[str, ServiceFamily]] = None,
 ) -> Dict[str, DistributedService]:
-    """All four S1-S4 service definitions (optionally substituted)."""
+    """All four S1-S4 service definitions (optionally substituted).
+
+    The default (no ``families``) is memoized: callers get a fresh dict,
+    but the (immutable) service objects inside are shared process-wide.
+    """
+    if families is None or families is SERVICE_FAMILIES:
+        return dict(_default_services_cached())
     return {name: family.build_service(name) for name, family in families.items()}
+
+
+@lru_cache(maxsize=None)
+def _compressed_services_cached(ratio: float) -> Mapping[str, DistributedService]:
+    return MappingProxyType(
+        {
+            name: family.build_service(name)
+            for name, family in compressed_service_families(ratio).items()
+        }
+    )
+
+
+def evaluation_services_for(
+    diversity_ratio: Optional[float] = None,
+) -> Dict[str, DistributedService]:
+    """Memoized service set for one simulation configuration.
+
+    ``diversity_ratio=None`` is the paper's base table; a ratio applies
+    the §5.2.5 compression.  Both variants are cached, so repeated sweep
+    runs with identical service parameters share the definitions.
+    """
+    if diversity_ratio is None:
+        return build_evaluation_services()
+    return dict(_compressed_services_cached(float(diversity_ratio)))
 
 
 # --------------------------------------------------------------------------
@@ -343,3 +389,15 @@ def compress_diversity(family: ServiceFamily, ratio: float = 3.0) -> ServiceFami
 def compressed_service_families(ratio: float = 3.0) -> Dict[str, ServiceFamily]:
     """The §5.2.5 variant of all four services."""
     return {name: compress_diversity(family, ratio) for name, family in SERVICE_FAMILIES.items()}
+
+
+@lru_cache(maxsize=None)
+def evaluation_family_keys() -> Mapping[str, str]:
+    """Service name -> base family key ("S1" -> "A", ...), memoized.
+
+    Compression suffixes ("A/compressed3") are stripped so the path
+    census always groups by the figure-10 family identity.
+    """
+    return MappingProxyType(
+        {name: family.key.split("/")[0] for name, family in SERVICE_FAMILIES.items()}
+    )

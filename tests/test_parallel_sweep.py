@@ -1,0 +1,185 @@
+"""Parallel sweep execution: byte-identical results, isolated workers.
+
+The contract under test: a :class:`ParallelSweepRunner` batch produces
+exactly the metrics a :class:`SerialSweepRunner` batch does (runs are
+pure functions of their configs), results crossing the process boundary
+are picklable (live observations are detached into summaries inside the
+worker), and at most one :class:`ObservationSession` may be live per
+process.
+"""
+
+import pathlib
+import pickle
+
+import pytest
+
+from repro.obs import (
+    ObservabilityConfig,
+    ObservabilityError,
+    ObservationSession,
+    active_observation_session,
+    reset_worker_observability,
+)
+from repro.sim.experiment import (
+    ALGORITHMS,
+    WORKERS_ENV,
+    ParallelSweepRunner,
+    SerialSweepRunner,
+    SimulationConfig,
+    default_sweep_runner,
+    derive_run_seed,
+    parallel_sweeps,
+    rate_sweep,
+    run_configs,
+    set_default_sweep_runner,
+    sweep,
+)
+from repro.sim.workload import WorkloadSpec
+
+BASE = SimulationConfig(workload=WorkloadSpec(horizon=250.0))
+RATES = [60.0, 150.0]
+
+
+class TestDeterminism:
+    def test_parallel_rate_sweep_matches_serial_for_every_planner(self):
+        serial = rate_sweep(ALGORITHMS, RATES, base=BASE, runner=SerialSweepRunner())
+        parallel = rate_sweep(
+            ALGORITHMS, RATES, base=BASE, runner=ParallelSweepRunner(max_workers=2)
+        )
+        assert set(serial) == set(ALGORITHMS) == set(parallel)
+        for algorithm in ALGORITHMS:
+            assert len(parallel[algorithm]) == len(RATES)
+            for s, p in zip(serial[algorithm], parallel[algorithm]):
+                assert p.config == s.config
+                assert p.metrics == s.metrics
+                assert p.paths == s.paths
+
+    def test_parallel_sweep_matches_serial(self):
+        serial = sweep(
+            BASE, "staleness", [0.0, 2.0], runner=SerialSweepRunner()
+        )
+        parallel = sweep(
+            BASE, "staleness", [0.0, 2.0], runner=ParallelSweepRunner(max_workers=2)
+        )
+        for s, p in zip(serial, parallel):
+            assert p.metrics == s.metrics
+
+    def test_single_worker_pool_runs_inline_and_detached(self):
+        results = run_configs([BASE], runner=ParallelSweepRunner(max_workers=1))
+        assert len(results) == 1
+        assert results[0].observation is None
+
+    def test_derived_seeds_are_deterministic_and_distinct(self):
+        first = [derive_run_seed(7, i) for i in range(8)]
+        second = [derive_run_seed(7, i) for i in range(8)]
+        assert first == second
+        assert len(set(first)) == len(first)
+        assert first != [derive_run_seed(8, i) for i in range(8)]
+
+
+class TestRunnerSelection:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert isinstance(default_sweep_runner(), SerialSweepRunner)
+
+    def test_env_var_turns_sweeps_parallel(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        runner = default_sweep_runner()
+        assert isinstance(runner, ParallelSweepRunner)
+        assert runner.max_workers == 2
+
+    def test_parallel_sweeps_context_sets_and_restores(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert isinstance(default_sweep_runner(), SerialSweepRunner)
+        with parallel_sweeps(2) as runner:
+            assert default_sweep_runner() is runner
+        assert isinstance(default_sweep_runner(), SerialSweepRunner)
+
+    def test_set_default_sweep_runner_roundtrip(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        runner = ParallelSweepRunner(max_workers=2)
+        set_default_sweep_runner(runner)
+        try:
+            assert default_sweep_runner() is runner
+        finally:
+            set_default_sweep_runner(None)
+        assert isinstance(default_sweep_runner(), SerialSweepRunner)
+
+
+class TestDetachedResults:
+    def test_observed_parallel_run_ships_summary_not_live_session(self, tmp_path):
+        obs = ObservabilityConfig(trace_path=str(tmp_path / "trace.json"))
+        configs = [
+            BASE.with_(algorithm=algorithm, observability=obs)
+            for algorithm in ("basic", "random")
+        ]
+        results = run_configs(configs, runner=ParallelSweepRunner(max_workers=2))
+        for result in results:
+            assert result.observation is None
+            summary = result.observation_summary
+            assert summary is not None
+            assert summary.span_count("establish") == summary.counter_total(
+                "coordinator.establish"
+            )
+            assert summary.span_count("qrg_build") > 0
+            pickle.loads(pickle.dumps(result))
+        # Each run exported to its own file instead of overwriting.
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert written == ["trace.run000.json", "trace.run001.json"]
+
+    def test_serial_batch_derives_the_same_export_paths(self, tmp_path):
+        obs = ObservabilityConfig(summary_path=str(tmp_path / "summary.txt"))
+        configs = [
+            BASE.with_(algorithm=algorithm, observability=obs)
+            for algorithm in ("basic", "random")
+        ]
+        run_configs(configs, runner=SerialSweepRunner())
+        written = sorted(p.name for p in tmp_path.iterdir())
+        assert written == ["summary.run000.txt", "summary.run001.txt"]
+
+    def test_detached_summary_matches_live_observation(self):
+        config = BASE.with_(observability=ObservabilityConfig())
+        [live] = run_configs([config], runner=SerialSweepRunner())
+        [detached] = run_configs([config], runner=ParallelSweepRunner(max_workers=1))
+        assert live.observation is not None
+        expected = live.observation.summarize()
+        assert detached.observation_summary.span_totals.keys() == expected.span_totals.keys()
+        for name in expected.span_totals:
+            assert detached.observation_summary.span_count(name) == expected.span_count(name)
+
+    def test_unobserved_result_is_picklable(self):
+        [result] = run_configs([BASE], runner=SerialSweepRunner())
+        pickle.loads(pickle.dumps(result))
+
+
+class TestObservationExclusivity:
+    def test_nested_sessions_raise(self):
+        with ObservationSession():
+            with pytest.raises(ObservabilityError, match="already active"):
+                with ObservationSession():
+                    pass
+
+    def test_session_registers_and_clears_active_marker(self):
+        assert active_observation_session() is None
+        with ObservationSession() as session:
+            assert active_observation_session() is session
+        assert active_observation_session() is None
+
+    def test_failed_activation_leaves_first_session_usable(self):
+        with ObservationSession() as outer:
+            with pytest.raises(ObservabilityError):
+                ObservationSession().__enter__()
+            assert active_observation_session() is outer
+        assert active_observation_session() is None
+
+    def test_reset_worker_observability_clears_inherited_state(self):
+        session = ObservationSession()
+        session.__enter__()
+        try:
+            # Simulate what a forked pool worker inherits, then reset.
+            reset_worker_observability()
+            assert active_observation_session() is None
+            with ObservationSession():
+                pass
+        finally:
+            reset_worker_observability()

@@ -1,0 +1,169 @@
+"""QRG skeleton caching: cached construction == from-scratch construction.
+
+The skeleton (nodes, equivalence edges, fan-in groups, priced
+requirement vectors) depends only on (service, binding, source level);
+only feasibility filtering and psi weights depend on the availability
+snapshot.  These tests pin the contract: pricing a cached skeleton
+against any snapshot yields exactly the graph ``build_qrg`` builds from
+scratch -- including after explicit cache invalidation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import PlanningError
+from repro.core.planner import BasicPlanner
+from repro.core.qrg import (
+    QRGSkeletonCache,
+    build_qrg,
+    build_skeleton,
+    price_skeleton,
+)
+from repro.core.resources import AvailabilitySnapshot
+from repro.core.synthetic import random_availability, synthetic_chain, synthetic_diamond_dag
+
+
+def qrg_fingerprint(qrg):
+    """Everything observable about a constructed QRG, as plain data."""
+    return (
+        str(qrg.source_node),
+        sorted((str(node), level.label) for node, level in qrg.nodes.items()),
+        sorted(
+            (
+                str(edge.src),
+                str(edge.dst),
+                tuple(sorted(edge.requirement.items())),
+                tuple(sorted(edge.bound.items())),
+                edge.weight,
+                edge.bottleneck_resource,
+                edge.alpha,
+                tuple(sorted((edge.per_resource or {}).items())),
+            )
+            for edge in qrg.intra_edges
+        ),
+        sorted((str(eq.src), str(eq.dst)) for eq in qrg.equiv_edges),
+        sorted(
+            (str(group.input_node), tuple(str(part) for part in group.parts))
+            for group in qrg.fanin_groups
+        ),
+    )
+
+
+@st.composite
+def chain_with_snapshots(draw):
+    """A synthetic chain plus several random availability snapshots."""
+    k = draw(st.integers(min_value=2, max_value=4))
+    q = draw(st.integers(min_value=2, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    service, binding, snapshot = synthetic_chain(k, q, rng=rng)
+    n_snapshots = draw(st.integers(min_value=1, max_value=3))
+    snapshots = [
+        random_availability(snapshot, rng, low=1.0, high=60.0)
+        for _ in range(n_snapshots)
+    ]
+    return service, binding, snapshots
+
+
+class TestCachedEqualsFresh:
+    @settings(max_examples=40, deadline=None)
+    @given(chain_with_snapshots())
+    def test_cached_skeleton_matches_scratch_build(self, case):
+        service, binding, snapshots = case
+        cache = QRGSkeletonCache()
+        for snapshot in snapshots:
+            fresh = build_qrg(service, binding, snapshot)
+            cached = build_qrg(service, binding, snapshot, skeleton_cache=cache)
+            assert qrg_fingerprint(cached) == qrg_fingerprint(fresh)
+
+    @settings(max_examples=40, deadline=None)
+    @given(chain_with_snapshots())
+    def test_invalidation_forces_identical_rebuild(self, case):
+        service, binding, snapshots = case
+        cache = QRGSkeletonCache()
+        before = [
+            qrg_fingerprint(build_qrg(service, binding, s, skeleton_cache=cache))
+            for s in snapshots
+        ]
+        dropped = cache.invalidate()
+        assert dropped >= 1
+        assert len(cache) == 0
+        after = [
+            qrg_fingerprint(build_qrg(service, binding, s, skeleton_cache=cache))
+            for s in snapshots
+        ]
+        assert after == before
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=2, max_value=3),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    def test_diamond_dag_matches_scratch_build(self, branches, q, seed):
+        rng = np.random.default_rng(seed)
+        service, binding, snapshot = synthetic_diamond_dag(branches, q, rng=rng)
+        snapshot = random_availability(snapshot, rng, low=2.0, high=80.0)
+        cache = QRGSkeletonCache()
+        fresh = build_qrg(service, binding, snapshot)
+        cached = build_qrg(service, binding, snapshot, skeleton_cache=cache)
+        assert qrg_fingerprint(cached) == qrg_fingerprint(fresh)
+
+    def test_plans_agree_on_cached_graph(self):
+        rng = np.random.default_rng(11)
+        service, binding, snapshot = synthetic_chain(3, 3, rng=rng)
+        snapshot = random_availability(snapshot, rng, low=5.0, high=80.0)
+        cache = QRGSkeletonCache()
+        planner = BasicPlanner()
+        fresh_plan = planner.plan(build_qrg(service, binding, snapshot))
+        cached_plan = planner.plan(build_qrg(service, binding, snapshot, skeleton_cache=cache))
+        assert (fresh_plan is None) == (cached_plan is None)
+        if fresh_plan is not None:
+            assert cached_plan.end_to_end_label == fresh_plan.end_to_end_label
+            assert cached_plan.psi == pytest.approx(fresh_plan.psi)
+
+
+class TestCacheBookkeeping:
+    def test_hit_miss_counters(self):
+        service, binding, snapshot = synthetic_chain(2, 2)
+        cache = QRGSkeletonCache()
+        build_qrg(service, binding, snapshot, skeleton_cache=cache)
+        build_qrg(service, binding, snapshot, skeleton_cache=cache)
+        build_qrg(service, binding, snapshot, skeleton_cache=cache)
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        assert len(cache) == 1
+
+    def test_selective_invalidation_by_service_name(self):
+        service_a, binding_a, snapshot_a = synthetic_chain(2, 2)
+        rng = np.random.default_rng(3)
+        service_b, binding_b, snapshot_b = synthetic_diamond_dag(2, 2, rng=rng)
+        cache = QRGSkeletonCache()
+        build_qrg(service_a, binding_a, snapshot_a, skeleton_cache=cache)
+        build_qrg(service_b, binding_b, snapshot_b, skeleton_cache=cache)
+        assert len(cache) == 2
+        assert cache.invalidate(service_a.name) == 1
+        assert len(cache) == 1
+        # The survivor still prices correctly.
+        fresh = build_qrg(service_b, binding_b, snapshot_b)
+        cached = build_qrg(service_b, binding_b, snapshot_b, skeleton_cache=cache)
+        assert qrg_fingerprint(cached) == qrg_fingerprint(fresh)
+
+    def test_missing_resource_error_matches_scratch_build(self):
+        service, binding, _snapshot = synthetic_chain(2, 2)
+        empty = AvailabilitySnapshot.from_amounts({})
+        with pytest.raises(PlanningError) as fresh_err:
+            build_qrg(service, binding, empty)
+        cache = QRGSkeletonCache()
+        with pytest.raises(PlanningError) as cached_err:
+            build_qrg(service, binding, empty, skeleton_cache=cache)
+        assert str(cached_err.value) == str(fresh_err.value)
+
+    def test_price_skeleton_composes_with_build_skeleton(self):
+        service, binding, snapshot = synthetic_chain(3, 2)
+        skeleton = build_skeleton(service, binding)
+        qrg = price_skeleton(skeleton, snapshot)
+        assert qrg_fingerprint(qrg) == qrg_fingerprint(build_qrg(service, binding, snapshot))
