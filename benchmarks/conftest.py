@@ -6,17 +6,39 @@ of minutes; the full-scale reproduction is ``repro-reproduce`` (see
 EXPERIMENTS.md).  Every benchmark stores the artifact's headline numbers
 in ``benchmark.extra_info`` so the saved benchmark JSON doubles as a
 record of the reproduced shapes.
+
+On top of extra_info, benchmarks persist a *telemetry ledger*: one
+``BENCH_<name>.json`` per benchmark (see :func:`write_bench_ledger`)
+with the headline numbers, an optional observability summary, and the
+git sha of the run.  Committed baselines live in
+``benchmarks/baselines/``; CI diffs a fresh run against them with
+``repro-obs diff --gate`` (see docs/observability.md for the workflow
+and the tolerance policy).
 """
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
 import pytest
 
+from repro.obs import ObservationSummary
 from repro.sim import SimulationConfig, WorkloadSpec, run_simulation
 
 #: Reduced-scale defaults shared by the artifact benchmarks.
 BENCH_HORIZON = 600.0
 BENCH_SEED = 7
+
+#: Ledger schema tag; bump on breaking layout changes so ``repro-obs
+#: diff`` never silently compares incompatible documents.
+LEDGER_SCHEMA = "bench-ledger/1"
+
+#: Where fresh ledgers land; override for CI workspaces.
+LEDGER_DIR_ENV = "REPRO_BENCH_LEDGER_DIR"
 
 
 def bench_config(algorithm: str = "basic", rate: float = 180.0, **kw) -> SimulationConfig:
@@ -31,3 +53,67 @@ def run_all_algorithms(rate: float, horizon: float = BENCH_HORIZON, **kw):
         algorithm: run_simulation(bench_config(algorithm, rate, horizon=horizon, **kw))
         for algorithm in ("random", "basic", "tradeoff")
     }
+
+
+# -- telemetry ledger ----------------------------------------------------------
+
+
+def git_sha() -> str:
+    """The repository's current commit sha ("unknown" outside git)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def write_bench_ledger(
+    name: str,
+    headline: Mapping[str, object],
+    obs: Optional[Union[ObservationSummary, Mapping[str, object]]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``headline`` carries the benchmark's reproducible numbers (counts,
+    speedups, exponents); ``obs`` optionally attaches a detached
+    :class:`~repro.obs.ObservationSummary` (or an equivalent dict) so
+    the ledger records *what the run did*, not just how fast.  Ledgers
+    land in ``$REPRO_BENCH_LEDGER_DIR`` (default ``benchmarks/ledger/``,
+    which is gitignored); promoting one to a committed baseline means
+    copying it into ``benchmarks/baselines/``.
+    """
+    document: dict = {
+        "schema": LEDGER_SCHEMA,
+        "name": name,
+        "git_sha": git_sha(),
+        "headline": dict(headline),
+    }
+    if isinstance(obs, ObservationSummary):
+        document["obs"] = {
+            "span_totals": {k: dict(v) for k, v in obs.span_totals.items()},
+            "metrics": obs.metrics,
+            "event_counts": dict(obs.event_counts),
+        }
+    elif obs is not None:
+        document["obs"] = dict(obs)
+    target_dir = Path(os.environ.get(LEDGER_DIR_ENV, Path(__file__).parent / "ledger"))
+    target_dir.mkdir(parents=True, exist_ok=True)
+    target = target_dir / f"BENCH_{name}.json"
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Every case in this directory is a benchmark: tag it ``bench``.
+
+    Lets the tier-1 suite and quick iteration deselect the whole
+    directory with ``-m "not bench"`` without per-test decoration.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)

@@ -1,0 +1,72 @@
+"""Observed-run benchmark: overhead claim + the gate's anchor ledger.
+
+Two purposes:
+
+* measure the cost of full observability (tracing + metrics + the causal
+  event log) against a dark run of the identical workload -- the
+  "effectively free when off, cheap when on" claim;
+* write the ``BENCH_observed_run.json`` ledger whose *structural*
+  numbers (admitted/rejected counts, event counts, span counts) are
+  deterministic for a fixed seed, giving the CI regression gate exact
+  leaves to compare rather than only machine-dependent timings.
+"""
+
+import time
+
+from conftest import bench_config, write_bench_ledger
+from repro.obs import ObservationSession
+from repro.sim import run_simulation
+
+#: Reduced scale keeps this benchmark around a second per run.
+OBSERVED_RATE = 180.0
+OBSERVED_HORIZON = 300.0
+
+
+def _config():
+    return bench_config("tradeoff", OBSERVED_RATE, horizon=OBSERVED_HORIZON)
+
+
+def test_bench_observed_run(benchmark):
+    """Dark vs fully observed wall time for one tradeoff run."""
+    start = time.perf_counter()
+    dark = run_simulation(_config())
+    dark_seconds = time.perf_counter() - start
+
+    def observed_once():
+        with ObservationSession() as session:
+            result = run_simulation(_config())
+        return result, session.summarize()
+
+    start = time.perf_counter()
+    (observed, summary) = benchmark.pedantic(observed_once, rounds=1, iterations=1)
+    observed_seconds = time.perf_counter() - start
+
+    # Observation must not change a single simulation number.
+    assert observed.metrics == dark.metrics
+
+    overhead = (
+        observed_seconds / dark_seconds - 1.0 if dark_seconds > 0 else float("inf")
+    )
+    benchmark.extra_info["dark_seconds"] = dark_seconds
+    benchmark.extra_info["observed_seconds"] = observed_seconds
+    benchmark.extra_info["overhead"] = overhead
+
+    write_bench_ledger(
+        "observed_run",
+        {
+            "dark_seconds": dark_seconds,
+            "observed_seconds": observed_seconds,
+            "attempts": observed.metrics.attempts,
+            "successes": observed.metrics.successes,
+            "success_rate": observed.metrics.success_rate,
+            "avg_qos_level": observed.metrics.avg_qos_level,
+        },
+        obs=summary,
+    )
+    # Generous bound: the observed run does strictly more work (spans,
+    # counters, one event per admission decision); anything past 2x
+    # would mean the instrumentation left the hot path's no-op pattern.
+    assert overhead < 1.0, (
+        f"observability overhead {overhead:.1%} "
+        f"({observed_seconds:.2f}s vs {dark_seconds:.2f}s dark)"
+    )

@@ -12,6 +12,7 @@ import time
 import numpy as np
 import pytest
 
+from conftest import write_bench_ledger
 from repro.core import BasicPlanner, build_qrg, minimax_dijkstra
 from repro.core.synthetic import synthetic_chain
 
@@ -77,3 +78,11 @@ def test_bench_complexity_scaling(benchmark):
     assert 1.0 < q_exponent <= 2.6, q_exponent
     benchmark.extra_info["k_exponent"] = k_exponent
     benchmark.extra_info["q_exponent"] = q_exponent
+    write_bench_ledger(
+        "complexity_scaling",
+        {
+            "k_exponent": k_exponent,
+            "q_exponent": q_exponent,
+            "grid_points": len(rows),
+        },
+    )

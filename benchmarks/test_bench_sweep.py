@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from conftest import BENCH_SEED
+from conftest import BENCH_SEED, write_bench_ledger
 from repro.core.qrg import QRGSkeletonCache, build_qrg
 from repro.core.synthetic import random_availability, synthetic_chain
 from repro.sim import (
@@ -70,6 +70,21 @@ def test_bench_parallel_rate_sweep(benchmark):
     benchmark.extra_info["speedup"] = speedup
     benchmark.extra_info["workers"] = SWEEP_WORKERS
     benchmark.extra_info["cpus"] = os.cpu_count()
+    write_bench_ledger(
+        "parallel_rate_sweep",
+        {
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "workers": SWEEP_WORKERS,
+            "sweep_points": len(SWEEP_ALGORITHMS) * len(SWEEP_RATES),
+            "successes": sum(
+                res.metrics.successes
+                for results in parallel.values()
+                for res in results
+            ),
+        },
+    )
     if ENOUGH_CPUS:
         assert speedup >= 2.0, (
             f"parallel sweep only {speedup:.2f}x faster than serial "
@@ -105,6 +120,16 @@ def test_bench_qrg_skeleton_cache(benchmark):
     benchmark.extra_info["warm_seconds"] = warm_seconds
     benchmark.extra_info["speedup"] = speedup
     benchmark.extra_info["cache_stats"] = cache.stats()
+    write_bench_ledger(
+        "qrg_skeleton_cache",
+        {
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "snapshots": len(snapshots),
+            **{f"cache_{key}": value for key, value in cache.stats().items()},
+        },
+    )
     assert cache.stats()["misses"] == 1
     assert speedup >= 3.0, (
         f"warm QRG build only {speedup:.2f}x faster than cold "

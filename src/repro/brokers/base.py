@@ -18,6 +18,7 @@ from typing import Callable, Dict, Optional
 from repro.brokers.history import AvailabilityHistory
 from repro.core.errors import AdmissionError, BrokerError
 from repro.core.resources import ResourceObservation
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 
 #: A clock callable, normally ``lambda: env.now`` of the DES environment.
@@ -87,6 +88,15 @@ class ResourceBroker:
         now = self._clock()
         available = self.available
         alpha = self.history.alpha(now, available)
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "broker.probe",
+                resource=self.resource_id,
+                time=now,
+                available=available,
+                alpha=alpha,
+            )
         return ResourceObservation(available=available, alpha=alpha, observed_at=now)
 
     def observe_stale(self, when: float) -> ResourceObservation:
@@ -100,6 +110,16 @@ class ResourceBroker:
         if value is None:
             value = self.available
         alpha = self.history.alpha(self._clock(), value)
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "broker.probe",
+                resource=self.resource_id,
+                time=when,
+                available=value,
+                alpha=alpha,
+                stale=True,
+            )
         return ResourceObservation(available=value, alpha=alpha, observed_at=when)
 
     # -- reserving (broker operation 2) ---------------------------------------
@@ -116,12 +136,24 @@ class ResourceBroker:
             registry = _metrics.active_registry()
             if registry is not None:
                 registry.counter("broker.rejections", **self._metric_labels).inc()
+            log = _events.active_event_log()
+            if log is not None:
+                log.emit(
+                    "broker.reject",
+                    session=session_id,
+                    resource=self.resource_id,
+                    time=self._clock(),
+                    requested=float(amount),
+                    available=self.available,
+                    capacity=self._capacity,
+                )
             raise AdmissionError(
                 f"{self.resource_id}: requested {amount:g} exceeds availability "
                 f"{self.available:g} (capacity {self._capacity:g})",
                 resource_id=self.resource_id,
             )
         now = self._clock()
+        available_before = self.available
         reservation = Reservation(
             reservation_id=next(_reservation_ids),
             resource_id=self.resource_id,
@@ -137,6 +169,18 @@ class ResourceBroker:
             registry.counter("broker.grants", **self._metric_labels).inc()
             registry.gauge("broker.utilization", **self._metric_labels).set(
                 self.utilization()
+            )
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "broker.grant",
+                session=session_id,
+                resource=self.resource_id,
+                time=now,
+                requested=reservation.amount,
+                available=available_before,
+                capacity=self._capacity,
+                utilization=self.utilization(),
             )
         return reservation
 
@@ -154,12 +198,25 @@ class ResourceBroker:
         if self._reserved < -1e-9:  # pragma: no cover - accounting invariant
             raise BrokerError(f"{self.resource_id}: negative reserved amount")
         self._reserved = max(self._reserved, 0.0)
-        self.history.record_change(self._clock(), self.available)
+        now = self._clock()
+        self.history.record_change(now, self.available)
         registry = _metrics.active_registry()
         if registry is not None:
             registry.counter("broker.releases", **self._metric_labels).inc()
             registry.gauge("broker.utilization", **self._metric_labels).set(
                 self.utilization()
+            )
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "broker.release",
+                session=stored.session_id,
+                resource=self.resource_id,
+                time=now,
+                amount=stored.amount,
+                available=self.available,
+                capacity=self._capacity,
+                utilization=self.utilization(),
             )
 
     def outstanding(self) -> int:

@@ -24,6 +24,7 @@ from repro.brokers.history import AvailabilityHistory
 from repro.brokers.link import LinkBandwidthBroker
 from repro.core.errors import AdmissionError, BrokerError
 from repro.core.resources import ResourceObservation
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 
 _path_reservation_ids = itertools.count(1)
@@ -88,6 +89,15 @@ class PathBroker:
         now = self._clock()
         available = self.available
         alpha = self.history.alpha(now, available)
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "broker.probe",
+                resource=self.resource_id,
+                time=now,
+                available=available,
+                alpha=alpha,
+            )
         return ResourceObservation(available=available, alpha=alpha, observed_at=now)
 
     def observe_stale(self, when: float) -> ResourceObservation:
@@ -110,6 +120,7 @@ class PathBroker:
         """Reserve ``amount`` on every link of the route, atomically."""
         if amount <= 0:
             raise BrokerError(f"reservation amount must be positive, got {amount!r}")
+        available_before = self.available
         made: List[Reservation] = []
         try:
             for link in self.links:
@@ -121,6 +132,18 @@ class PathBroker:
             registry = _metrics.active_registry()
             if registry is not None:
                 registry.counter("broker.rejections", **self._metric_labels).inc()
+            log = _events.active_event_log()
+            if log is not None:
+                log.emit(
+                    "broker.reject",
+                    session=session_id,
+                    resource=self.resource_id,
+                    time=self._clock(),
+                    requested=float(amount),
+                    available=self.available,
+                    capacity=self.capacity,
+                    bottleneck_link=self.bottleneck_link().link_id,
+                )
             raise AdmissionError(
                 f"{self.resource_id}: {amount:g} exceeds availability "
                 f"{self.available:g} on link {self.bottleneck_link().link_id}",
@@ -133,6 +156,18 @@ class PathBroker:
             registry.counter("broker.grants", **self._metric_labels).inc()
             registry.gauge("broker.utilization", **self._metric_labels).set(
                 self.utilization()
+            )
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "broker.grant",
+                session=session_id,
+                resource=self.resource_id,
+                time=now,
+                requested=float(amount),
+                available=available_before,
+                capacity=self.capacity,
+                utilization=self.utilization(),
             )
         return PathReservation(
             reservation_id=next(_path_reservation_ids),
@@ -147,12 +182,25 @@ class PathBroker:
         """Terminate or cancel a reservation, returning its capacity."""
         for link_reservation in reservation.link_reservations:
             self._link_by_id(link_reservation.resource_id).release(link_reservation)
-        self.history.record_change(self._clock(), self.available)
+        now = self._clock()
+        self.history.record_change(now, self.available)
         registry = _metrics.active_registry()
         if registry is not None:
             registry.counter("broker.releases", **self._metric_labels).inc()
             registry.gauge("broker.utilization", **self._metric_labels).set(
                 self.utilization()
+            )
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "broker.release",
+                session=reservation.session_id,
+                resource=self.resource_id,
+                time=now,
+                amount=reservation.amount,
+                available=self.available,
+                capacity=self.capacity,
+                utilization=self.utilization(),
             )
 
     def outstanding(self) -> int:

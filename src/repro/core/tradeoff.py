@@ -29,6 +29,7 @@ from repro.core.dijkstra import minimax_dijkstra
 from repro.core.plan import ReservationPlan
 from repro.core.planner import _best_sink, _bottleneck_edge, _reachable_sinks, assemble_plan
 from repro.core.qrg import QoSResourceGraph, QRGNode
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 
@@ -80,6 +81,17 @@ class TradeoffPlanner:
                 registry = _metrics.active_registry()
                 if registry is not None:
                     registry.counter("planner.tradeoff_backoffs").inc()
+                log = _events.active_event_log()
+                if log is not None:
+                    log.emit(
+                        "planner.tradeoff_backoff",
+                        service=qrg.service.name,
+                        from_level=best.label,
+                        to_level=chosen.label,
+                        psi_best=psi0,
+                        psi_chosen=sink_psi[chosen],
+                        alpha=alpha0,
+                    )
             node_path = search.path_to(chosen)
             edges = search.edges_to(chosen)
             return assemble_plan(qrg, chosen, node_path, edges)

@@ -31,10 +31,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Mapping, Optional
 
+from repro.obs import events as _events
 from repro.obs import export as _export
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventLog,
+    ReservationEvent,
+    active_event_log,
+    event_logging,
+)
 from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
     observability_to_dict,
     summary_report,
     write_metrics_csv,
@@ -57,6 +66,8 @@ __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_PSI_BUCKETS",
+    "EVENT_KINDS",
+    "EventLog",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -64,11 +75,15 @@ __all__ = [
     "ObservabilityError",
     "ObservationSession",
     "ObservationSummary",
+    "ReservationEvent",
     "SpanRecord",
+    "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "active_event_log",
     "active_observation_session",
     "active_registry",
     "active_tracer",
+    "event_logging",
     "metering",
     "observability_to_dict",
     "reset_worker_observability",
@@ -98,6 +113,12 @@ class ObservabilityConfig:
     trace: bool = True
     #: Collect counters/gauges/histograms.
     metrics: bool = True
+    #: Collect the causal reservation event log (session/broker/proxy
+    #: lifecycle events; see :mod:`repro.obs.events`).
+    events: bool = True
+    #: Cap on retained events (None = unbounded); beyond it, newer
+    #: events are counted as dropped instead of stored.
+    event_capacity: Optional[int] = None
     #: Write the machine-readable JSON trace document here.
     trace_path: Optional[str] = None
     #: Write flat CSV metric rows here.
@@ -108,7 +129,7 @@ class ObservabilityConfig:
     @property
     def enabled(self) -> bool:
         """True when anything at all is being collected."""
-        return self.trace or self.metrics
+        return self.trace or self.metrics or self.events
 
 
 @dataclass(frozen=True)
@@ -127,6 +148,12 @@ class ObservationSummary:
     span_totals: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
     #: :meth:`MetricsRegistry.snapshot` output (counters/gauges/histograms).
     metrics: Mapping[str, Mapping[str, dict]] = field(default_factory=dict)
+    #: event kind -> count (:meth:`EventLog.kind_counts` output).
+    event_counts: Mapping[str, int] = field(default_factory=dict)
+
+    def event_count(self, kind: str) -> int:
+        """Number of recorded events of the given kind (0 when absent)."""
+        return int(self.event_counts.get(kind, 0))
 
     def span_count(self, name: str) -> int:
         """Number of finished spans with the given name (0 when absent)."""
@@ -167,6 +194,7 @@ def reset_worker_observability() -> None:
     _ACTIVE_SESSION = None
     _trace.uninstall()
     _metrics.uninstall()
+    _events.uninstall()
 
 
 class ObservationSession:
@@ -191,8 +219,12 @@ class ObservationSession:
         self.registry: Optional[MetricsRegistry] = (
             MetricsRegistry() if self.config.metrics else None
         )
+        self.event_log: Optional[EventLog] = (
+            EventLog(capacity=self.config.event_capacity) if self.config.events else None
+        )
         self._previous_tracer: Optional[Tracer] = None
         self._previous_registry: Optional[MetricsRegistry] = None
+        self._previous_event_log: Optional[EventLog] = None
 
     def __enter__(self) -> "ObservationSession":
         global _ACTIVE_SESSION
@@ -207,10 +239,13 @@ class ObservationSession:
         _ACTIVE_SESSION = self
         self._previous_tracer = _trace.active_tracer()
         self._previous_registry = _metrics.active_registry()
+        self._previous_event_log = _events.active_event_log()
         if self.tracer is not None:
             _trace.install(self.tracer)
         if self.registry is not None:
             _metrics.install(self.registry)
+        if self.event_log is not None:
+            _events.install(self.event_log)
         return self
 
     def __exit__(self, *_exc) -> bool:
@@ -227,6 +262,11 @@ class ObservationSession:
                 _metrics.uninstall()
             else:
                 _metrics.install(self._previous_registry)
+        if self.event_log is not None:
+            if self._previous_event_log is None:
+                _events.uninstall()
+            else:
+                _events.install(self._previous_event_log)
         return False
 
     # -- detaching ---------------------------------------------------------
@@ -243,17 +283,22 @@ class ObservationSession:
                 for name in self.tracer.names()
             }
         metrics = self.registry.snapshot() if self.registry is not None else {}
-        return ObservationSummary(span_totals=span_totals, metrics=metrics)
+        event_counts = (
+            self.event_log.kind_counts() if self.event_log is not None else {}
+        )
+        return ObservationSummary(
+            span_totals=span_totals, metrics=metrics, event_counts=event_counts
+        )
 
     # -- exports -----------------------------------------------------------
 
     def to_dict(self, *, meta: Optional[dict] = None) -> dict:
         """The JSON trace document as a plain dict."""
-        return observability_to_dict(self.tracer, self.registry, meta=meta)
+        return observability_to_dict(self.tracer, self.registry, self.event_log, meta=meta)
 
     def write_trace_json(self, path, *, meta: Optional[dict] = None) -> Path:
         """Write the JSON trace document; returns the written path."""
-        return write_trace_json(path, self.tracer, self.registry, meta=meta)
+        return write_trace_json(path, self.tracer, self.registry, self.event_log, meta=meta)
 
     def write_metrics_csv(self, path) -> Path:
         """Write the flat CSV metric rows; returns the written path."""
@@ -263,11 +308,11 @@ class ObservationSession:
 
     def summary(self, *, title: str = "observability summary") -> str:
         """The results/-style text report."""
-        return summary_report(self.tracer, self.registry, title=title)
+        return summary_report(self.tracer, self.registry, self.event_log, title=title)
 
     def write_summary(self, path, *, title: str = "observability summary") -> Path:
         """Write the text report; returns the written path."""
-        return write_summary(path, self.tracer, self.registry, title=title)
+        return write_summary(path, self.tracer, self.registry, self.event_log, title=title)
 
     def export(self, *, meta: Optional[dict] = None) -> None:
         """Write every export path configured on the config (if any)."""

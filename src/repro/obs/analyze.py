@@ -1,0 +1,454 @@
+"""Trace analysis: answer "why" questions from an exported trace document.
+
+Loads the JSON trace documents written by :func:`repro.obs.export
+.write_trace_json` (schema v2 with the causal event log; v1 documents
+without it still load) and computes:
+
+* :func:`critical_path` -- per-session wall-time breakdown by phase
+  *self time* (time in a span minus its children), the "where did this
+  session's establishment latency go" view;
+* :func:`broker_timelines` -- per-resource grant/reject/release counts
+  and a utilization timeline over the simulation clock, reconstructed
+  from ``broker.*`` events;
+* :func:`top_bottlenecks` -- the top-K contended resources, scored from
+  how often each was a plan's psi bottleneck, lost a phase-3 admission
+  race, or rejected a broker request;
+* :func:`diff_documents` / :func:`gate_diff` -- numeric deltas between
+  two documents (trace or benchmark-ledger JSON), the engine behind
+  ``repro-obs diff`` and the CI benchmark regression gate.
+
+Everything here consumes plain loaded JSON -- no live tracer or registry
+is needed, so post-mortem analysis works on any exported artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.events import ReservationEvent
+from repro.obs.export import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "BottleneckReport",
+    "BrokerTimeline",
+    "DiffEntry",
+    "SessionBreakdown",
+    "TraceDocument",
+    "TraceFormatError",
+    "broker_timelines",
+    "critical_path",
+    "diff_documents",
+    "gate_diff",
+    "load_trace",
+    "top_bottlenecks",
+]
+
+PathLike = Union[str, Path]
+
+
+class TraceFormatError(ValueError):
+    """The document is not a loadable trace/ledger JSON."""
+
+
+@dataclass
+class TraceDocument:
+    """One loaded trace document, version-normalised.
+
+    v1 documents (no event log) load with ``events == []``; consumers
+    need not branch on the schema version.
+    """
+
+    schema_version: int
+    meta: Dict[str, object] = field(default_factory=dict)
+    spans: List[dict] = field(default_factory=list)
+    span_totals: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metrics: Dict[str, dict] = field(default_factory=dict)
+    events: List[ReservationEvent] = field(default_factory=list)
+    events_dropped: int = 0
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceDocument":
+        """Normalise a loaded JSON document (schema v1 or v2)."""
+        if not isinstance(payload, dict) or "schema_version" not in payload:
+            raise TraceFormatError(
+                "not a trace document: missing the 'schema_version' field"
+            )
+        version = int(payload["schema_version"])
+        if not 1 <= version <= TRACE_SCHEMA_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace schema version {version}; "
+                f"this build reads versions 1..{TRACE_SCHEMA_VERSION}"
+            )
+        return cls(
+            schema_version=version,
+            meta=dict(payload.get("meta", {})),
+            spans=list(payload.get("spans", [])),
+            span_totals={
+                name: dict(totals)
+                for name, totals in payload.get("span_totals", {}).items()
+            },
+            metrics=dict(payload.get("metrics", {})),
+            events=[
+                ReservationEvent.from_dict(event)
+                for event in payload.get("events", [])
+            ],
+            events_dropped=int(payload.get("events_dropped", 0)),
+        )
+
+    def counters(self) -> Dict[str, float]:
+        """Flat ``name{labels} -> value`` view of the counters."""
+        return {
+            key: float(entry["value"])
+            for key, entry in self.metrics.get("counters", {}).items()
+        }
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        total = 0.0
+        for key, value in self.counters().items():
+            if key == name or key.startswith(name + "{"):
+                total += value
+        return total
+
+
+def load_trace(path: PathLike) -> TraceDocument:
+    """Load and normalise a trace JSON file (schema v1 or v2)."""
+    payload = json.loads(Path(path).read_text())
+    return TraceDocument.from_dict(payload)
+
+
+# -- critical path -------------------------------------------------------------
+
+
+@dataclass
+class SessionBreakdown:
+    """Where one session-establishment attempt spent its wall time."""
+
+    session: str
+    service: str
+    outcome: str
+    start: float
+    total_seconds: float
+    #: span name -> summed *self time* (duration minus children) within
+    #: this session's establish tree, seconds.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def critical_phase(self) -> str:
+        """The phase with the largest self time ("" when empty)."""
+        if not self.phase_seconds:
+            return ""
+        return max(self.phase_seconds.items(), key=lambda item: (item[1], item[0]))[0]
+
+
+def critical_path(
+    doc: TraceDocument,
+    *,
+    session: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> List[SessionBreakdown]:
+    """Per-session phase breakdowns, slowest establishment first.
+
+    Every ``establish`` span roots one session attempt; each span in its
+    subtree contributes its *self time* (duration minus direct children)
+    under its own name, the root's overhead included under
+    ``establish``.  ``session`` restricts to one session id; ``limit``
+    keeps only the N slowest.
+    """
+    children: Dict[int, List[dict]] = {}
+    for record in doc.spans:
+        parent = record.get("parent")
+        if parent is not None:
+            children.setdefault(parent, []).append(record)
+
+    breakdowns: List[SessionBreakdown] = []
+    for record in doc.spans:
+        if record["name"] != "establish":
+            continue
+        attributes = record.get("attributes", {})
+        session_id = str(attributes.get("session", f"span-{record['index']}"))
+        if session is not None and session_id != session:
+            continue
+        phase_seconds: Dict[str, float] = {}
+        stack = [record]
+        while stack:
+            current = stack.pop()
+            kids = children.get(current["index"], [])
+            self_time = current["duration"] - sum(k["duration"] for k in kids)
+            phase_seconds[current["name"]] = phase_seconds.get(
+                current["name"], 0.0
+            ) + max(self_time, 0.0)
+            stack.extend(kids)
+        breakdowns.append(
+            SessionBreakdown(
+                session=session_id,
+                service=str(attributes.get("service", "")),
+                outcome=str(attributes.get("outcome", "")),
+                start=float(record.get("start", 0.0)),
+                total_seconds=float(record["duration"]),
+                phase_seconds=phase_seconds,
+            )
+        )
+    breakdowns.sort(key=lambda b: (-b.total_seconds, b.session))
+    if limit is not None:
+        breakdowns = breakdowns[:limit]
+    return breakdowns
+
+
+def phase_totals(breakdowns: Sequence[SessionBreakdown]) -> Dict[str, float]:
+    """Summed self time per phase over a set of session breakdowns."""
+    totals: Dict[str, float] = {}
+    for breakdown in breakdowns:
+        for name, seconds in breakdown.phase_seconds.items():
+            totals[name] = totals.get(name, 0.0) + seconds
+    return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+
+# -- broker timelines ----------------------------------------------------------
+
+
+@dataclass
+class BrokerTimeline:
+    """One resource's admission story over the simulation clock."""
+
+    resource: str
+    grants: int = 0
+    rejects: int = 0
+    releases: int = 0
+    probes: int = 0
+    peak_utilization: float = 0.0
+    first_reject_time: Optional[float] = None
+    #: (sim time, utilization) after each granting/releasing event.
+    utilization_points: List[Tuple[float, float]] = field(default_factory=list)
+    #: (sim time, requested, available) of each rejection.
+    reject_points: List[Tuple[float, float, float]] = field(default_factory=list)
+
+    @property
+    def attempts(self) -> int:
+        """Reservation attempts seen (grants + rejects)."""
+        return self.grants + self.rejects
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of reservation attempts rejected (0 when none)."""
+        return self.rejects / self.attempts if self.attempts else 0.0
+
+
+def broker_timelines(doc: TraceDocument) -> Dict[str, BrokerTimeline]:
+    """Per-resource utilization/rejection timelines from ``broker.*`` events.
+
+    Returns an empty mapping for v1 documents (no event log).
+    """
+    timelines: Dict[str, BrokerTimeline] = {}
+    ordered = sorted(
+        (e for e in doc.events if e.kind.startswith("broker.") and e.resource),
+        key=lambda e: (e.time if e.time is not None else math.inf, e.seq),
+    )
+    for event in ordered:
+        timeline = timelines.get(event.resource)
+        if timeline is None:
+            timeline = timelines[event.resource] = BrokerTimeline(event.resource)
+        attributes = event.attributes
+        if event.kind == "broker.probe":
+            timeline.probes += 1
+            continue
+        utilization = attributes.get("utilization")
+        if event.kind == "broker.grant":
+            timeline.grants += 1
+        elif event.kind == "broker.release":
+            timeline.releases += 1
+        elif event.kind == "broker.reject":
+            timeline.rejects += 1
+            if timeline.first_reject_time is None:
+                timeline.first_reject_time = event.time
+            timeline.reject_points.append(
+                (
+                    event.time if event.time is not None else math.nan,
+                    float(attributes.get("requested", 0.0)),
+                    float(attributes.get("available", 0.0)),
+                )
+            )
+            continue
+        if utilization is not None and event.time is not None:
+            utilization = float(utilization)
+            timeline.utilization_points.append((event.time, utilization))
+            timeline.peak_utilization = max(timeline.peak_utilization, utilization)
+    return dict(sorted(timelines.items()))
+
+
+# -- bottleneck ranking --------------------------------------------------------
+
+
+@dataclass
+class BottleneckReport:
+    """How often (and how) one resource constrained the system."""
+
+    resource: str
+    #: Times a computed plan's psi bottleneck was this resource.
+    planned_bottleneck: int = 0
+    #: Phase-3 admission races lost on this resource (whole-session kills).
+    admission_failures: int = 0
+    #: Raw broker-level rejections.
+    broker_rejects: int = 0
+    #: Mean psi of the plans bottlenecked on this resource.
+    mean_psi: float = 0.0
+    _psi_sum: float = 0.0
+
+    @property
+    def score(self) -> float:
+        """Severity: session kills weigh double plan-time pressure."""
+        return (
+            self.planned_bottleneck
+            + 2.0 * self.admission_failures
+            + 2.0 * self.broker_rejects
+        )
+
+
+def top_bottlenecks(doc: TraceDocument, k: int = 5) -> List[BottleneckReport]:
+    """The top-``k`` contended resources, most severe first.
+
+    Scored from the causal event log: every ``session.planned`` (and
+    ``session.admitted``) names the plan's psi bottleneck; every
+    ``session.rejected(reason=admission_failed)`` names the resource
+    that lost the phase-3 race; every ``broker.reject`` is a raw
+    admission refusal.  v1 documents yield an empty list.
+    """
+    reports: Dict[str, BottleneckReport] = {}
+
+    def report_for(resource: str) -> BottleneckReport:
+        report = reports.get(resource)
+        if report is None:
+            report = reports[resource] = BottleneckReport(resource)
+        return report
+
+    for event in doc.events:
+        if event.kind == "session.planned":
+            bottleneck = event.attributes.get("bottleneck")
+            if bottleneck:
+                report = report_for(str(bottleneck))
+                report.planned_bottleneck += 1
+                report._psi_sum += float(event.attributes.get("psi", 0.0))
+        elif event.kind == "session.rejected":
+            if event.attributes.get("reason") == "admission_failed" and event.resource:
+                report_for(event.resource).admission_failures += 1
+        elif event.kind == "broker.reject" and event.resource:
+            report_for(event.resource).broker_rejects += 1
+    for report in reports.values():
+        if report.planned_bottleneck:
+            report.mean_psi = report._psi_sum / report.planned_bottleneck
+    ranked = sorted(reports.values(), key=lambda r: (-r.score, r.resource))
+    return ranked[: max(k, 0)]
+
+
+# -- document diffing ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One numeric leaf compared between two documents."""
+
+    path: str
+    base: Optional[float]
+    new: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        """Absolute change (None when the leaf exists on one side only)."""
+        if self.base is None or self.new is None:
+            return None
+        return self.new - self.base
+
+    @property
+    def relative(self) -> Optional[float]:
+        """Relative change against the base (None when not computable)."""
+        if self.base is None or self.new is None:
+            return None
+        if self.base == 0.0:
+            return None if self.new == 0.0 else math.inf
+        return (self.new - self.base) / abs(self.base)
+
+
+def _flatten_numeric(payload: object, prefix: str, out: Dict[str, float]) -> None:
+    """Collect numeric leaves of nested dicts under dotted paths.
+
+    Lists are skipped on purpose: per-span/per-event arrays and histogram
+    bucket vectors are detail, not comparable headline numbers.
+    """
+    if isinstance(payload, bool):
+        return
+    if isinstance(payload, (int, float)):
+        out[prefix] = float(payload)
+        return
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            _flatten_numeric(value, f"{prefix}.{key}" if prefix else str(key), out)
+
+
+def comparable_view(payload: dict) -> Dict[str, float]:
+    """The numeric leaves of a document that are worth diffing.
+
+    Trace documents compare their span totals, metrics and event counts
+    (never the raw span/event arrays); benchmark ledgers and any other
+    JSON object compare every numeric leaf.
+    """
+    if "schema_version" in payload:
+        view: Dict[str, float] = {}
+        for section in ("span_totals", "metrics", "event_counts", "meta"):
+            if section in payload:
+                _flatten_numeric(payload[section], section, view)
+        return view
+    view = {}
+    _flatten_numeric(payload, "", view)
+    return view
+
+
+def diff_documents(base: dict, new: dict) -> List[DiffEntry]:
+    """Compare two loaded JSON documents leaf by leaf, sorted by path."""
+    base_view = comparable_view(base)
+    new_view = comparable_view(new)
+    entries: List[DiffEntry] = []
+    for path in sorted(set(base_view) | set(new_view)):
+        entries.append(DiffEntry(path, base_view.get(path), new_view.get(path)))
+    return entries
+
+
+#: Path fragments treated as wall-clock measurements by :func:`gate_diff`
+#: when ``ignore_timing`` is set -- machine-dependent, excluded from the
+#: structural regression gate.
+TIMING_FRAGMENTS = ("seconds", "wall", "_us", "_ms")
+
+
+def gate_diff(
+    entries: Sequence[DiffEntry],
+    *,
+    tolerance: float = 0.25,
+    ignore_timing: bool = False,
+) -> List[DiffEntry]:
+    """The entries whose relative change falls outside the tolerance band.
+
+    ``tolerance`` is a symmetric relative band (0.25 = +-25% of the
+    baseline value).  Leaves present on only one side always gate (a
+    metric appeared or vanished).  With ``ignore_timing``, paths
+    containing a :data:`TIMING_FRAGMENTS` fragment are skipped so the
+    gate stays deterministic across machines.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance!r}")
+    regressions: List[DiffEntry] = []
+    for entry in entries:
+        lowered = entry.path.lower()
+        if ignore_timing and any(fragment in lowered for fragment in TIMING_FRAGMENTS):
+            continue
+        if entry.base is None or entry.new is None:
+            regressions.append(entry)
+            continue
+        relative = entry.relative
+        if relative is None:
+            continue  # both zero
+        if relative is math.inf or abs(relative) > tolerance:
+            regressions.append(entry)
+    return regressions

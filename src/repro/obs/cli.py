@@ -1,0 +1,358 @@
+"""``repro-obs`` -- post-mortem analysis of exported trace documents.
+
+Subcommands (all consume the JSON trace documents that
+:class:`~repro.obs.ObservationSession` / ``--trace-json`` write; schema
+v1 and v2 both load):
+
+* ``summarize``     -- meta, phase timings, session outcomes, event
+  counts, per-broker rejection rates and the top bottleneck resources;
+* ``critical-path`` -- per-session phase self-time breakdown, slowest
+  establishment attempts first;
+* ``top``           -- the top-K contended resources with how each
+  manifested (plan bottleneck, admission race lost, broker reject);
+* ``diff``          -- numeric deltas between two documents (trace or
+  benchmark ledger); ``--gate`` turns out-of-tolerance deltas into a
+  non-zero exit for CI regression gating;
+* ``export-prom``   -- the document's metrics snapshot in Prometheus
+  text exposition format.
+
+Installed as a console script via ``[project.scripts]``; also runnable
+as ``python -m repro.obs.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.obs import analyze
+from repro.obs.prom import DEFAULT_PREFIX, snapshot_exposition
+
+__all__ = ["build_parser", "main"]
+
+
+def _load_document(path: str) -> dict:
+    """Any JSON object document (trace or ledger); exits 2 on garbage."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"repro-obs: no such file: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"repro-obs: {path} is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"repro-obs: {path} is not a JSON object document")
+    return payload
+
+
+def _load_trace(path: str) -> analyze.TraceDocument:
+    try:
+        return analyze.TraceDocument.from_dict(_load_document(path))
+    except analyze.TraceFormatError as exc:
+        raise SystemExit(f"repro-obs: {path}: {exc}")
+
+
+def _print(lines: Sequence[str]) -> None:
+    sys.stdout.write("\n".join(lines) + "\n")
+
+
+# -- summarize -----------------------------------------------------------------
+
+
+def _meta_lines(doc: analyze.TraceDocument) -> List[str]:
+    if not doc.meta:
+        return []
+    lines = ["run metadata:"]
+    for key in sorted(doc.meta):
+        lines.append(f"  {key:<22} {doc.meta[key]}")
+    return lines
+
+
+def _span_lines(doc: analyze.TraceDocument) -> List[str]:
+    if not doc.span_totals:
+        return []
+    lines = ["per-phase timings:", f"  {'span':<22} {'count':>7} {'total_s':>10}"]
+    for name, totals in sorted(
+        doc.span_totals.items(), key=lambda item: -item[1].get("total_seconds", 0.0)
+    ):
+        lines.append(
+            f"  {name:<22} {int(totals.get('count', 0)):>7} "
+            f"{totals.get('total_seconds', 0.0):>10.4f}"
+        )
+    return lines
+
+
+def _event_lines(doc: analyze.TraceDocument) -> List[str]:
+    counts = {}
+    for event in doc.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    if not counts:
+        return []
+    lines = ["reservation events:"]
+    for kind in sorted(counts):
+        lines.append(f"  {kind:<26} {counts[kind]}")
+    if doc.events_dropped:
+        lines.append(f"  (dropped beyond capacity: {doc.events_dropped})")
+    return lines
+
+
+def _broker_lines(doc: analyze.TraceDocument, *, limit: Optional[int] = None) -> List[str]:
+    timelines = analyze.broker_timelines(doc)
+    if not timelines:
+        return []
+    ranked = sorted(
+        timelines.values(), key=lambda t: (-t.rejection_rate, -t.rejects, t.resource)
+    )
+    if limit is not None:
+        ranked = ranked[:limit]
+    lines = [
+        "per-broker admission:",
+        f"  {'resource':<16} {'grants':>7} {'rejects':>8} {'rej_rate':>9} "
+        f"{'peak_util':>10} {'first_rej_t':>12}",
+    ]
+    for timeline in ranked:
+        first = (
+            f"{timeline.first_reject_time:.1f}"
+            if timeline.first_reject_time is not None
+            else "-"
+        )
+        lines.append(
+            f"  {timeline.resource:<16} {timeline.grants:>7} {timeline.rejects:>8} "
+            f"{timeline.rejection_rate:>9.3f} {timeline.peak_utilization:>10.3f} "
+            f"{first:>12}"
+        )
+    return lines
+
+
+def _bottleneck_lines(doc: analyze.TraceDocument, k: int) -> List[str]:
+    reports = analyze.top_bottlenecks(doc, k)
+    if not reports:
+        return []
+    lines = [
+        f"top-{len(reports)} bottleneck resources:",
+        f"  {'resource':<16} {'score':>7} {'plan_btl':>9} {'adm_fail':>9} "
+        f"{'brk_rej':>8} {'mean_psi':>9}",
+    ]
+    for report in reports:
+        lines.append(
+            f"  {report.resource:<16} {report.score:>7g} {report.planned_bottleneck:>9} "
+            f"{report.admission_failures:>9} {report.broker_rejects:>8} "
+            f"{report.mean_psi:>9.3f}"
+        )
+    return lines
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    doc = _load_trace(args.trace)
+    title = f"trace summary: {args.trace} (schema v{doc.schema_version})"
+    sections = [
+        [title, "=" * len(title)],
+        _meta_lines(doc),
+        _span_lines(doc),
+        _event_lines(doc),
+        _broker_lines(doc, limit=args.top),
+        _bottleneck_lines(doc, args.top),
+    ]
+    _print([line for section in sections if section for line in section + [""]][:-1])
+    return 0
+
+
+# -- critical-path -------------------------------------------------------------
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    doc = _load_trace(args.trace)
+    breakdowns = analyze.critical_path(doc, session=args.session, limit=args.limit)
+    if not breakdowns:
+        if args.session:
+            raise SystemExit(
+                f"repro-obs: no establish span for session {args.session!r} in {args.trace}"
+            )
+        _print(["no establish spans in this trace"])
+        return 0
+    lines: List[str] = []
+    for breakdown in breakdowns:
+        lines.append(
+            f"session {breakdown.session} ({breakdown.service or '?'}, "
+            f"{breakdown.outcome or '?'}): {1e6 * breakdown.total_seconds:.1f} us total, "
+            f"critical phase: {breakdown.critical_phase}"
+        )
+        for name, seconds in sorted(
+            breakdown.phase_seconds.items(), key=lambda item: -item[1]
+        ):
+            share = seconds / breakdown.total_seconds if breakdown.total_seconds else 0.0
+            lines.append(f"    {name:<22} {1e6 * seconds:>10.1f} us  {share:>6.1%}")
+    totals = analyze.phase_totals(breakdowns)
+    if totals:
+        lines.append("")
+        lines.append(f"aggregate self time over {len(breakdowns)} sessions:")
+        for name, seconds in totals.items():
+            lines.append(f"    {name:<22} {seconds:>10.4f} s")
+    _print(lines)
+    return 0
+
+
+# -- top -----------------------------------------------------------------------
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    doc = _load_trace(args.trace)
+    lines = _bottleneck_lines(doc, args.k)
+    if not lines:
+        _print(
+            [
+                "no bottleneck signals in this trace "
+                "(schema v1 documents carry no event log)"
+            ]
+        )
+        return 0
+    broker = _broker_lines(doc, limit=args.k)
+    if broker:
+        lines += [""] + broker
+    _print(lines)
+    return 0
+
+
+# -- diff ----------------------------------------------------------------------
+
+
+def _format_side(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:g}"
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    base = _load_document(args.base)
+    new = _load_document(args.new)
+    entries = analyze.diff_documents(base, new)
+    if args.changed_only:
+        entries = [e for e in entries if e.base != e.new]
+    lines = [f"  {'path':<48} {'base':>12} {'new':>12} {'delta':>12}"]
+    for entry in entries:
+        delta = entry.delta
+        lines.append(
+            f"  {entry.path:<48} {_format_side(entry.base):>12} "
+            f"{_format_side(entry.new):>12} "
+            f"{'-' if delta is None else format(delta, '+g'):>12}"
+        )
+    _print(lines)
+    if not args.gate:
+        return 0
+    regressions = analyze.gate_diff(
+        entries, tolerance=args.tolerance, ignore_timing=args.ignore_timing
+    )
+    if not regressions:
+        _print([f"gate: OK ({len(entries)} leaves within +-{args.tolerance:.0%})"])
+        return 0
+    _print([f"gate: {len(regressions)} leaves outside the +-{args.tolerance:.0%} band:"])
+    for entry in regressions:
+        relative = entry.relative
+        detail = "present on one side only" if relative is None else f"{relative:+.1%}"
+        _print([f"  {entry.path}: {_format_side(entry.base)} -> "
+                f"{_format_side(entry.new)} ({detail})"])
+    return 1
+
+
+# -- export-prom ---------------------------------------------------------------
+
+
+def _cmd_export_prom(args: argparse.Namespace) -> int:
+    doc = _load_trace(args.trace)
+    if not doc.metrics:
+        raise SystemExit(f"repro-obs: {args.trace} carries no metrics snapshot")
+    text = snapshot_exposition(doc.metrics, prefix=args.prefix)
+    if args.output:
+        Path(args.output).write_text(text)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+# -- parser --------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Analyze exported observability trace documents.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="meta, timings, events, broker and bottleneck overview"
+    )
+    summarize.add_argument("trace", help="trace JSON document")
+    summarize.add_argument(
+        "--top", type=int, default=5, metavar="K",
+        help="rows in the broker/bottleneck tables (default 5)",
+    )
+    summarize.set_defaults(func=_cmd_summarize)
+
+    critical = sub.add_parser(
+        "critical-path", help="per-session phase self-time breakdown"
+    )
+    critical.add_argument("trace", help="trace JSON document")
+    critical.add_argument(
+        "--session", default=None, help="restrict to one session id"
+    )
+    critical.add_argument(
+        "--limit", type=int, default=10, metavar="N",
+        help="keep only the N slowest sessions (default 10)",
+    )
+    critical.set_defaults(func=_cmd_critical_path)
+
+    top = sub.add_parser("top", help="top-K contended (bottleneck) resources")
+    top.add_argument("trace", help="trace JSON document")
+    top.add_argument(
+        "-k", type=int, default=5, help="number of resources to report (default 5)"
+    )
+    top.set_defaults(func=_cmd_top)
+
+    diff = sub.add_parser(
+        "diff", help="numeric deltas between two trace/ledger documents"
+    )
+    diff.add_argument("base", help="baseline JSON document")
+    diff.add_argument("new", help="new JSON document")
+    diff.add_argument(
+        "--changed-only", action="store_true", help="hide identical leaves"
+    )
+    diff.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 when any leaf falls outside the tolerance band",
+    )
+    diff.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="symmetric relative band for --gate (default 0.25 = +-25%%)",
+    )
+    diff.add_argument(
+        "--ignore-timing", action="store_true",
+        help="exclude wall-clock leaves (paths containing "
+        + ", ".join(analyze.TIMING_FRAGMENTS)
+        + ") from the gate",
+    )
+    diff.set_defaults(func=_cmd_diff)
+
+    prom = sub.add_parser(
+        "export-prom", help="Prometheus text exposition of the metrics snapshot"
+    )
+    prom.add_argument("trace", help="trace JSON document")
+    prom.add_argument(
+        "-o", "--output", default=None, help="write here instead of stdout"
+    )
+    prom.add_argument(
+        "--prefix", default=DEFAULT_PREFIX,
+        help=f"metric name prefix (default {DEFAULT_PREFIX!r})",
+    )
+    prom.set_defaults(func=_cmd_export_prom)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,248 @@
+"""Causal reservation event log (the *why* behind the span timings).
+
+Spans (:mod:`repro.obs.trace`) answer "where did the time go"; this
+module answers "why was this reservation rejected or downgraded, and
+which broker was the bottleneck".  An :class:`EventLog` records *typed*
+reservation-lifecycle events:
+
+* ``session.planned`` / ``session.admitted`` / ``session.degraded`` /
+  ``session.rejected`` -- one causal record per establishment attempt,
+  carrying the requested-vs-available resource vectors and the plan's
+  contention index psi;
+* ``broker.probe`` / ``broker.grant`` / ``broker.reject`` /
+  ``broker.release`` -- every admission decision with the requested
+  amount against the broker's availability at that instant;
+* ``proxy.segment_applied`` / ``proxy.segment_rejected`` -- phase-3
+  segment outcomes per QoSProxy;
+* ``planner.tradeoff_backoff`` -- the §4.3.1 policy choosing a lower
+  end-to-end level than the best feasible one.
+
+Like the tracer and the metrics registry, instrumented code dispatches
+through the module-level :func:`emit` helper, which is a single global
+read plus an early return when no log is installed -- the disabled path
+stays effectively free.  Events are causally ordered by a monotonic
+``seq`` counter; broker-side events additionally carry the simulation
+clock (``time``) so per-resource timelines can be reconstructed from an
+exported trace document (see :mod:`repro.obs.analyze`).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventLog",
+    "ReservationEvent",
+    "active_event_log",
+    "emit",
+    "event_logging",
+    "install",
+    "uninstall",
+]
+
+#: The closed set of event kinds; :meth:`EventLog.emit` rejects others so
+#: the trace document's event vocabulary stays a stable, documented schema.
+EVENT_KINDS = frozenset(
+    {
+        "session.planned",
+        "session.admitted",
+        "session.degraded",
+        "session.rejected",
+        "broker.probe",
+        "broker.grant",
+        "broker.reject",
+        "broker.release",
+        "proxy.segment_applied",
+        "proxy.segment_rejected",
+        "planner.tradeoff_backoff",
+    }
+)
+
+
+@dataclass
+class ReservationEvent:
+    """One recorded lifecycle event.
+
+    ``seq`` is the log-wide causal order; ``wall`` is seconds since the
+    log was created (monotonic clock); ``time`` is the simulation clock
+    of the emitter when it has one (brokers do, the coordinator reports
+    the observation instant of its snapshot), else None.
+    """
+
+    kind: str
+    seq: int
+    wall: float
+    time: Optional[float] = None
+    session: Optional[str] = None
+    resource: Optional[str] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (the trace document's schema)."""
+        return {
+            "kind": self.kind,
+            "seq": self.seq,
+            "wall": self.wall,
+            "time": self.time,
+            "session": self.session,
+            "resource": self.resource,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ReservationEvent":
+        """Rebuild an event from its :meth:`to_dict` form (trace loading)."""
+        return cls(
+            kind=payload["kind"],
+            seq=int(payload["seq"]),
+            wall=float(payload.get("wall", 0.0)),
+            time=payload.get("time"),
+            session=payload.get("session"),
+            resource=payload.get("resource"),
+            attributes=dict(payload.get("attributes", {})),
+        )
+
+
+class EventLog:
+    """Collects reservation-lifecycle events for one run.
+
+    ``capacity`` bounds memory on very long runs: once reached, further
+    events are counted in :attr:`dropped` instead of stored (newest
+    dropped, oldest kept -- the causal prefix stays intact).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.records: List[ReservationEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+        self._next_seq = 0
+        self._epoch = _time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(
+        self,
+        kind: str,
+        *,
+        session: Optional[str] = None,
+        resource: Optional[str] = None,
+        time: Optional[float] = None,
+        **attributes: object,
+    ) -> None:
+        """Record one event; raises ValueError on unknown kinds."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; known kinds: {sorted(EVENT_KINDS)}"
+            )
+        seq = self._next_seq
+        self._next_seq += 1
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(
+            ReservationEvent(
+                kind=kind,
+                seq=seq,
+                wall=_time.perf_counter() - self._epoch,
+                time=time,
+                session=session,
+                resource=resource,
+                attributes=attributes,
+            )
+        )
+
+    def clear(self) -> None:
+        """Drop every recorded event (epoch and seq counter are kept)."""
+        self.records.clear()
+        self.dropped = 0
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ReservationEvent]:
+        return iter(self.records)
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of the given kind."""
+        return sum(1 for record in self.records if record.kind == kind)
+
+    def kinds(self) -> List[str]:
+        """Distinct event kinds, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.kind, None)
+        return list(seen)
+
+    def kind_counts(self) -> Dict[str, int]:
+        """kind -> number of recorded events (sorted by kind)."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def for_session(self, session_id: str) -> List[ReservationEvent]:
+        """Every event tagged with the given session id, in causal order."""
+        return [record for record in self.records if record.session == session_id]
+
+    def for_resource(self, resource_id: str) -> List[ReservationEvent]:
+        """Every event tagged with the given resource id, in causal order."""
+        return [record for record in self.records if record.resource == resource_id]
+
+    def to_dicts(self) -> List[dict]:
+        """Every event as a JSON-compatible dict, in causal order."""
+        return [record.to_dict() for record in self.records]
+
+
+#: The installed event log; None means event logging is disabled (default).
+_ACTIVE: Optional[EventLog] = None
+
+
+def install(log: EventLog) -> None:
+    """Make ``log`` receive every event from instrumented code."""
+    global _ACTIVE
+    _ACTIVE = log
+
+
+def uninstall() -> None:
+    """Disable event logging (instrumentation reverts to the no-op path)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_event_log() -> Optional[EventLog]:
+    """The installed event log, or None when event logging is disabled."""
+    return _ACTIVE
+
+
+@contextmanager
+def event_logging(log: EventLog) -> Iterator[EventLog]:
+    """Install ``log`` for the duration of the block, then restore."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = log
+    try:
+        yield log
+    finally:
+        _ACTIVE = previous
+
+
+def emit(
+    kind: str,
+    *,
+    session: Optional[str] = None,
+    resource: Optional[str] = None,
+    time: Optional[float] = None,
+    **attributes: object,
+) -> None:
+    """Record an event on the installed log (no-op when disabled)."""
+    log = _ACTIVE
+    if log is not None:
+        log.emit(kind, session=session, resource=resource, time=time, **attributes)

@@ -20,10 +20,12 @@ import json
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry, format_labels
 from repro.obs.trace import Tracer
 
 __all__ = [
+    "TRACE_SCHEMA_VERSION",
     "observability_to_dict",
     "summary_report",
     "write_metrics_csv",
@@ -33,13 +35,17 @@ __all__ = [
 
 PathLike = Union[str, Path]
 
-#: Schema version stamped into every JSON trace document.
-TRACE_SCHEMA_VERSION = 1
+#: Schema version stamped into every JSON trace document.  v2 added the
+#: causal reservation event log (``events`` + ``event_counts``); v1
+#: documents (spans/metrics only) remain loadable -- see
+#: :func:`repro.obs.analyze.load_trace`.
+TRACE_SCHEMA_VERSION = 2
 
 
 def observability_to_dict(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
     *,
     meta: Optional[dict] = None,
 ) -> dict:
@@ -55,6 +61,11 @@ def observability_to_dict(
         }
     if registry is not None:
         document["metrics"] = registry.snapshot()
+    if events is not None:
+        document["events"] = events.to_dicts()
+        document["event_counts"] = events.kind_counts()
+        if events.dropped:
+            document["events_dropped"] = events.dropped
     return document
 
 
@@ -62,13 +73,14 @@ def write_trace_json(
     path: PathLike,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
     *,
     meta: Optional[dict] = None,
 ) -> Path:
     """Write the JSON trace document; returns the written path."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    document = observability_to_dict(tracer, registry, meta=meta)
+    document = observability_to_dict(tracer, registry, events, meta=meta)
     target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     return target
 
@@ -105,9 +117,31 @@ def _broker_table(registry: MetricsRegistry) -> List[str]:
     return lines
 
 
+def _histogram_table(registry: MetricsRegistry) -> List[str]:
+    """Per-histogram distribution rows: count, mean and p50/p95/p99."""
+    histograms = registry.iter_histograms()
+    if not any(histogram.count for _n, _l, histogram in histograms):
+        return []
+    lines = [
+        "distributions:",
+        f"  {'histogram':<30} {'count':>7} {'mean':>11} {'p50':>11} {'p95':>11} {'p99':>11}",
+    ]
+    for name, labels, histogram in histograms:
+        if not histogram.count:
+            continue
+        label_text = format_labels(tuple(sorted((k, v) for k, v in labels.items())))
+        lines.append(
+            f"  {name + label_text:<30} {histogram.count:>7} {histogram.mean:>11.6g} "
+            f"{histogram.percentile(0.50):>11.6g} {histogram.percentile(0.95):>11.6g} "
+            f"{histogram.percentile(0.99):>11.6g}"
+        )
+    return lines
+
+
 def summary_report(
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
     *,
     title: str = "observability summary",
 ) -> str:
@@ -127,6 +161,10 @@ def summary_report(
         if broker_lines:
             lines.append("")
             lines.extend(broker_lines)
+        histogram_lines = _histogram_table(registry)
+        if histogram_lines:
+            lines.append("")
+            lines.extend(histogram_lines)
         session_names = sorted(
             {name for name, _labels, _value in registry.iter_counters() if name.startswith("session.")}
         )
@@ -135,6 +173,13 @@ def summary_report(
             lines.append("session outcomes:")
             for name in session_names:
                 lines.append(f"  {name:<24} {registry.counter_total(name):g}")
+    if events is not None and len(events):
+        lines.append("")
+        lines.append("reservation events:")
+        for kind, count in events.kind_counts().items():
+            lines.append(f"  {kind:<26} {count:g}")
+        if events.dropped:
+            lines.append(f"  (dropped beyond capacity: {events.dropped})")
     lines.append("")
     return "\n".join(lines)
 
@@ -143,11 +188,12 @@ def write_summary(
     path: PathLike,
     tracer: Optional[Tracer] = None,
     registry: Optional[MetricsRegistry] = None,
+    events: Optional[EventLog] = None,
     *,
     title: str = "observability summary",
 ) -> Path:
     """Write the text summary report; returns the written path."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(summary_report(tracer, registry, title=title))
+    target.write_text(summary_report(tracer, registry, events, title=title))
     return target

@@ -63,6 +63,16 @@ class Counter:
             raise ValueError(f"counters only increase; got {amount!r}")
         self.value += amount
 
+    def rate(self, elapsed: float) -> float:
+        """Events per time unit over an ``elapsed`` interval.
+
+        ``elapsed`` is whatever clock the caller accounts in (wall
+        seconds, simulated time units); non-positive intervals raise.
+        """
+        if elapsed <= 0:
+            raise ValueError(f"elapsed interval must be positive, got {elapsed!r}")
+        return self.value / elapsed
+
     def to_dict(self) -> dict:
         """JSON-compatible representation."""
         return {"value": self.value}
@@ -125,6 +135,36 @@ class Histogram:
         """Arithmetic mean of the observations (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]) from the buckets.
+
+        Linear interpolation within the containing bucket, the standard
+        Prometheus ``histogram_quantile`` estimate; observations landing
+        in the overflow bucket are reported as the recorded maximum.
+        Returns 0 on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q!r}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0.0
+        lower = 0.0
+        for bound, bucket_count in zip(self.boundaries, self.bucket_counts):
+            if bucket_count and cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + fraction * (bound - lower)
+                # The true extremes are tracked exactly; never report an
+                # interpolated value outside the observed range.
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+            cumulative += bucket_count
+            lower = bound
+        return self.max if self.max is not None else lower
+
     def to_dict(self) -> dict:
         """JSON-compatible representation (boundaries + counts + stats)."""
         return {
@@ -135,11 +175,25 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
         }
 
 
 def _label_key(labels: Dict[str, object]) -> Labels:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _sort_key(item):
+    """Deterministic export order: by name, then formatted label string.
+
+    Every reader of the registry (snapshot, rows, iter_*) sorts with this
+    one key so trace documents, CSV rows and ``repro-obs diff`` output
+    are stable across runs and Python versions.
+    """
+    (name, labels) = item[0]
+    return (name, format_labels(labels))
 
 
 def format_labels(labels: Labels) -> str:
@@ -212,7 +266,21 @@ class MetricsRegistry:
         """Every counter as ``(name, labels, value)``, sorted by key."""
         return [
             (name, dict(labels), counter.value)
-            for (name, labels), counter in sorted(self._counters.items())
+            for (name, labels), counter in sorted(self._counters.items(), key=_sort_key)
+        ]
+
+    def iter_gauges(self) -> List[Tuple[str, Dict[str, str], float]]:
+        """Every gauge as ``(name, labels, value)``, sorted by key."""
+        return [
+            (name, dict(labels), gauge.value)
+            for (name, labels), gauge in sorted(self._gauges.items(), key=_sort_key)
+        ]
+
+    def iter_histograms(self) -> List[Tuple[str, Dict[str, str], Histogram]]:
+        """Every histogram as ``(name, labels, instrument)``, sorted by key."""
+        return [
+            (name, dict(labels), histogram)
+            for (name, labels), histogram in sorted(self._histograms.items(), key=_sort_key)
         ]
 
     def rows(self) -> List[Tuple[str, str, str, str, float]]:
@@ -222,11 +290,11 @@ class MetricsRegistry:
         bucket (field ``le=<bound>``; the overflow bucket is ``le=inf``).
         """
         out: List[Tuple[str, str, str, str, float]] = []
-        for (name, labels), counter in sorted(self._counters.items()):
+        for (name, labels), counter in sorted(self._counters.items(), key=_sort_key):
             out.append(("counter", name, format_labels(labels), "value", counter.value))
-        for (name, labels), gauge in sorted(self._gauges.items()):
+        for (name, labels), gauge in sorted(self._gauges.items(), key=_sort_key):
             out.append(("gauge", name, format_labels(labels), "value", gauge.value))
-        for (name, labels), histogram in sorted(self._histograms.items()):
+        for (name, labels), histogram in sorted(self._histograms.items(), key=_sort_key):
             label_text = format_labels(labels)
             out.append(("histogram", name, label_text, "count", float(histogram.count)))
             out.append(("histogram", name, label_text, "sum", histogram.sum))
@@ -240,15 +308,15 @@ class MetricsRegistry:
         return {
             "counters": {
                 name + format_labels(labels): counter.to_dict()
-                for (name, labels), counter in sorted(self._counters.items())
+                for (name, labels), counter in sorted(self._counters.items(), key=_sort_key)
             },
             "gauges": {
                 name + format_labels(labels): gauge.to_dict()
-                for (name, labels), gauge in sorted(self._gauges.items())
+                for (name, labels), gauge in sorted(self._gauges.items(), key=_sort_key)
             },
             "histograms": {
                 name + format_labels(labels): histogram.to_dict()
-                for (name, labels), histogram in sorted(self._histograms.items())
+                for (name, labels), histogram in sorted(self._histograms.items(), key=_sort_key)
             },
         }
 

@@ -1,0 +1,139 @@
+"""Prometheus text exposition of a metrics snapshot.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` -- live, or the
+``snapshot()`` dict carried inside an exported trace document -- in the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ so any
+scrape-compatible tooling can ingest a finished run:
+
+* counters become ``<name>_total`` with a ``# TYPE ... counter`` header;
+* gauges keep their name with a ``# TYPE ... gauge`` header;
+* histograms expand to the cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count``.
+
+Dots in instrument names (``broker.grants``) become underscores, and the
+configured ``prefix`` namespaces everything (``repro_broker_grants``).
+No Prometheus client library is involved -- the format is plain text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["registry_exposition", "snapshot_exposition"]
+
+DEFAULT_PREFIX = "repro_"
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """A legal Prometheus metric name (``[a-zA-Z_:][a-zA-Z0-9_:]*``)."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in prefix + name
+    )
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _parse_instrument_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a snapshot key ``name{k=v,...}`` back into name and labels."""
+    if "{" not in key:
+        return key, {}
+    name, _, label_text = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in label_text.rstrip("}").split(","):
+        if not pair:
+            continue
+        label, _, value = pair.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+class _Writer:
+    """Accumulates exposition lines, one ``# TYPE`` header per metric."""
+
+    def __init__(self) -> None:
+        self._lines: List[str] = []
+        self._typed: Dict[str, str] = {}
+
+    def sample(self, metric: str, kind: str, labels: Mapping[str, str], value: float,
+               *, sample_suffix: str = "") -> None:
+        declared = self._typed.get(metric)
+        if declared is None:
+            self._typed[metric] = kind
+            self._lines.append(f"# TYPE {metric} {kind}")
+        self._lines.append(
+            f"{metric}{sample_suffix}{_render_labels(labels)} {_format_value(value)}"
+        )
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + ("\n" if self._lines else "")
+
+
+def snapshot_exposition(snapshot: Mapping[str, Mapping[str, dict]], *,
+                        prefix: str = DEFAULT_PREFIX) -> str:
+    """Prometheus text exposition of a ``MetricsRegistry.snapshot()`` dict.
+
+    Works equally on the ``metrics`` section of a loaded trace document,
+    which is the same snapshot shape -- that is what ``repro-obs
+    export-prom`` feeds it.
+    """
+    writer = _Writer()
+    for key, payload in snapshot.get("counters", {}).items():
+        name, labels = _parse_instrument_key(key)
+        metric = _metric_name(name, prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        writer.sample(metric, "counter", labels, float(payload["value"]))
+    for key, payload in snapshot.get("gauges", {}).items():
+        name, labels = _parse_instrument_key(key)
+        writer.sample(_metric_name(name, prefix), "gauge", labels, float(payload["value"]))
+    for key, payload in snapshot.get("histograms", {}).items():
+        name, labels = _parse_instrument_key(key)
+        metric = _metric_name(name, prefix)
+        cumulative = 0.0
+        boundaries = list(payload.get("boundaries", []))
+        bucket_counts = list(payload.get("bucket_counts", []))
+        for bound, bucket_count in zip(boundaries, bucket_counts):
+            cumulative += bucket_count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = f"{float(bound):g}"
+            writer.sample(metric, "histogram", bucket_labels, cumulative,
+                          sample_suffix="_bucket")
+        total_count = float(payload.get("count", cumulative))
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        writer.sample(metric, "histogram", inf_labels, total_count,
+                      sample_suffix="_bucket")
+        writer.sample(metric, "histogram", labels, float(payload.get("sum", 0.0)),
+                      sample_suffix="_sum")
+        writer.sample(metric, "histogram", labels, total_count, sample_suffix="_count")
+    return writer.text()
+
+
+def registry_exposition(registry: MetricsRegistry, *, prefix: str = DEFAULT_PREFIX) -> str:
+    """Prometheus text exposition of a live :class:`MetricsRegistry`."""
+    return snapshot_exposition(registry.snapshot(), prefix=prefix)

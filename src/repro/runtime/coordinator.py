@@ -29,6 +29,7 @@ from repro.core.plan import ReservationPlan
 from repro.core.qrg import QRGSkeletonCache, price_skeleton
 from repro.core.resources import AvailabilitySnapshot, ResourceObservation
 from repro.core.translation import ScaledTranslation
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.runtime.messages import AvailabilityRequest, PlanSegment
@@ -148,6 +149,7 @@ class ReservationCoordinator:
     ) -> EstablishmentResult:
         """The three phases themselves (timing/accounting in :meth:`establish`)."""
         service = self._service_at_scale(service_name, demand_scale)
+        log = _events.active_event_log()
 
         # Phase 1: collect availability from the owning proxies.
         resource_ids = sorted(binding.resource_ids())
@@ -163,6 +165,11 @@ class ReservationCoordinator:
             if missing:
                 raise BrokerError(f"no proxy reported resources {sorted(missing)}")
             snapshot = AvailabilitySnapshot(observations)
+        # The causal log timestamps session events with the instant the
+        # availability snapshot describes (== env.now for fresh probes).
+        observed_instant = max(
+            (obs.observed_at for obs in observations.values()), default=None
+        )
 
         # Phase 2: local plan computation at the main proxy.  The QRG
         # skeleton (nodes, equivalence edges, bound requirement vectors)
@@ -184,10 +191,44 @@ class ReservationCoordinator:
                     qrg = price_skeleton(skeleton, snapshot, **kwargs)
                     qrg_span.set(nodes=qrg.count_nodes(), edges=qrg.count_edges())
             except PlanningError as exc:
+                if log is not None:
+                    log.emit(
+                        "session.rejected",
+                        session=session_id,
+                        time=observed_instant,
+                        service=service_name,
+                        reason="qrg",
+                        detail=str(exc),
+                        available=snapshot.availability(),
+                    )
                 return EstablishmentResult(session_id, False, None, reason=f"qrg: {exc}")
             plan = planner.plan(qrg)
             if plan is None:
+                if log is not None:
+                    log.emit(
+                        "session.rejected",
+                        session=session_id,
+                        time=observed_instant,
+                        service=service_name,
+                        reason="no_feasible_plan",
+                        available=snapshot.availability(),
+                    )
                 return EstablishmentResult(session_id, False, None, reason="no_feasible_plan")
+            if log is not None:
+                requested = dict(plan.demand)
+                log.emit(
+                    "session.planned",
+                    session=session_id,
+                    time=observed_instant,
+                    service=service_name,
+                    level=plan.end_to_end_label,
+                    rank=plan.end_to_end_rank,
+                    psi=plan.psi,
+                    bottleneck=plan.bottleneck_resource,
+                    bottleneck_alpha=plan.bottleneck_alpha,
+                    requested=requested,
+                    available={r: observations[r].available for r in requested},
+                )
 
         # Phase 3: dispatch plan segments to the owning proxies.
         segments = self._segments(session_id, plan)
@@ -201,6 +242,19 @@ class ReservationCoordinator:
                 for proxy in applied:
                     proxy.release_session(session_id)
                 dispatch_span.set(rolled_back=len(applied), failed_resource=exc.resource_id)
+                if log is not None:
+                    requested = dict(plan.demand)
+                    log.emit(
+                        "session.rejected",
+                        session=session_id,
+                        resource=exc.resource_id,
+                        time=observed_instant,
+                        service=service_name,
+                        reason="admission_failed",
+                        psi=plan.psi,
+                        requested=requested,
+                        available={r: observations[r].available for r in requested},
+                    )
                 return EstablishmentResult(
                     session_id,
                     False,
@@ -217,6 +271,33 @@ class ReservationCoordinator:
                 proxy = self.proxies.get(host)
                 if proxy is not None:
                     proxy.start_components(session_id, sorted(components))
+        if log is not None:
+            log.emit(
+                "session.admitted",
+                session=session_id,
+                time=observed_instant,
+                service=service_name,
+                level=plan.end_to_end_label,
+                rank=plan.end_to_end_rank,
+                numeric_level=plan.numeric_level,
+                psi=plan.psi,
+                bottleneck=plan.bottleneck_resource,
+            )
+            if plan.end_to_end_rank > 0:
+                # Admitted below the service's top end-to-end level: the
+                # degradation the trade-off policy exchanges for success
+                # rate.  Recorded as its own causal event so "why was this
+                # session downgraded" is answerable from the exported log.
+                log.emit(
+                    "session.degraded",
+                    session=session_id,
+                    time=observed_instant,
+                    service=service_name,
+                    level=plan.end_to_end_label,
+                    rank=plan.end_to_end_rank,
+                    psi=plan.psi,
+                    bottleneck=plan.bottleneck_resource,
+                )
         return EstablishmentResult(session_id, True, plan)
 
     def establish_process(self, env, latency: float, /, *args, **kwargs):

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.brokers.registry import AnyReservation, BrokerRegistry
 from repro.core.errors import AdmissionError, BrokerError
 from repro.core.resources import ResourceObservation
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.runtime.messages import AvailabilityReport, AvailabilityRequest, PlanSegment
 
@@ -94,17 +95,36 @@ class QoSProxy:
                     )
                 broker = self.registry.broker(resource_id)
                 made.append(broker.reserve(segment.demands[resource_id], segment.session_id))
-        except AdmissionError:
+        except AdmissionError as exc:
             for reservation in reversed(made):
                 self.registry.broker(reservation.resource_id).release(reservation)
             registry = _metrics.active_registry()
             if registry is not None:
                 registry.counter("proxy.segment_rejections", host=self.host).inc()
+            log = _events.active_event_log()
+            if log is not None:
+                log.emit(
+                    "proxy.segment_rejected",
+                    session=segment.session_id,
+                    resource=exc.resource_id,
+                    host=self.host,
+                    rolled_back=len(made),
+                    demands=dict(segment.demands),
+                )
             raise
         self._held.setdefault(segment.session_id, []).extend(made)
         registry = _metrics.active_registry()
         if registry is not None:
             registry.counter("proxy.segments_applied", host=self.host).inc()
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "proxy.segment_applied",
+                session=segment.session_id,
+                host=self.host,
+                reservations=len(made),
+                demands=dict(segment.demands),
+            )
 
     def release_session(self, session_id: str) -> int:
         """Release everything held for a session; returns count released."""

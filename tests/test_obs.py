@@ -162,6 +162,63 @@ class TestMetrics:
             assert active_registry() is outer
         assert active_registry() is None
 
+    def test_counter_rate(self):
+        counter = MetricsRegistry().counter("session.arrivals")
+        counter.inc(30)
+        assert counter.rate(60.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            counter.rate(0.0)
+        with pytest.raises(ValueError):
+            counter.rate(-1.0)
+
+    def test_histogram_percentile_interpolates(self):
+        histogram = Histogram((10.0, 20.0, 30.0))
+        for value in (2.0, 12.0, 14.0, 22.0, 28.0):
+            histogram.observe(value)
+        # q=0.5 -> target 2.5 obs; bucket (10, 20] holds obs 2..3, so the
+        # estimate interpolates inside it: 10 + (2.5-1)/2 * 10 = 17.5
+        assert histogram.percentile(0.5) == pytest.approx(17.5)
+        # extremes clamp to the tracked exact min/max
+        assert histogram.percentile(0.0) == 2.0
+        assert histogram.percentile(1.0) == 28.0
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_histogram_percentile_edge_cases(self):
+        empty = Histogram((1.0,))
+        assert empty.percentile(0.5) == 0.0
+        overflow = Histogram((1.0,))
+        overflow.observe(5.0)
+        overflow.observe(7.0)
+        # everything beyond the last bound reports the recorded maximum
+        assert overflow.percentile(0.99) == 7.0
+        payload = overflow.to_dict()
+        assert payload["p50"] == 7.0 and payload["p95"] == 7.0 and payload["p99"] == 7.0
+
+    def test_snapshot_and_rows_deterministically_ordered(self):
+        """Insertion order must never leak into exports: two registries
+        fed the same instruments in different orders export identically."""
+
+        def fill(registry, order):
+            for name, labels in order:
+                registry.counter(name, **labels).inc()
+                registry.gauge("g." + name, **labels).set(1.0)
+                registry.histogram("h." + name, buckets=(1.0,), **labels).observe(0.5)
+
+        instruments = [
+            ("broker.grants", {"resource": "cpu:H2"}),
+            ("broker.grants", {"resource": "cpu:H1"}),
+            ("alpha.first", {}),
+            ("broker.grants", {"host": "H1", "resource": "cpu:H1"}),
+        ]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        fill(forward, instruments)
+        fill(backward, list(reversed(instruments)))
+        assert forward.snapshot() == backward.snapshot()
+        assert forward.rows() == backward.rows()
+        counter_keys = list(forward.snapshot()["counters"])
+        assert counter_keys == sorted(counter_keys)
+
 
 class TestExport:
     def build(self):
@@ -210,6 +267,34 @@ class TestExport:
         assert "session outcomes:" in report
         assert "session.admitted" in report
 
+    def test_summary_report_distributions_with_percentiles(self):
+        tracer, registry = self.build()
+        histogram = registry.histogram("coordinator.establish_seconds")
+        for value in (0.0002, 0.0004, 0.002, 0.04):
+            histogram.observe(value)
+        report = summary_report(tracer, registry)
+        assert "distributions:" in report
+        assert "p50" in report and "p95" in report and "p99" in report
+        assert "coordinator.establish_seconds" in report
+        # empty histograms don't force the section in
+        assert "distributions:" not in summary_report(*self.build())
+
+    def test_csv_rows_parse_back_to_identical_values(self, tmp_path):
+        tracer, registry = self.build()
+        registry.histogram("latency", buckets=(0.1, 1.0)).observe(0.05)
+        session = ObservationSession()
+        session.tracer, session.registry = tracer, registry
+        csv_file = session.write_metrics_csv(tmp_path / "metrics.csv")
+        with csv_file.open() as handle:
+            parsed = [
+                (kind, name, labels, field, float(value))
+                for kind, name, labels, field, value in list(csv.reader(handle))[1:]
+            ]
+        assert parsed == [
+            (kind, name, labels, field, float(value))
+            for kind, name, labels, field, value in registry.rows()
+        ]
+
 
 class TestObservationSession:
     def test_installs_and_restores(self):
@@ -232,8 +317,10 @@ class TestObservationSession:
             ObservationSession(ObservabilityConfig(metrics=False)).write_metrics_csv("x")
 
     def test_disabled_config(self):
-        config = ObservabilityConfig(trace=False, metrics=False)
+        config = ObservabilityConfig(trace=False, metrics=False, events=False)
         assert not config.enabled
+        # any single collector keeps the session worth entering
+        assert ObservabilityConfig(trace=False, metrics=False).enabled
 
     def test_export_writes_configured_paths(self, tmp_path):
         config = ObservabilityConfig(

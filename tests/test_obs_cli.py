@@ -1,0 +1,147 @@
+"""The repro-obs CLI: each subcommand against a real exported trace."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.cli import main
+
+GOLDEN_DIR = Path(__file__).parent / "data"
+GOLDEN_V1 = str(GOLDEN_DIR / "trace_v1_golden.json")
+GOLDEN_V2 = str(GOLDEN_DIR / "trace_v2_golden.json")
+
+
+@pytest.fixture(scope="module")
+def sim_trace(tmp_path_factory):
+    """A real exported trace from a small tradeoff run."""
+    from repro.obs import ObservabilityConfig
+    from repro.sim import SimulationConfig, run_simulation
+    from repro.sim.workload import WorkloadSpec
+
+    path = tmp_path_factory.mktemp("cli") / "trace.json"
+    config = SimulationConfig(
+        algorithm="tradeoff",
+        seed=7,
+        workload=WorkloadSpec(rate_per_60tu=150.0, horizon=150.0),
+        observability=ObservabilityConfig(trace_path=str(path)),
+    )
+    run_simulation(config)
+    return str(path)
+
+
+class TestSummarize:
+    def test_sections_present(self, sim_trace, capsys):
+        assert main(["summarize", sim_trace]) == 0
+        out = capsys.readouterr().out
+        assert "schema v2" in out
+        assert "per-phase timings:" in out
+        assert "reservation events:" in out
+        assert "per-broker admission:" in out
+        assert "bottleneck resources:" in out
+        assert "session.admitted" in out
+
+    def test_v1_documents_summarize_without_event_sections(self, capsys):
+        assert main(["summarize", GOLDEN_V1]) == 0
+        out = capsys.readouterr().out
+        assert "schema v1" in out
+        assert "per-phase timings:" in out
+        assert "reservation events:" not in out
+
+    def test_missing_file_exits_nonzero(self):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["summarize", "/nonexistent/trace.json"])
+
+    def test_non_trace_json_rejected(self, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"hello": 1}')
+        with pytest.raises(SystemExit, match="schema_version"):
+            main(["summarize", str(bogus)])
+
+
+class TestCriticalPath:
+    def test_per_session_breakdown(self, capsys):
+        assert main(["critical-path", GOLDEN_V2]) == 0
+        out = capsys.readouterr().out
+        assert "session ssn-1" in out
+        assert "critical phase: establish" in out
+        assert "aggregate self time over 2 sessions:" in out
+
+    def test_session_filter(self, capsys):
+        assert main(["critical-path", GOLDEN_V2, "--session", "ssn-2"]) == 0
+        out = capsys.readouterr().out
+        assert "ssn-2" in out and "ssn-1" not in out
+        with pytest.raises(SystemExit, match="no establish span"):
+            main(["critical-path", GOLDEN_V2, "--session", "nope"])
+
+    def test_real_trace_breakdown(self, sim_trace, capsys):
+        assert main(["critical-path", sim_trace, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "qrg_build" in out and "phase3_dispatch" in out
+
+
+class TestTop:
+    def test_ranks_bottlenecks(self, capsys):
+        assert main(["top", GOLDEN_V2, "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu:H1" in out
+        assert "per-broker admission:" in out
+
+    def test_v1_has_no_signals(self, capsys):
+        assert main(["top", GOLDEN_V1]) == 0
+        assert "no bottleneck signals" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_identical_documents_gate_ok(self, capsys):
+        assert main(["diff", GOLDEN_V2, GOLDEN_V2, "--gate"]) == 0
+        assert "gate: OK" in capsys.readouterr().out
+
+    def test_gate_flags_structural_change(self, tmp_path, capsys):
+        payload = json.loads(Path(GOLDEN_V2).read_text())
+        payload["event_counts"]["session.rejected"] = 10
+        changed = tmp_path / "changed.json"
+        changed.write_text(json.dumps(payload))
+        assert main(
+            ["diff", GOLDEN_V2, str(changed), "--gate", "--tolerance", "0.5"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "event_counts.session.rejected" in out
+        assert "+900.0%" in out
+
+    def test_ledger_diff_ignores_timing(self, tmp_path, capsys):
+        base = {"schema": "bench-ledger/1", "headline": {"speedup": 4.0, "warm_seconds": 1.0}}
+        new = {"schema": "bench-ledger/1", "headline": {"speedup": 4.2, "warm_seconds": 3.0}}
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(base))
+        b.write_text(json.dumps(new))
+        assert main(
+            ["diff", str(a), str(b), "--gate", "--tolerance", "0.25", "--ignore-timing"]
+        ) == 0
+        # without --ignore-timing the warm_seconds blow-up gates
+        assert main(["diff", str(a), str(b), "--gate", "--tolerance", "0.25"]) == 1
+
+    def test_changed_only_hides_identical_leaves(self, capsys):
+        assert main(["diff", GOLDEN_V2, GOLDEN_V2, "--changed-only"]) == 0
+        out = capsys.readouterr().out
+        assert "event_counts" not in out  # all identical, all hidden
+
+
+class TestExportProm:
+    def test_stdout_exposition(self, capsys):
+        assert main(["export-prom", GOLDEN_V1]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_broker_grants_total{resource="cpu:H1"} 2.0' in out
+
+    def test_output_file_and_prefix(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        assert main(
+            ["export-prom", GOLDEN_V1, "-o", str(target), "--prefix", "paper_"]
+        ) == 0
+        assert "paper_broker_grants_total" in target.read_text()
+
+    def test_real_trace_exposition(self, sim_trace, capsys):
+        assert main(["export-prom", sim_trace]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_coordinator_establish_seconds histogram" in out
+        assert 'le="+Inf"' in out
