@@ -397,6 +397,90 @@ def run_dag_ablation(seed: int = 0, quick: bool = False) -> ExperimentReport:
 
 
 # ---------------------------------------------------------------------------
+# PR 4: fault sweep -- robustness of the protocol under injected faults.
+# ---------------------------------------------------------------------------
+
+
+def run_fault_sweep(seed: int = 0, quick: bool = False) -> ExperimentReport:
+    """Success rate and mean QoS vs fault rate for basic and tradeoff.
+
+    Sweeps one composite *fault level* f over the fault-tolerant
+    protocol: message drop probability f, one expected broker crash per
+    host per ``60/f`` TU (f > 0), and stale-report probability f.  The
+    f=0 column routes through the fault-tolerant coordinator with a
+    zero schedule, which is byte-identical to the plain coordinator --
+    so the leftmost points double as the no-regression baseline.
+    """
+    from repro.faults.plan import FaultConfig
+
+    fault_levels = [0.0, 0.05, 0.15] if quick else [0.0, 0.02, 0.05, 0.1, 0.15, 0.25]
+    rate = 120.0
+    algorithms = ("basic", "tradeoff")
+    base = _base_config(seed, quick).with_(
+        workload=WorkloadSpec(rate_per_60tu=rate, horizon=_horizon(quick))
+    )
+    configs: List[SimulationConfig] = []
+    for algorithm in algorithms:
+        for level in fault_levels:
+            configs.append(
+                base.with_(
+                    algorithm=algorithm,
+                    faults=FaultConfig(
+                        drop_rate=level,
+                        crash_rate=level,
+                        stale_rate=level,
+                    ),
+                )
+            )
+    results = run_configs(configs)
+    sweeps = {
+        algorithm: results[position * len(fault_levels) : (position + 1) * len(fault_levels)]
+        for position, algorithm in enumerate(algorithms)
+    }
+    success = [
+        Series(name, fault_levels, [r.success_rate for r in runs])
+        for name, runs in sweeps.items()
+    ]
+    qos = [
+        Series(name, fault_levels, [r.avg_qos_level for r in runs])
+        for name, runs in sweeps.items()
+    ]
+    injected = {
+        name: [dict(r.fault_stats or {}) for r in runs] for name, runs in sweeps.items()
+    }
+    text = (
+        format_series_table(
+            f"Fault sweep: reservation success rate vs fault level (rate={rate:g})",
+            "fault level f",
+            success,
+        )
+        + "\n"
+        + format_series_table(
+            "Fault sweep: average QoS level of successful sessions vs fault level",
+            "fault level f",
+            qos,
+            y_format="{:.2f}",
+        )
+    )
+    totals = [
+        f"  {name}: "
+        + ", ".join(
+            f"f={level:g}:{sum(v for k, v in stats.items() if k != 'orphans_reaped')}"
+            for level, stats in zip(fault_levels, injected[name])
+        )
+        for name in algorithms
+    ]
+    text += "\nInjected faults per run:\n" + "\n".join(totals) + "\n"
+    return ExperimentReport(
+        "fault_sweep",
+        text,
+        series=success + qos,
+        results=results,
+        extras={"fault_levels": fault_levels, "injected": injected},
+    )
+
+
+# ---------------------------------------------------------------------------
 # Design-choice ablations: contention index definition, tie-break rule.
 # ---------------------------------------------------------------------------
 
@@ -450,4 +534,5 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentReport]] = {
     "complexity": run_complexity,
     "dag-ablation": run_dag_ablation,
     "ablation": run_ablation,
+    "fault_sweep": run_fault_sweep,
 }

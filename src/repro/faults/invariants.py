@@ -1,0 +1,140 @@
+"""Capacity-conservation invariant of the fault-tolerant protocol.
+
+The brokers and the QoSProxies keep *independent* books: a broker knows
+how much of its capacity is reserved and by which reservation handles;
+a proxy knows which reservations it holds per live session (plus, under
+faults, the coordinator knows which of those are uncommitted leases
+awaiting the reaper).  The conservation invariant says the two views
+must always agree:
+
+    for every stateful resource,
+        broker.reserved == sum of amounts of the reservations the
+                           proxies hold for it (live sessions + pending
+                           leases)
+
+A violation in either direction is a leak: capacity held by a broker
+that no proxy will ever release (an orphan the reaper cannot see), or a
+proxy believing it holds capacity the broker already freed (double
+release / double teardown).  The checker is pure inspection -- safe to
+run at any instant of a simulation, including mid-fault.
+
+Two-level network resources: a :class:`~repro.brokers.path.PathBroker`
+keeps no books of its own -- its reservations live entirely in the
+per-link brokers (which the registry also lists, and which several
+paths share).  The checker therefore skips path brokers on the broker
+side and *expands* each proxy-held
+:class:`~repro.brokers.path.PathReservation` into its constituent link
+reservations, so both sides are compared in the same (stateful-broker)
+coordinate system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
+
+from repro.brokers.path import PathBroker, PathReservation
+from repro.brokers.registry import BrokerRegistry
+from repro.core.errors import ReproError
+
+__all__ = [
+    "CapacityConservationError",
+    "ConservationReport",
+    "capacity_conservation",
+    "assert_capacity_conserved",
+]
+
+#: Absolute slack for float accumulation over many reserve/release pairs.
+_TOLERANCE = 1e-6
+
+
+class CapacityConservationError(ReproError):
+    """Raised by :func:`assert_capacity_conserved` on a broken invariant."""
+
+
+@dataclass
+class ConservationReport:
+    """The two books side by side, plus every per-resource mismatch."""
+
+    broker_reserved: Dict[str, float] = field(default_factory=dict)
+    proxy_held: Dict[str, float] = field(default_factory=dict)
+    broker_outstanding: int = 0
+    proxy_outstanding: int = 0
+    mismatches: List[Tuple[str, float, float]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every broker's book matches the proxies' book."""
+        return not self.mismatches and self.broker_outstanding == self.proxy_outstanding
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph verdict (test failure messages)."""
+        if self.ok:
+            return (
+                f"capacity conserved: {self.broker_outstanding} reservations, "
+                f"{sum(self.broker_reserved.values()):g} units held"
+            )
+        lines = [
+            f"capacity NOT conserved: brokers hold {self.broker_outstanding} "
+            f"reservations, proxies track {self.proxy_outstanding}"
+        ]
+        for resource, broker_amount, proxy_amount in self.mismatches:
+            lines.append(
+                f"  {resource}: broker reserved {broker_amount:g} vs "
+                f"proxy-held {proxy_amount:g}"
+            )
+        return "\n".join(lines)
+
+
+def _expand(reservation: Union[PathReservation, object]):
+    """A reservation as its stateful-broker parts (links for paths)."""
+    if isinstance(reservation, PathReservation):
+        return reservation.link_reservations
+    return (reservation,)
+
+
+def capacity_conservation(
+    registry: BrokerRegistry, proxies: Union[Mapping[str, object], Iterable[object]]
+) -> ConservationReport:
+    """Compare broker-side and proxy-side reservation books.
+
+    ``proxies`` accepts either the coordinator's host->proxy mapping or
+    any iterable of :class:`~repro.runtime.proxy.QoSProxy` instances.
+    Pending (orphaned) leases need no special casing: their reservations
+    still sit in the owning proxy's per-session table until the reaper
+    or a teardown releases them, so they are counted on both sides.
+    """
+    report = ConservationReport()
+    for broker in registry.brokers():
+        if isinstance(broker, PathBroker):
+            continue  # stateless composite; its links are listed separately
+        report.broker_reserved[broker.resource_id] = broker.reserved
+        report.broker_outstanding += broker.outstanding()
+
+    proxy_iter = proxies.values() if isinstance(proxies, Mapping) else proxies
+    for proxy in proxy_iter:
+        for session_id in list(getattr(proxy, "_held", {})):
+            for held in proxy.held_for(session_id):
+                for reservation in _expand(held):
+                    report.proxy_held[reservation.resource_id] = (
+                        report.proxy_held.get(reservation.resource_id, 0.0)
+                        + reservation.amount
+                    )
+                    report.proxy_outstanding += 1
+
+    for resource_id in sorted(set(report.broker_reserved) | set(report.proxy_held)):
+        broker_amount = report.broker_reserved.get(resource_id, 0.0)
+        proxy_amount = report.proxy_held.get(resource_id, 0.0)
+        if abs(broker_amount - proxy_amount) > _TOLERANCE:
+            report.mismatches.append((resource_id, broker_amount, proxy_amount))
+    return report
+
+
+def assert_capacity_conserved(
+    registry: BrokerRegistry, proxies: Union[Mapping[str, object], Iterable[object]]
+) -> ConservationReport:
+    """Run the checker and raise on any leak; returns the report."""
+    report = capacity_conservation(registry, proxies)
+    if not report.ok:
+        raise CapacityConservationError(report.describe())
+    return report

@@ -36,12 +36,14 @@ __all__ = [
     "BottleneckReport",
     "BrokerTimeline",
     "DiffEntry",
+    "FaultSummary",
     "SessionBreakdown",
     "TraceDocument",
     "TraceFormatError",
     "broker_timelines",
     "critical_path",
     "diff_documents",
+    "fault_summary",
     "gate_diff",
     "load_trace",
     "top_bottlenecks",
@@ -342,6 +344,78 @@ def top_bottlenecks(doc: TraceDocument, k: int = 5) -> List[BottleneckReport]:
             report.mean_psi = report._psi_sum / report.planned_bottleneck
     ranked = sorted(reports.values(), key=lambda r: (-r.score, r.resource))
     return ranked[: max(k, 0)]
+
+
+# -- fault-injection summary ---------------------------------------------------
+
+
+@dataclass
+class FaultSummary:
+    """The fault/recovery story of one run, from its ``fault.*``,
+    ``segment.*``, ``session.replanned`` and ``lease.expired`` events."""
+
+    #: fault kind -> number of injected faults that fired.
+    injected: Dict[str, int] = field(default_factory=dict)
+    #: protocol phase -> timeouts the coordinator saw there.
+    timeouts: Dict[str, int] = field(default_factory=dict)
+    #: protocol phase -> bounded retries spent there.
+    retries: Dict[str, int] = field(default_factory=dict)
+    #: re-plan reason -> count (``admission_failed`` / ``host_unreachable``).
+    replans: Dict[str, int] = field(default_factory=dict)
+    #: orphaned leases the reaper reclaimed.
+    leases_expired: int = 0
+    #: sessions rejected because a host stayed unreachable.
+    unreachable_rejections: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        """All injected faults, over every kind."""
+        return sum(self.injected.values())
+
+    @property
+    def empty(self) -> bool:
+        """True when the run saw no fault activity at all."""
+        return (
+            not self.injected
+            and not self.timeouts
+            and not self.retries
+            and not self.replans
+            and self.leases_expired == 0
+        )
+
+
+def fault_summary(doc: TraceDocument) -> FaultSummary:
+    """Aggregate the fault-injection and recovery events of a document.
+
+    Returns an all-zero summary for fault-free (or v1) documents, so
+    callers can unconditionally ask and print only when non-empty.
+    """
+    summary = FaultSummary()
+    for event in doc.events:
+        if event.kind == "fault.injected":
+            kind = str(event.attributes.get("fault", "unknown"))
+            summary.injected[kind] = summary.injected.get(kind, 0) + 1
+        elif event.kind == "segment.timeout":
+            phase = str(event.attributes.get("phase", "unknown"))
+            summary.timeouts[phase] = summary.timeouts.get(phase, 0) + 1
+        elif event.kind == "segment.retry":
+            phase = str(event.attributes.get("phase", "unknown"))
+            summary.retries[phase] = summary.retries.get(phase, 0) + 1
+        elif event.kind == "session.replanned":
+            reason = str(event.attributes.get("reason", "unknown"))
+            summary.replans[reason] = summary.replans.get(reason, 0) + 1
+        elif event.kind == "lease.expired":
+            summary.leases_expired += 1
+        elif (
+            event.kind == "session.rejected"
+            and event.attributes.get("reason") == "host_unreachable"
+        ):
+            summary.unreachable_rejections += 1
+    summary.injected = dict(sorted(summary.injected.items()))
+    summary.timeouts = dict(sorted(summary.timeouts.items()))
+    summary.retries = dict(sorted(summary.retries.items()))
+    summary.replans = dict(sorted(summary.replans.items()))
+    return summary
 
 
 # -- document diffing ----------------------------------------------------------

@@ -126,6 +126,27 @@ def _broker_lines(doc: analyze.TraceDocument, *, limit: Optional[int] = None) ->
     return lines
 
 
+def _fault_lines(doc: analyze.TraceDocument) -> List[str]:
+    """The run's fault/recovery story (empty for fault-free traces)."""
+    summary = analyze.fault_summary(doc)
+    if summary.empty:
+        return []
+    lines = [f"fault injection ({summary.total_injected} faults fired):"]
+    for kind, count in summary.injected.items():
+        lines.append(f"  injected {kind:<20} {count}")
+    for phase, count in summary.timeouts.items():
+        lines.append(f"  timeouts phase={phase:<14} {count}")
+    for phase, count in summary.retries.items():
+        lines.append(f"  retries  phase={phase:<14} {count}")
+    for reason, count in summary.replans.items():
+        lines.append(f"  replans  reason={reason:<13} {count}")
+    if summary.leases_expired:
+        lines.append(f"  orphaned leases reaped       {summary.leases_expired}")
+    if summary.unreachable_rejections:
+        lines.append(f"  sessions lost to dead hosts  {summary.unreachable_rejections}")
+    return lines
+
+
 def _bottleneck_lines(doc: analyze.TraceDocument, k: int) -> List[str]:
     reports = analyze.top_bottlenecks(doc, k)
     if not reports:
@@ -152,6 +173,7 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         _meta_lines(doc),
         _span_lines(doc),
         _event_lines(doc),
+        _fault_lines(doc),
         _broker_lines(doc, limit=args.top),
         _bottleneck_lines(doc, args.top),
     ]
@@ -211,6 +233,9 @@ def _cmd_top(args: argparse.Namespace) -> int:
     broker = _broker_lines(doc, limit=args.k)
     if broker:
         lines += [""] + broker
+    faults = _fault_lines(doc)
+    if faults:
+        lines += [""] + faults
     _print(lines)
     return 0
 

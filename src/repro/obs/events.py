@@ -15,7 +15,13 @@ reservation-lifecycle events:
 * ``proxy.segment_applied`` / ``proxy.segment_rejected`` -- phase-3
   segment outcomes per QoSProxy;
 * ``planner.tradeoff_backoff`` -- the §4.3.1 policy choosing a lower
-  end-to-end level than the best feasible one.
+  end-to-end level than the best feasible one;
+* ``fault.injected`` / ``segment.timeout`` / ``segment.retry`` /
+  ``session.replanned`` / ``lease.expired`` -- the fault-injection and
+  recovery lifecycle of :mod:`repro.faults`: every fired fault, every
+  per-phase timeout and bounded retry of the fault-tolerant
+  coordinator, every re-plan after a failed host or admission loss, and
+  every orphaned reserve/commit lease reclaimed by the reaper.
 
 Like the tracer and the metrics registry, instrumented code dispatches
 through the module-level :func:`emit` helper, which is a single global
@@ -59,6 +65,11 @@ EVENT_KINDS = frozenset(
         "proxy.segment_applied",
         "proxy.segment_rejected",
         "planner.tradeoff_backoff",
+        "fault.injected",
+        "segment.timeout",
+        "segment.retry",
+        "session.replanned",
+        "lease.expired",
     }
 )
 

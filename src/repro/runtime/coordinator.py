@@ -149,7 +149,6 @@ class ReservationCoordinator:
     ) -> EstablishmentResult:
         """The three phases themselves (timing/accounting in :meth:`establish`)."""
         service = self._service_at_scale(service_name, demand_scale)
-        log = _events.active_event_log()
 
         # Phase 1: collect availability from the owning proxies.
         resource_ids = sorted(binding.resource_ids())
@@ -171,11 +170,74 @@ class ReservationCoordinator:
             (obs.observed_at for obs in observations.values()), default=None
         )
 
-        # Phase 2: local plan computation at the main proxy.  The QRG
-        # skeleton (nodes, equivalence edges, bound requirement vectors)
-        # depends only on (service, binding, demand_scale), so it comes
-        # from the cache; only feasibility filtering and psi pricing run
-        # against this session's snapshot.
+        # Phase 2: local plan computation at the main proxy.
+        plan, failure = self._phase2_plan(
+            session_id,
+            service,
+            service_name,
+            binding,
+            planner,
+            snapshot,
+            observed_instant,
+            source_label=source_label,
+            demand_scale=demand_scale,
+            contention_index=contention_index,
+        )
+        if failure is not None:
+            return failure
+
+        # Phase 3: dispatch plan segments to the owning proxies.
+        segments = self._segments(session_id, plan)
+        with _trace.span("phase3_dispatch", segments=len(segments)) as dispatch_span:
+            applied: List[QoSProxy] = []
+            try:
+                for proxy, segment in segments:
+                    proxy.apply_segment(segment)
+                    applied.append(proxy)
+            except AdmissionError as exc:
+                for proxy in applied:
+                    proxy.release_session(session_id)
+                dispatch_span.set(rolled_back=len(applied), failed_resource=exc.resource_id)
+                self._emit_admission_rejected(
+                    session_id, service_name, plan, observations, observed_instant,
+                    exc.resource_id,
+                )
+                return EstablishmentResult(
+                    session_id,
+                    False,
+                    plan,
+                    reason="admission_failed",
+                    failed_resource=exc.resource_id,
+                )
+        # Start the session's components on their hosts.
+        self._start_components(session_id, component_hosts)
+        self._emit_admitted(session_id, service_name, plan, observed_instant)
+        return EstablishmentResult(session_id, True, plan)
+
+    def _phase2_plan(
+        self,
+        session_id: str,
+        service,
+        service_name: str,
+        binding: Binding,
+        planner,
+        snapshot: AvailabilitySnapshot,
+        observed_instant: Optional[float],
+        *,
+        source_label: Optional[str],
+        demand_scale: float,
+        contention_index,
+    ):
+        """Phase 2 with its span and causal emissions, shared with the
+        fault-tolerant coordinator.
+
+        The QRG skeleton (nodes, equivalence edges, bound requirement
+        vectors) depends only on (service, binding, demand_scale), so it
+        comes from the cache; only feasibility filtering and psi pricing
+        run against this session's snapshot.  Returns ``(plan, None)``
+        on success and ``(None, EstablishmentResult)`` on failure.
+        """
+        log = _events.active_event_log()
         with _trace.span("phase2_plan"):
             kwargs = (
                 {} if contention_index is None else {"contention_index": contention_index}
@@ -201,7 +263,9 @@ class ReservationCoordinator:
                         detail=str(exc),
                         available=snapshot.availability(),
                     )
-                return EstablishmentResult(session_id, False, None, reason=f"qrg: {exc}")
+                return None, EstablishmentResult(
+                    session_id, False, None, reason=f"qrg: {exc}"
+                )
             plan = planner.plan(qrg)
             if plan is None:
                 if log is not None:
@@ -213,7 +277,9 @@ class ReservationCoordinator:
                         reason="no_feasible_plan",
                         available=snapshot.availability(),
                     )
-                return EstablishmentResult(session_id, False, None, reason="no_feasible_plan")
+                return None, EstablishmentResult(
+                    session_id, False, None, reason="no_feasible_plan"
+                )
             if log is not None:
                 requested = dict(plan.demand)
                 log.emit(
@@ -227,78 +293,86 @@ class ReservationCoordinator:
                     bottleneck=plan.bottleneck_resource,
                     bottleneck_alpha=plan.bottleneck_alpha,
                     requested=requested,
-                    available={r: observations[r].available for r in requested},
+                    available={r: snapshot[r].available for r in requested},
                 )
+        return plan, None
 
-        # Phase 3: dispatch plan segments to the owning proxies.
-        segments = self._segments(session_id, plan)
-        with _trace.span("phase3_dispatch", segments=len(segments)) as dispatch_span:
-            applied: List[QoSProxy] = []
-            try:
-                for proxy, segment in segments:
-                    proxy.apply_segment(segment)
-                    applied.append(proxy)
-            except AdmissionError as exc:
-                for proxy in applied:
-                    proxy.release_session(session_id)
-                dispatch_span.set(rolled_back=len(applied), failed_resource=exc.resource_id)
-                if log is not None:
-                    requested = dict(plan.demand)
-                    log.emit(
-                        "session.rejected",
-                        session=session_id,
-                        resource=exc.resource_id,
-                        time=observed_instant,
-                        service=service_name,
-                        reason="admission_failed",
-                        psi=plan.psi,
-                        requested=requested,
-                        available={r: observations[r].available for r in requested},
-                    )
-                return EstablishmentResult(
-                    session_id,
-                    False,
-                    plan,
-                    reason="admission_failed",
-                    failed_resource=exc.resource_id,
-                )
-        # Start the session's components on their hosts.
-        if component_hosts:
-            by_host: Dict[str, List[str]] = {}
-            for component, host in component_hosts.items():
-                by_host.setdefault(host, []).append(component)
-            for host, components in by_host.items():
-                proxy = self.proxies.get(host)
-                if proxy is not None:
-                    proxy.start_components(session_id, sorted(components))
+    def _emit_admission_rejected(
+        self,
+        session_id: str,
+        service_name: str,
+        plan: ReservationPlan,
+        observations: Mapping[str, ResourceObservation],
+        observed_instant: Optional[float],
+        resource_id: Optional[str],
+    ) -> None:
+        """The causal record of a phase-3 admission failure."""
+        log = _events.active_event_log()
         if log is not None:
+            requested = dict(plan.demand)
             log.emit(
-                "session.admitted",
+                "session.rejected",
+                session=session_id,
+                resource=resource_id,
+                time=observed_instant,
+                service=service_name,
+                reason="admission_failed",
+                psi=plan.psi,
+                requested=requested,
+                available={r: observations[r].available for r in requested},
+            )
+
+    def _start_components(
+        self, session_id: str, component_hosts: Optional[Mapping[str, str]]
+    ) -> None:
+        """Start the admitted session's components on their hosts."""
+        if not component_hosts:
+            return
+        by_host: Dict[str, List[str]] = {}
+        for component, host in component_hosts.items():
+            by_host.setdefault(host, []).append(component)
+        for host, components in by_host.items():
+            proxy = self.proxies.get(host)
+            if proxy is not None:
+                proxy.start_components(session_id, sorted(components))
+
+    def _emit_admitted(
+        self,
+        session_id: str,
+        service_name: str,
+        plan: ReservationPlan,
+        observed_instant: Optional[float],
+    ) -> None:
+        """The causal records of a successful establishment."""
+        log = _events.active_event_log()
+        if log is None:
+            return
+        log.emit(
+            "session.admitted",
+            session=session_id,
+            time=observed_instant,
+            service=service_name,
+            level=plan.end_to_end_label,
+            rank=plan.end_to_end_rank,
+            numeric_level=plan.numeric_level,
+            psi=plan.psi,
+            bottleneck=plan.bottleneck_resource,
+        )
+        if plan.end_to_end_rank > 0:
+            # Admitted below the service's top end-to-end level: the
+            # degradation the trade-off policy exchanges for success
+            # rate.  Recorded as its own causal event so "why was this
+            # session downgraded" is answerable from the exported log.
+            log.emit(
+                "session.degraded",
                 session=session_id,
                 time=observed_instant,
                 service=service_name,
                 level=plan.end_to_end_label,
                 rank=plan.end_to_end_rank,
-                numeric_level=plan.numeric_level,
                 psi=plan.psi,
                 bottleneck=plan.bottleneck_resource,
             )
-            if plan.end_to_end_rank > 0:
-                # Admitted below the service's top end-to-end level: the
-                # degradation the trade-off policy exchanges for success
-                # rate.  Recorded as its own causal event so "why was this
-                # session downgraded" is answerable from the exported log.
-                log.emit(
-                    "session.degraded",
-                    session=session_id,
-                    time=observed_instant,
-                    service=service_name,
-                    level=plan.end_to_end_label,
-                    rank=plan.end_to_end_rank,
-                    psi=plan.psi,
-                    bottleneck=plan.bottleneck_resource,
-                )
-        return EstablishmentResult(session_id, True, plan)
 
     def establish_process(self, env, latency: float, /, *args, **kwargs):
         """Generator flavour of :meth:`establish` with protocol latency.

@@ -127,18 +127,63 @@ class QoSProxy:
             )
 
     def release_session(self, session_id: str) -> int:
-        """Release everything held for a session; returns count released."""
+        """Release everything held for a session; returns count released.
+
+        Idempotent: a second teardown (or a teardown racing the orphan
+        reaper) finds nothing to release and returns 0.  A broker that
+        already freed one of the reservations does not abort the loop --
+        the remaining reservations are still released, so no partial
+        broker state survives a double release.
+        """
         reservations = self._held.pop(session_id, [])
+        released = 0
         for reservation in reservations:
-            self.registry.broker(reservation.resource_id).release(reservation)
+            try:
+                self.registry.broker(reservation.resource_id).release(reservation)
+            except BrokerError:
+                continue
+            released += 1
         self._started_components.pop(session_id, None)
-        if reservations:
+        if released:
             registry = _metrics.active_registry()
             if registry is not None:
                 registry.counter("proxy.reservations_released", host=self.host).inc(
-                    len(reservations)
+                    released
                 )
-        return len(reservations)
+        return released
+
+    def release_reservations(self, session_id: str, reservations) -> int:
+        """Release specific reservations of a session (lease reaping).
+
+        Used by the fault-tolerant coordinator's orphan reaper and its
+        compensating releases: only the given reservations are freed and
+        dropped from the session's held list, leaving any committed
+        reservations of the same session in place.  Tolerant of
+        reservations already released elsewhere; returns count released.
+        """
+        held = self._held.get(session_id)
+        released = 0
+        for reservation in reservations:
+            if held is None:
+                break
+            matched = next((r for r in held if r is reservation), None)
+            if matched is None:
+                continue
+            held.remove(matched)
+            try:
+                self.registry.broker(matched.resource_id).release(matched)
+            except BrokerError:
+                continue
+            released += 1
+        if held is not None and not held:
+            self._held.pop(session_id, None)
+        if released:
+            registry = _metrics.active_registry()
+            if registry is not None:
+                registry.counter("proxy.reservations_released", host=self.host).inc(
+                    released
+                )
+        return released
 
     def held_for(self, session_id: str) -> Tuple[AnyReservation, ...]:
         """Reservations this proxy currently holds for a session."""

@@ -38,6 +38,10 @@ from repro.core.resources import (
 from repro.core.tradeoff import TradeoffPlanner
 from repro.des.engine import Environment
 from repro.des.rng import RandomStreams
+from repro.faults.coordinator import FaultTolerantCoordinator
+from repro.faults.injector import FaultInjector
+from repro.faults.invariants import assert_capacity_conserved
+from repro.faults.plan import FAULT_SEED_INDEX, FaultConfig, FaultPlan
 from repro.obs import (
     ObservabilityConfig,
     ObservationSession,
@@ -89,6 +93,10 @@ class SimulationConfig:
     #: Tracing/metrics collection and export (None = fully disabled,
     #: the zero-overhead default).  See :mod:`repro.obs`.
     observability: Optional[ObservabilityConfig] = None
+    #: Fault schedule + recovery policy (None = the plain coordinator;
+    #: a zero FaultConfig routes through the fault-tolerant coordinator
+    #: but is regression-tested byte-identical).  See :mod:`repro.faults`.
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -122,6 +130,11 @@ class SimulationResult:
     #: snapshot), set by :meth:`detached` -- what pool workers ship back
     #: in place of the live session.
     observation_summary: Optional[ObservationSummary] = None
+    #: Fault-injection digest of the run (None when the config carried
+    #: no fault schedule): injected-fault counts by kind plus the number
+    #: of orphaned leases the end-of-run reaper reclaimed.  Plain ints,
+    #: so it survives the process boundary of parallel sweeps.
+    fault_stats: Optional[Dict[str, int]] = None
 
     @property
     def success_rate(self) -> float:
@@ -224,6 +237,21 @@ def _run_simulation(
         capacity_range=config.capacity_range,
         trend_window=config.trend_window,
     )
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None:
+        # The fault seed derives from the run seed through a reserved
+        # spawn-key index, so fault streams are independent of every
+        # workload/planner stream and parallel sweeps stay byte-identical.
+        plan = FaultPlan.generate(
+            config.faults,
+            seed=derive_run_seed(config.seed, FAULT_SEED_INDEX),
+            horizon=config.workload.horizon,
+            hosts=sorted(grid.proxies),
+        )
+        injector = FaultInjector(plan, clock=lambda: env.now)
+        grid.coordinator = FaultTolerantCoordinator(
+            grid.registry, grid.model_store, grid.proxies, injector=injector, env=env
+        )
     planner = _make_planner(config, streams)
     contention_index = CONTENTION_INDICES[config.contention_index]
     metrics = MetricsCollector(family_of_service=evaluation_family_keys())
@@ -263,6 +291,16 @@ def _run_simulation(
     env.process(arrivals())
     env.run()
 
+    fault_stats: Optional[Dict[str, int]] = None
+    if injector is not None:
+        # The lease watchdogs reclaim expired orphans on time; anything
+        # still pending (TTL beyond the last event) is force-reaped so
+        # the quiescence invariant below sees clean books.
+        assert_capacity_conserved(grid.registry, grid.proxies)
+        grid.coordinator.reap_orphans(force=True)
+        fault_stats = dict(injector.injected_counts())
+        fault_stats["orphans_reaped"] = grid.coordinator.leases_reaped
+
     # Every session released everything it reserved -- a structural
     # invariant of the brokers; violation means an accounting bug.
     grid.registry.assert_quiescent()
@@ -273,6 +311,7 @@ def _run_simulation(
         paths=metrics.paths,
         wall_seconds=_time.perf_counter() - started,
         observation=observation,
+        fault_stats=fault_stats,
     )
 
 

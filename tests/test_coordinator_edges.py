@@ -98,6 +98,46 @@ class TestCoordinatorConfig:
         assert coordinator.teardown("never-existed") == 0
 
 
+class TestTeardownIdempotency:
+    """Teardown must be safe to repeat: a second (or misdirected)
+    teardown returns 0 and leaves no partial broker state behind."""
+
+    def test_double_teardown_returns_zero(self, small_service, small_binding):
+        registry, coordinator, *_ = build_rig(small_service)
+        result = coordinator.establish("s1", "small", small_binding, BasicPlanner())
+        assert result.success
+        first = coordinator.teardown("s1")
+        assert first > 0
+        assert coordinator.teardown("s1") == 0
+        registry.assert_quiescent()
+
+    def test_unknown_session_teardown_leaves_live_sessions_intact(
+        self, small_service, small_binding
+    ):
+        registry, coordinator, proxy_h1, proxy_h2, cpu, _link = build_rig(small_service)
+        coordinator.establish("s1", "small", small_binding, BasicPlanner())
+        held_before = (proxy_h1.held_for("s1"), proxy_h2.held_for("s1"))
+        available_before = cpu.available
+        assert coordinator.teardown("phantom") == 0
+        assert (proxy_h1.held_for("s1"), proxy_h2.held_for("s1")) == held_before
+        assert cpu.available == available_before
+        coordinator.teardown("s1")
+        registry.assert_quiescent()
+
+    def test_release_session_tolerates_an_already_freed_reservation(
+        self, small_service, small_binding
+    ):
+        """A broker-side release that races teardown (e.g. a reaped
+        orphan) must not break the rest of the session's cleanup."""
+        registry, coordinator, proxy_h1, *_ = build_rig(small_service)
+        coordinator.establish("s1", "small", small_binding, BasicPlanner())
+        victim = proxy_h1.held_for("s1")[0]
+        registry.broker(victim.resource_id).release(victim)  # out-of-band free
+        coordinator.teardown("s1")  # must not raise on the double release
+        registry.assert_quiescent()
+        assert coordinator.teardown("s1") == 0
+
+
 class TestEstablishRollback:
     """Regression: when a *later* proxy's segment is rejected in phase 3,
     every segment already applied by earlier proxies must be released and

@@ -1,0 +1,97 @@
+"""Property: no seeded fault schedule can leak reserved capacity.
+
+Hypothesis drives ~200 random ``(FaultConfig, seed)`` pairs through the
+fault-tolerant coordinator on the small rig — establishments, partial
+teardowns, orphan reaping — and asserts the conservation invariant at
+every checkpoint plus broker quiescence at the end.  A leak in either
+direction (capacity a broker holds that no proxy will release, or a
+proxy tracking capacity the broker already freed) fails the property.
+
+The sessions run synchronously (the DES driver shares the same protocol
+generator, exercised by the full-simulation tests in test_faults.py);
+what varies here is the *fault schedule*, which is the quantity the
+invariant must be robust against.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BasicPlanner
+from repro.faults import (
+    FAULT_SEED_INDEX,
+    FaultConfig,
+    FaultInjector,
+    FaultPlan,
+    assert_capacity_conserved,
+)
+from repro.sim.experiment import derive_run_seed
+
+from tests.test_faults import build_ft_rig
+
+rates = st.floats(min_value=0.0, max_value=0.6, allow_nan=False)
+window_rates = st.floats(min_value=0.0, max_value=8.0, allow_nan=False)
+
+
+@st.composite
+def fault_configs(draw):
+    return FaultConfig(
+        drop_rate=draw(rates),
+        stale_rate=draw(rates),
+        crash_rate=draw(window_rates),
+        crash_duration=draw(st.floats(min_value=1.0, max_value=40.0)),
+        partition_rate=draw(window_rates),
+        partition_duration=draw(st.floats(min_value=1.0, max_value=20.0)),
+        max_retries=draw(st.integers(min_value=0, max_value=3)),
+        max_replans=draw(st.integers(min_value=0, max_value=2)),
+        lease_ttl=draw(st.floats(min_value=1.0, max_value=60.0)),
+    )
+
+
+class FakeClock:
+    """A controllable clock so crash/partition windows actually bite."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(config=fault_configs(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_no_fault_schedule_leaks_capacity(small_service, small_binding, config, seed):
+    clock = FakeClock()
+    plan = FaultPlan.generate(
+        config,
+        seed=derive_run_seed(seed, FAULT_SEED_INDEX),
+        horizon=120.0,
+        hosts=("H1", "H2"),
+    )
+    injector = FaultInjector(plan, clock=clock)
+    registry, coordinator, proxies = build_ft_rig(small_service, injector)
+
+    established = []
+    for n in range(10):
+        clock.now = 12.0 * n  # walk through the fault windows
+        result = coordinator.establish(f"s{n}", "small", small_binding, BasicPlanner())
+        if result.success:
+            established.append(f"s{n}")
+        # The invariant must hold at every instant, including mid-run
+        # with orphaned leases outstanding.
+        assert_capacity_conserved(registry, proxies)
+        if len(established) >= 2:  # churn: keep contention, free capacity
+            coordinator.teardown(established.pop(0))
+            assert_capacity_conserved(registry, proxies)
+
+    for session_id in established:
+        coordinator.teardown(session_id)
+    coordinator.reap_orphans(force=True)
+    assert_capacity_conserved(registry, proxies)
+    registry.assert_quiescent()
+    for proxy in proxies.values():
+        for session_id in list(getattr(proxy, "_held", {})):
+            assert proxy.held_for(session_id) == ()
