@@ -9,8 +9,11 @@ record of the reproduced shapes.
 
 On top of extra_info, benchmarks persist a *telemetry ledger*: one
 ``BENCH_<name>.json`` per benchmark (see :func:`write_bench_ledger`)
-with the headline numbers, an optional observability summary, and the
-git sha of the run.  Committed baselines live in
+with the headline numbers, an optional observability summary, the git
+sha of the run, and a runner fingerprint (hashed hostname + CPU count +
+python version) that ``repro-obs diff`` keys timing comparisons on --
+timings measured on different machines are excluded from the gate
+instead of tripping it.  Committed baselines live in
 ``benchmarks/baselines/``; CI diffs a fresh run against them with
 ``repro-obs diff --gate`` (see docs/observability.md for the workflow
 and the tolerance policy).
@@ -18,8 +21,11 @@ and the tolerance policy).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import platform
+import socket
 import subprocess
 from pathlib import Path
 from typing import Mapping, Optional, Union
@@ -73,6 +79,30 @@ def git_sha() -> str:
     return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
 
 
+def runner_fingerprint() -> dict:
+    """Identify the machine a ledger's timings were measured on.
+
+    ``repro-obs diff --gate`` only holds timing leaves to the tolerance
+    band when both documents carry the same ``fingerprint``; numbers
+    measured on different hardware are never gated against each other.
+    All values are strings so the fingerprint itself stays outside the
+    numeric diff.
+    """
+    try:
+        hostname = socket.gethostname()
+    except OSError:
+        hostname = "unknown"
+    host_hash = hashlib.sha256(hostname.encode("utf-8", "replace")).hexdigest()[:12]
+    cpus = os.cpu_count() or 0
+    version = platform.python_version()
+    return {
+        "fingerprint": f"{host_hash}-{cpus}c-py{version}",
+        "hostname_hash": host_hash,
+        "cpus": str(cpus),
+        "python": version,
+    }
+
+
 def write_bench_ledger(
     name: str,
     headline: Mapping[str, object],
@@ -92,6 +122,7 @@ def write_bench_ledger(
         "schema": LEDGER_SCHEMA,
         "name": name,
         "git_sha": git_sha(),
+        "runner": runner_fingerprint(),
         "headline": dict(headline),
     }
     if isinstance(obs, ObservationSummary):

@@ -225,6 +225,10 @@ class ObservationSession:
         self._previous_tracer: Optional[Tracer] = None
         self._previous_registry: Optional[MetricsRegistry] = None
         self._previous_event_log: Optional[EventLog] = None
+        #: Digest of the run's online monitoring plane (set by
+        #: :func:`repro.sim.run_simulation` when monitoring is enabled);
+        #: exported as the trace document's ``monitoring`` section.
+        self.monitoring: Optional[dict] = None
 
     def __enter__(self) -> "ObservationSession":
         global _ACTIVE_SESSION
@@ -245,7 +249,7 @@ class ObservationSession:
         if self.registry is not None:
             _metrics.install(self.registry)
         if self.event_log is not None:
-            _events.install(self.event_log)
+            _events.install(self.event_log, force=True)
         return self
 
     def __exit__(self, *_exc) -> bool:
@@ -266,7 +270,7 @@ class ObservationSession:
             if self._previous_event_log is None:
                 _events.uninstall()
             else:
-                _events.install(self._previous_event_log)
+                _events.install(self._previous_event_log, force=True)
         return False
 
     # -- detaching ---------------------------------------------------------
@@ -294,11 +298,17 @@ class ObservationSession:
 
     def to_dict(self, *, meta: Optional[dict] = None) -> dict:
         """The JSON trace document as a plain dict."""
-        return observability_to_dict(self.tracer, self.registry, self.event_log, meta=meta)
+        return observability_to_dict(
+            self.tracer, self.registry, self.event_log,
+            monitoring=self.monitoring, meta=meta,
+        )
 
     def write_trace_json(self, path, *, meta: Optional[dict] = None) -> Path:
         """Write the JSON trace document; returns the written path."""
-        return write_trace_json(path, self.tracer, self.registry, self.event_log, meta=meta)
+        return write_trace_json(
+            path, self.tracer, self.registry, self.event_log,
+            monitoring=self.monitoring, meta=meta,
+        )
 
     def write_metrics_csv(self, path) -> Path:
         """Write the flat CSV metric rows; returns the written path."""

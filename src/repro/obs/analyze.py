@@ -1,8 +1,9 @@
 """Trace analysis: answer "why" questions from an exported trace document.
 
 Loads the JSON trace documents written by :func:`repro.obs.export
-.write_trace_json` (schema v2 with the causal event log; v1 documents
-without it still load) and computes:
+.write_trace_json` (schema v3 with the causal event log and the online
+monitoring digest; v1/v2 documents without them still load) and
+computes:
 
 * :func:`critical_path` -- per-session wall-time breakdown by phase
   *self time* (time in a span minus its children), the "where did this
@@ -33,6 +34,7 @@ from repro.obs.events import ReservationEvent
 from repro.obs.export import TRACE_SCHEMA_VERSION
 
 __all__ = [
+    "AdaptationSummary",
     "BottleneckReport",
     "BrokerTimeline",
     "DiffEntry",
@@ -40,6 +42,7 @@ __all__ = [
     "SessionBreakdown",
     "TraceDocument",
     "TraceFormatError",
+    "adaptation_summary",
     "broker_timelines",
     "critical_path",
     "diff_documents",
@@ -60,8 +63,9 @@ class TraceFormatError(ValueError):
 class TraceDocument:
     """One loaded trace document, version-normalised.
 
-    v1 documents (no event log) load with ``events == []``; consumers
-    need not branch on the schema version.
+    v1 documents (no event log) load with ``events == []``; v1/v2
+    documents (no online monitoring plane) load with ``monitoring ==
+    {}``; consumers need not branch on the schema version.
     """
 
     schema_version: int
@@ -71,10 +75,11 @@ class TraceDocument:
     metrics: Dict[str, dict] = field(default_factory=dict)
     events: List[ReservationEvent] = field(default_factory=list)
     events_dropped: int = 0
+    monitoring: Dict[str, object] = field(default_factory=dict)
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TraceDocument":
-        """Normalise a loaded JSON document (schema v1 or v2)."""
+        """Normalise a loaded JSON document (schema v1, v2 or v3)."""
         if not isinstance(payload, dict) or "schema_version" not in payload:
             raise TraceFormatError(
                 "not a trace document: missing the 'schema_version' field"
@@ -99,6 +104,7 @@ class TraceDocument:
                 for event in payload.get("events", [])
             ],
             events_dropped=int(payload.get("events_dropped", 0)),
+            monitoring=dict(payload.get("monitoring", {})),
         )
 
     def counters(self) -> Dict[str, float]:
@@ -118,7 +124,7 @@ class TraceDocument:
 
 
 def load_trace(path: PathLike) -> TraceDocument:
-    """Load and normalise a trace JSON file (schema v1 or v2)."""
+    """Load and normalise a trace JSON file (schema v1, v2 or v3)."""
     payload = json.loads(Path(path).read_text())
     return TraceDocument.from_dict(payload)
 
@@ -415,6 +421,91 @@ def fault_summary(doc: TraceDocument) -> FaultSummary:
     summary.timeouts = dict(sorted(summary.timeouts.items()))
     summary.retries = dict(sorted(summary.retries.items()))
     summary.replans = dict(sorted(summary.replans.items()))
+    return summary
+
+
+# -- adaptation (monitoring-plane) summary -------------------------------------
+
+
+@dataclass
+class AdaptationSummary:
+    """The §5 adaptation story of one run, from its monitoring events
+    (``broker.observed``, ``session.drift``, ``slo.violated``,
+    ``session.renegotiated``)."""
+
+    #: per-broker ``broker.observed`` digests seen.
+    observations: int = 0
+    #: resource -> drift detections against it.
+    drifts: Dict[str, int] = field(default_factory=dict)
+    #: SLO name -> violations.
+    violations: Dict[str, int] = field(default_factory=dict)
+    #: renegotiation outcome -> count (upgraded/downgraded/unchanged/...).
+    renegotiations: Dict[str, int] = field(default_factory=dict)
+    #: (session, trigger seq, renegotiation seq) causal pairs -- every
+    #: renegotiation matched to the latest prior drift/violation that
+    #: names the same session.
+    causal_pairs: List[Tuple[str, int, int]] = field(default_factory=list)
+    #: renegotiations with no prior drift/violation on their session.
+    unmatched_renegotiations: int = 0
+
+    @property
+    def total_drifts(self) -> int:
+        """All drift detections, over every resource."""
+        return sum(self.drifts.values())
+
+    @property
+    def total_renegotiations(self) -> int:
+        """All renegotiations, over every outcome."""
+        return sum(self.renegotiations.values())
+
+    @property
+    def empty(self) -> bool:
+        """True when the run saw no monitoring-plane activity at all."""
+        return (
+            self.observations == 0
+            and not self.drifts
+            and not self.violations
+            and not self.renegotiations
+        )
+
+
+def adaptation_summary(doc: TraceDocument) -> AdaptationSummary:
+    """Aggregate the online monitoring-plane events of a document.
+
+    Every ``session.renegotiated`` is causally matched (by session id)
+    to the latest earlier ``session.drift`` / ``slo.violated`` that
+    triggered it; unmatched renegotiations are counted separately so the
+    drift -> renegotiation chain is auditable.  Returns an all-zero
+    summary for documents without monitoring events (v1/v2 included).
+    """
+    summary = AdaptationSummary()
+    last_trigger_seq: Dict[str, int] = {}
+    for event in doc.events:
+        if event.kind == "broker.observed":
+            summary.observations += 1
+        elif event.kind == "session.drift":
+            resource = event.resource or "unknown"
+            summary.drifts[resource] = summary.drifts.get(resource, 0) + 1
+            if event.session:
+                last_trigger_seq[event.session] = event.seq
+        elif event.kind == "slo.violated":
+            name = str(event.attributes.get("slo", "unknown"))
+            summary.violations[name] = summary.violations.get(name, 0) + 1
+            if event.session:
+                last_trigger_seq[event.session] = event.seq
+        elif event.kind == "session.renegotiated":
+            outcome = str(event.attributes.get("outcome", "unknown"))
+            summary.renegotiations[outcome] = (
+                summary.renegotiations.get(outcome, 0) + 1
+            )
+            trigger = last_trigger_seq.get(event.session or "")
+            if trigger is None:
+                summary.unmatched_renegotiations += 1
+            else:
+                summary.causal_pairs.append((event.session, trigger, event.seq))
+    summary.drifts = dict(sorted(summary.drifts.items()))
+    summary.violations = dict(sorted(summary.violations.items()))
+    summary.renegotiations = dict(sorted(summary.renegotiations.items()))
     return summary
 
 

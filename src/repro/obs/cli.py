@@ -12,7 +12,14 @@ v1 and v2 both load):
   manifested (plan bottleneck, admission race lost, broker reject);
 * ``diff``          -- numeric deltas between two documents (trace or
   benchmark ledger); ``--gate`` turns out-of-tolerance deltas into a
-  non-zero exit for CI regression gating;
+  non-zero exit for CI regression gating (timing comparisons are keyed
+  on the ledgers' runner fingerprints: different machines never
+  hard-compare wall-clock leaves);
+* ``watch``         -- the monitoring-plane timeline of a trace
+  (drift detections, SLO violations, renegotiations), replaying the
+  online monitor over the event log when the run had none live;
+* ``monitor-report``-- the monitoring digest (per-broker estimators,
+  drift/SLO/renegotiation counts, causal drift->renegotiation pairs);
 * ``export-prom``   -- the document's metrics snapshot in Prometheus
   text exposition format.
 
@@ -247,6 +254,15 @@ def _format_side(value: Optional[float]) -> str:
     return "-" if value is None else f"{value:g}"
 
 
+def _runner_fingerprint(document: dict) -> Optional[str]:
+    """The ledger's runner fingerprint (None for older/trace documents)."""
+    runner = document.get("runner")
+    if isinstance(runner, dict):
+        fingerprint = runner.get("fingerprint")
+        return str(fingerprint) if fingerprint else None
+    return None
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     base = _load_document(args.base)
     new = _load_document(args.new)
@@ -264,8 +280,27 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     _print(lines)
     if not args.gate:
         return 0
+    ignore_timing = args.ignore_timing
+    if not ignore_timing:
+        # Timing comparisons are keyed on the runner fingerprint: a
+        # baseline recorded on a different machine makes wall-clock
+        # deltas meaningless, so they drop out of the gate instead of
+        # hard-failing it.  Documents where *neither* side records a
+        # runner (traces, pre-fingerprint ledgers) keep the historical
+        # behavior: timings gate unless --ignore-timing says otherwise.
+        base_runner = _runner_fingerprint(base)
+        new_runner = _runner_fingerprint(new)
+        if (base_runner or new_runner) and base_runner != new_runner:
+            ignore_timing = True
+            _print(
+                [
+                    "gate: runner fingerprints differ "
+                    f"({base_runner or 'unrecorded'} vs {new_runner or 'unrecorded'}); "
+                    "timing leaves excluded from the gate"
+                ]
+            )
     regressions = analyze.gate_diff(
-        entries, tolerance=args.tolerance, ignore_timing=args.ignore_timing
+        entries, tolerance=args.tolerance, ignore_timing=ignore_timing
     )
     if not regressions:
         _print([f"gate: OK ({len(entries)} leaves within +-{args.tolerance:.0%})"])
@@ -277,6 +312,178 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         _print([f"  {entry.path}: {_format_side(entry.base)} -> "
                 f"{_format_side(entry.new)} ({detail})"])
     return 1
+
+
+# -- watch / monitor-report (online monitoring plane) --------------------------
+
+
+def _monitor_events(doc: analyze.TraceDocument, threshold: Optional[float]):
+    """The trace's monitoring events, replaying the monitor if needed.
+
+    A trace recorded with a live monitor already carries the plane's
+    events; otherwise (or when ``threshold`` overrides the detection
+    configuration) the :class:`~repro.obs.monitor.OnlineMonitor` is
+    replayed offline over the recorded event log.  Returns
+    ``(events, replayed, monitor)`` -- ``monitor`` is None when the
+    recording's own events were used.
+    """
+    from repro.obs.monitor import MONITOR_EVENT_KINDS, MonitorConfig, replay_events
+
+    recorded = [e for e in doc.events if e.kind in MONITOR_EVENT_KINDS]
+    if recorded and threshold is None:
+        return recorded, False, None
+    config = (
+        MonitorConfig(adapt=False)
+        if threshold is None
+        else MonitorConfig(drift_threshold=threshold, adapt=False)
+    )
+    monitor, log = replay_events(doc.events, config)
+    return list(log), True, monitor
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    doc = _load_trace(args.trace)
+    if not doc.events:
+        _print(["no event log in this trace (schema v1 documents carry none)"])
+        return 0
+    events, replayed, _monitor = _monitor_events(doc, args.threshold)
+    header = (
+        "monitoring timeline (replayed offline over the recorded event log):"
+        if replayed
+        else "monitoring timeline (recorded by the run's live monitor):"
+    )
+    lines = [header]
+    shown = 0
+    for event in events:
+        if args.kind and event.kind != args.kind:
+            continue
+        when = "-" if event.time is None else f"{event.time:.2f}"
+        attributes = event.attributes
+        if event.kind == "session.drift":
+            detail = (
+                f"planned={attributes.get('planned', 0.0):.6g} "
+                f"observed={attributes.get('observed', 0.0):.6g} "
+                f"({attributes.get('direction', '?')}, "
+                f"{float(attributes.get('relative', 0.0)):+.1%})"
+            )
+        elif event.kind == "slo.violated":
+            detail = (
+                f"slo={attributes.get('slo')} objective={attributes.get('objective')} "
+                f"measured={float(attributes.get('measured', 0.0)):.4g} "
+                f"limit={float(attributes.get('limit', 0.0)):.4g}"
+            )
+        elif event.kind == "session.renegotiated":
+            detail = (
+                f"trigger={attributes.get('trigger')} outcome={attributes.get('outcome')} "
+                f"level {attributes.get('previous_level')} -> {attributes.get('new_level')}"
+            )
+        elif event.kind == "broker.observed":
+            ewma = attributes.get("ewma_available")
+            detail = (
+                f"ewma_avail={'-' if ewma is None else format(float(ewma), '.6g')} "
+                f"alpha={float(attributes.get('alpha', 1.0)):.3f} "
+                f"rej_rate={float(attributes.get('rejection_rate', 0.0)):.3f}"
+            )
+        else:
+            detail = ""
+        lines.append(
+            f"  t={when:>9} {event.kind:<22} "
+            f"{event.session or event.resource or '-':<14} {detail}"
+        )
+        shown += 1
+        if args.limit and shown >= args.limit:
+            lines.append(f"  ... (truncated at {args.limit} lines; raise --limit)")
+            break
+    if shown == 0:
+        lines.append("  (no monitoring events)")
+    _print(lines)
+    return 0
+
+
+def _cmd_monitor_report(args: argparse.Namespace) -> int:
+    doc = _load_trace(args.trace)
+    lines: List[str] = []
+    monitoring = doc.monitoring
+    source = "recorded by the run's live monitor"
+    if not monitoring:
+        if not doc.events:
+            _print(
+                [
+                    "no monitoring section and no event log in this trace; "
+                    "nothing to report"
+                ]
+            )
+            return 0
+        _events, _replayed, monitor = _monitor_events(doc, args.threshold)
+        monitoring = monitor.report() if monitor is not None else {}
+        source = "replayed offline over the recorded event log"
+    title = f"monitoring report: {args.trace} ({source})"
+    lines += [title, "=" * len(title), ""]
+    for key in (
+        "events_seen",
+        "drift_detected",
+        "slo_violations",
+        "sessions_tracked",
+        "rejection_rate",
+        "qos_ewma",
+        "psi_ewma",
+    ):
+        if key in monitoring:
+            value = monitoring[key]
+            text = "-" if value is None else (
+                f"{value:.4g}" if isinstance(value, float) else str(value)
+            )
+            lines.append(f"  {key:<22} {text}")
+    adaptation = monitoring.get("adaptation")
+    if isinstance(adaptation, dict):
+        lines += ["", "adaptation loop:"]
+        lines.append(f"  triggered              {adaptation.get('triggered', 0)}")
+        for outcome, count in sorted((adaptation.get("outcomes") or {}).items()):
+            lines.append(f"  outcome {outcome:<14} {count}")
+        lines.append(
+            f"  sessions renegotiated  {adaptation.get('sessions_renegotiated', 0)}"
+        )
+        lines.append(f"  sessions dropped       {adaptation.get('sessions_dropped', 0)}")
+    brokers = monitoring.get("brokers")
+    if isinstance(brokers, dict) and brokers:
+        lines += [
+            "",
+            "per-broker estimators:",
+            f"  {'resource':<16} {'ewma_avail':>11} {'alpha':>7} {'psi':>7} "
+            f"{'rej_rate':>9} {'updates':>8}",
+        ]
+        for resource in sorted(brokers):
+            digest = brokers[resource]
+
+            def cell(key, fmt="{:.4g}"):
+                value = digest.get(key)
+                return "-" if value is None else fmt.format(value)
+
+            lines.append(
+                f"  {resource:<16} {cell('ewma_available'):>11} {cell('alpha'):>7} "
+                f"{cell('psi'):>7} {cell('rejection_rate'):>9} "
+                f"{digest.get('updates', 0):>8}"
+            )
+    summary = analyze.adaptation_summary(doc)
+    if not summary.empty:
+        lines += ["", "causal chains (from the event log):"]
+        lines.append(f"  drift detections       {summary.total_drifts}")
+        lines.append(f"  renegotiations         {summary.total_renegotiations}")
+        lines.append(f"  causally paired        {len(summary.causal_pairs)}")
+        if summary.unmatched_renegotiations:
+            lines.append(
+                f"  unmatched              {summary.unmatched_renegotiations}"
+            )
+        for session, trigger_seq, reneg_seq in summary.causal_pairs[: args.pairs]:
+            lines.append(
+                f"    {session}: trigger seq {trigger_seq} -> renegotiated seq {reneg_seq}"
+            )
+        if len(summary.causal_pairs) > args.pairs:
+            lines.append(
+                f"    ... ({len(summary.causal_pairs) - args.pairs} more; raise --pairs)"
+            )
+    _print(lines)
+    return 0
 
 
 # -- export-prom ---------------------------------------------------------------
@@ -357,6 +564,44 @@ def build_parser() -> argparse.ArgumentParser:
         + ") from the gate",
     )
     diff.set_defaults(func=_cmd_diff)
+
+    watch = sub.add_parser(
+        "watch",
+        help="chronological timeline of monitoring-plane events "
+        "(drift, SLO violations, renegotiations)",
+    )
+    watch.add_argument("trace", help="trace JSON document")
+    watch.add_argument(
+        "--kind", default=None,
+        help="show only this event kind (e.g. session.drift)",
+    )
+    watch.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="replay detection offline with this drift threshold instead of "
+        "using the recorded monitor events",
+    )
+    watch.add_argument(
+        "--limit", type=int, default=200,
+        help="maximum timeline lines to print (default 200; 0 = unlimited)",
+    )
+    watch.set_defaults(func=_cmd_watch)
+
+    monitor_report = sub.add_parser(
+        "monitor-report",
+        help="monitoring-plane summary: estimators, SLOs, adaptation outcomes, "
+        "and drift->renegotiation causal chains",
+    )
+    monitor_report.add_argument("trace", help="trace JSON document")
+    monitor_report.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="replay detection offline with this drift threshold instead of "
+        "using the recorded monitoring section",
+    )
+    monitor_report.add_argument(
+        "--pairs", type=int, default=10,
+        help="causal drift->renegotiation pairs to list (default 10)",
+    )
+    monitor_report.set_defaults(func=_cmd_monitor_report)
 
     prom = sub.add_parser(
         "export-prom", help="Prometheus text exposition of the metrics snapshot"

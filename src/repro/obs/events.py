@@ -21,7 +21,15 @@ reservation-lifecycle events:
   recovery lifecycle of :mod:`repro.faults`: every fired fault, every
   per-phase timeout and bounded retry of the fault-tolerant
   coordinator, every re-plan after a failed host or admission loss, and
-  every orphaned reserve/commit lease reclaimed by the reaper.
+  every orphaned reserve/commit lease reclaimed by the reaper;
+* ``broker.observed`` / ``session.drift`` / ``slo.violated`` /
+  ``session.renegotiated`` -- the online monitoring plane of
+  :mod:`repro.obs.monitor`: periodic rolling-estimate digests per
+  broker, detected divergence between a session's planned-against
+  availability and the live one, declarative SLO violations, and the
+  §5 adaptation loop's renegotiations;
+* ``log.truncated`` -- the single marker this log emits when its
+  capacity bound is first hit (see :class:`EventLog`).
 
 Like the tracer and the metrics registry, instrumented code dispatches
 through the module-level :func:`emit` helper, which is a single global
@@ -30,6 +38,13 @@ stays effectively free.  Events are causally ordered by a monotonic
 ``seq`` counter; broker-side events additionally carry the simulation
 clock (``time``) so per-resource timelines can be reconstructed from an
 exported trace document (see :mod:`repro.obs.analyze`).
+
+Live consumers can :meth:`~EventLog.subscribe` a callback to an
+:class:`EventLog`; subscribers see *every* emitted event -- including
+the ones the capacity bound keeps out of storage -- which is what the
+online monitoring plane builds on.  With no subscriber installed the
+dispatch cost is one empty-list truth test on the already-enabled path;
+the disabled path is untouched.
 """
 
 from __future__ import annotations
@@ -37,7 +52,7 @@ from __future__ import annotations
 import time as _time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 __all__ = [
     "EVENT_KINDS",
@@ -70,6 +85,11 @@ EVENT_KINDS = frozenset(
         "segment.retry",
         "session.replanned",
         "lease.expired",
+        "broker.observed",
+        "session.drift",
+        "slo.violated",
+        "session.renegotiated",
+        "log.truncated",
     }
 )
 
@@ -123,7 +143,11 @@ class EventLog:
 
     ``capacity`` bounds memory on very long runs: once reached, further
     events are counted in :attr:`dropped` instead of stored (newest
-    dropped, oldest kept -- the causal prefix stays intact).
+    dropped, oldest kept -- the causal prefix stays intact), and a
+    single ``log.truncated`` marker is appended so a truncated log is
+    distinguishable from a quiet one.  Subscribers (see
+    :meth:`subscribe`) are exempt from the bound: they receive every
+    emitted event, stored or not.
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
@@ -134,6 +158,36 @@ class EventLog:
         self.dropped = 0
         self._next_seq = 0
         self._epoch = _time.perf_counter()
+        self._truncated = False
+        self._subscribers: List[Callable[[ReservationEvent], None]] = []
+
+    # -- live subscribers --------------------------------------------------
+
+    def subscribe(self, callback: Callable[[ReservationEvent], None]):
+        """Deliver every subsequently emitted event to ``callback``.
+
+        Callbacks run synchronously inside :meth:`emit`, in subscription
+        order, and see the full stream even when the capacity bound
+        drops events from storage.  Returns ``callback`` so the caller
+        can keep the handle for :meth:`unsubscribe`.
+        """
+        if not callable(callback):
+            raise TypeError(f"subscriber must be callable, got {callback!r}")
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[ReservationEvent], None]) -> None:
+        """Stop delivering events to ``callback`` (no-op when unknown)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of live subscribers."""
+        return len(self._subscribers)
 
     # -- recording ---------------------------------------------------------
 
@@ -153,25 +207,57 @@ class EventLog:
             )
         seq = self._next_seq
         self._next_seq += 1
-        if self.capacity is not None and len(self.records) >= self.capacity:
+        if self.capacity is not None and len(self.records) >= self.capacity + (
+            1 if self._truncated else 0
+        ):
             self.dropped += 1
+            if not self._truncated:
+                # One marker records that (and where) truncation began;
+                # it occupies a single slot past the capacity bound so
+                # the stored prefix itself stays intact.
+                self._truncated = True
+                marker = ReservationEvent(
+                    kind="log.truncated",
+                    seq=self._next_seq,
+                    wall=_time.perf_counter() - self._epoch,
+                    time=time,
+                    attributes={"capacity": self.capacity, "first_dropped_seq": seq},
+                )
+                self._next_seq += 1
+                self.records.append(marker)
+                for callback in self._subscribers:
+                    callback(marker)
+            if self._subscribers:
+                event = ReservationEvent(
+                    kind=kind,
+                    seq=seq,
+                    wall=_time.perf_counter() - self._epoch,
+                    time=time,
+                    session=session,
+                    resource=resource,
+                    attributes=attributes,
+                )
+                for callback in self._subscribers:
+                    callback(event)
             return
-        self.records.append(
-            ReservationEvent(
-                kind=kind,
-                seq=seq,
-                wall=_time.perf_counter() - self._epoch,
-                time=time,
-                session=session,
-                resource=resource,
-                attributes=attributes,
-            )
+        event = ReservationEvent(
+            kind=kind,
+            seq=seq,
+            wall=_time.perf_counter() - self._epoch,
+            time=time,
+            session=session,
+            resource=resource,
+            attributes=attributes,
         )
+        self.records.append(event)
+        for callback in self._subscribers:
+            callback(event)
 
     def clear(self) -> None:
         """Drop every recorded event (epoch and seq counter are kept)."""
         self.records.clear()
         self.dropped = 0
+        self._truncated = False
 
     # -- reading -----------------------------------------------------------
 
@@ -216,9 +302,22 @@ class EventLog:
 _ACTIVE: Optional[EventLog] = None
 
 
-def install(log: EventLog) -> None:
-    """Make ``log`` receive every event from instrumented code."""
+def install(log: EventLog, *, force: bool = False) -> None:
+    """Make ``log`` receive every event from instrumented code.
+
+    Installing over a *different* already-installed log raises: silently
+    replacing it would detach that log's consumers (e.g. a subscribed
+    online monitor) mid-run.  Re-installing the same log is idempotent.
+    ``force=True`` is for callers that deliberately manage a save/restore
+    stack of handles (:class:`~repro.obs.ObservationSession`).
+    """
     global _ACTIVE
+    if not force and _ACTIVE is not None and _ACTIVE is not log:
+        raise RuntimeError(
+            "an EventLog is already installed; uninstall() it first "
+            "(or use event_logging()/ObservationSession, which save and "
+            "restore the previous log)"
+        )
     _ACTIVE = log
 
 

@@ -36,10 +36,11 @@ __all__ = [
 PathLike = Union[str, Path]
 
 #: Schema version stamped into every JSON trace document.  v2 added the
-#: causal reservation event log (``events`` + ``event_counts``); v1
-#: documents (spans/metrics only) remain loadable -- see
-#: :func:`repro.obs.analyze.load_trace`.
-TRACE_SCHEMA_VERSION = 2
+#: causal reservation event log (``events`` + ``event_counts``); v3
+#: added the optional ``monitoring`` section (the online monitoring
+#: plane's digest, see :mod:`repro.obs.monitor`).  v1 and v2 documents
+#: remain loadable -- see :func:`repro.obs.analyze.load_trace`.
+TRACE_SCHEMA_VERSION = 3
 
 
 def observability_to_dict(
@@ -47,6 +48,7 @@ def observability_to_dict(
     registry: Optional[MetricsRegistry] = None,
     events: Optional[EventLog] = None,
     *,
+    monitoring: Optional[dict] = None,
     meta: Optional[dict] = None,
 ) -> dict:
     """The JSON trace document as a plain dict (see the docs' schema)."""
@@ -66,6 +68,8 @@ def observability_to_dict(
         document["event_counts"] = events.kind_counts()
         if events.dropped:
             document["events_dropped"] = events.dropped
+    if monitoring:
+        document["monitoring"] = dict(monitoring)
     return document
 
 
@@ -75,12 +79,13 @@ def write_trace_json(
     registry: Optional[MetricsRegistry] = None,
     events: Optional[EventLog] = None,
     *,
+    monitoring: Optional[dict] = None,
     meta: Optional[dict] = None,
 ) -> Path:
     """Write the JSON trace document; returns the written path."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    document = observability_to_dict(tracer, registry, events, meta=meta)
+    document = observability_to_dict(tracer, registry, events, monitoring=monitoring, meta=meta)
     target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     return target
 

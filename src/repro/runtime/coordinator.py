@@ -57,6 +57,32 @@ class EstablishmentResult:
         return self.plan.numeric_level if (self.success and self.plan) else None
 
 
+@dataclass(frozen=True)
+class RenegotiationResult:
+    """Outcome of one §5 adaptive renegotiation of a live session.
+
+    ``outcome`` classifies what the session ended up with relative to
+    what it held before: ``upgraded`` / ``downgraded`` / ``unchanged``
+    (fresh plan admitted; levels are paper-style numeric, higher is
+    better), ``failed_restored`` (no new plan admissible, the original
+    reservations were put back), ``failed_dropped`` (neither -- the
+    session lost its reservations), or ``unknown_session`` (nothing was
+    held to renegotiate).
+    """
+
+    session_id: str
+    outcome: str
+    result: EstablishmentResult
+    previous_level: Optional[int] = None
+    new_level: Optional[int] = None
+    restored: bool = False
+
+    @property
+    def success(self) -> bool:
+        """True when the renegotiated establishment was admitted."""
+        return self.result.success
+
+
 class ReservationCoordinator:
     """Executes the three-phase establishment protocol."""
 
@@ -73,6 +99,11 @@ class ReservationCoordinator:
         #: Availability-independent QRG skeletons, shared across sessions.
         self.qrg_skeletons = QRGSkeletonCache()
         self._scaled_services: Dict[Tuple[str, float], object] = {}
+        #: Sessions currently inside :meth:`teardown`.  Their release
+        #: events reach live monitor subscribers synchronously, and a
+        #: drift-triggered renegotiation of the dying session itself
+        #: would re-reserve on proxies the teardown loop already passed.
+        self._tearing_down: set = set()
 
     # -- ownership ------------------------------------------------------------
 
@@ -398,14 +429,162 @@ class ReservationCoordinator:
             yield env.timeout(latency)
         return self.establish(*args, observed_at=frozen_schedule, **kwargs)
 
+    # -- adaptive renegotiation (§5 / §4.3) ------------------------------------
+
+    def renegotiate(
+        self,
+        session_id: str,
+        service_name: str,
+        binding: Binding,
+        planner,
+        *,
+        component_hosts: Optional[Mapping[str, str]] = None,
+        source_label: Optional[str] = None,
+        demand_scale: float = 1.0,
+        observed_at: Optional[ObservationSchedule] = None,
+        contention_index=None,
+        trigger: str = "drift",
+        previous_level: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> RenegotiationResult:
+        """Re-plan a *live* session against current availability.
+
+        The §5 adaptation loop: release what the session holds, run the
+        three-phase establishment again with fresh observations (the
+        §4.3 downgrade/upgrade path picks whatever end-to-end level is
+        now feasible), and emit one ``session.renegotiated`` causal
+        record.  When the fresh establishment is rejected, the original
+        reservations are restored (best effort -- if a competing session
+        won the race for the freed capacity, the session is dropped).
+
+        ``trigger`` names what asked for the renegotiation (``drift``,
+        ``slo:<name>``, ...); ``previous_level`` is the numeric level
+        the session held, used to classify the outcome; ``now`` is the
+        simulation clock to stamp on the causal record.
+        """
+        with _trace.span("renegotiate", session=session_id, trigger=trigger) as span:
+            if session_id in self._tearing_down:
+                span.set(outcome="torn_down")
+                result = EstablishmentResult(
+                    session_id, False, None, reason="torn_down"
+                )
+                return RenegotiationResult(
+                    session_id, "torn_down", result, previous_level=previous_level
+                )
+            # Snapshot what the session holds, per proxy host, so the
+            # reservation can be put back if re-planning fails.
+            held: Dict[str, Dict[str, float]] = {}
+            for host in sorted(self.proxies):
+                demands: Dict[str, float] = {}
+                for reservation in self.proxies[host].held_for(session_id):
+                    demands[reservation.resource_id] = (
+                        demands.get(reservation.resource_id, 0.0) + reservation.amount
+                    )
+                if demands:
+                    held[host] = demands
+            if not held:
+                span.set(outcome="unknown_session")
+                result = EstablishmentResult(
+                    session_id, False, None, reason="unknown_session"
+                )
+                return RenegotiationResult(
+                    session_id, "unknown_session", result, previous_level=previous_level
+                )
+            for host in held:
+                self.proxies[host].release_session(session_id)
+
+            result = self.establish(
+                session_id,
+                service_name,
+                binding,
+                planner,
+                component_hosts=component_hosts,
+                source_label=source_label,
+                demand_scale=demand_scale,
+                observed_at=observed_at,
+                contention_index=contention_index,
+            )
+            restored = False
+            new_level = result.qos_level
+            if result.success:
+                if previous_level is None or new_level == previous_level:
+                    outcome = "unchanged"
+                elif new_level is not None and new_level > previous_level:
+                    outcome = "upgraded"
+                else:
+                    outcome = "downgraded"
+            else:
+                restored = self._restore_reservations(session_id, held)
+                if restored:
+                    self._start_components(session_id, component_hosts)
+                    new_level = previous_level
+                outcome = "failed_restored" if restored else "failed_dropped"
+            span.set(outcome=outcome)
+
+            registry = _metrics.active_registry()
+            if registry is not None:
+                registry.counter("monitor.renegotiations", outcome=outcome).inc()
+            log = _events.active_event_log()
+            if log is not None:
+                log.emit(
+                    "session.renegotiated",
+                    session=session_id,
+                    time=now,
+                    service=service_name,
+                    trigger=trigger,
+                    outcome=outcome,
+                    previous_level=previous_level,
+                    new_level=new_level,
+                    restored=restored,
+                )
+            return RenegotiationResult(
+                session_id,
+                outcome,
+                result,
+                previous_level=previous_level,
+                new_level=new_level,
+                restored=restored,
+            )
+
+    def _restore_reservations(
+        self, session_id: str, held: Mapping[str, Mapping[str, float]]
+    ) -> bool:
+        """Best-effort re-application of a released reservation snapshot.
+
+        Returns True when every host's demands were re-admitted; on any
+        admission failure the partial restore is rolled back (the session
+        ends up holding nothing) and False is returned.
+        """
+        applied: List[QoSProxy] = []
+        try:
+            for host in sorted(held):
+                proxy = self.proxies[host]
+                proxy.apply_segment(
+                    PlanSegment(
+                        session_id=session_id,
+                        proxy_host=host,
+                        demands=dict(held[host]),
+                    )
+                )
+                applied.append(proxy)
+        except AdmissionError:
+            for proxy in applied:
+                proxy.release_session(session_id)
+            return False
+        return True
+
     # -- tear-down -------------------------------------------------------------
 
     def teardown(self, session_id: str) -> int:
         """Release everything every proxy holds for the session."""
         with _trace.span("teardown", session=session_id) as span:
             released = 0
-            for proxy in self.proxies.values():
-                released += proxy.release_session(session_id)
+            self._tearing_down.add(session_id)
+            try:
+                for proxy in self.proxies.values():
+                    released += proxy.release_session(session_id)
+            finally:
+                self._tearing_down.discard(session_id)
             span.set(released=released)
             registry = _metrics.active_registry()
             if registry is not None:

@@ -48,7 +48,10 @@ from repro.obs import (
     ObservationSummary,
     reset_worker_observability,
 )
+from repro.obs import events as _obs_events
+from repro.obs.events import EventLog
 from repro.obs.metrics import DEFAULT_PSI_BUCKETS, active_registry
+from repro.obs.monitor import AdaptationPolicy, MonitorConfig, OnlineMonitor
 from repro.runtime.session import ServiceSession, SessionOutcome
 from repro.sim.environment import GridEnvironment
 from repro.sim.metrics import MetricsCollector, MetricsSnapshot, PathCensus
@@ -97,6 +100,11 @@ class SimulationConfig:
     #: a zero FaultConfig routes through the fault-tolerant coordinator
     #: but is regression-tested byte-identical).  See :mod:`repro.faults`.
     faults: Optional[FaultConfig] = None
+    #: Online monitoring plane: streaming drift detection, SLO watchdogs
+    #: and (with ``adapt=True``) §5 renegotiation of live sessions.
+    #: None = no monitor subscribed, zero overhead.  See
+    #: :mod:`repro.obs.monitor`.
+    monitoring: Optional[MonitorConfig] = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -135,6 +143,12 @@ class SimulationResult:
     #: of orphaned leases the end-of-run reaper reclaimed.  Plain ints,
     #: so it survives the process boundary of parallel sweeps.
     fault_stats: Optional[Dict[str, int]] = None
+    #: Digest of the online monitoring plane (None when the config
+    #: carried no :class:`~repro.obs.monitor.MonitorConfig`): the
+    #: :meth:`OnlineMonitor.report` document -- estimators per broker,
+    #: drift/SLO counts and the adaptation outcomes.  Plain JSON types,
+    #: so it survives the process boundary of parallel sweeps.
+    monitor_stats: Optional[Dict[str, object]] = None
 
     @property
     def success_rate(self) -> float:
@@ -261,8 +275,29 @@ def _run_simulation(
         config.staleness, streams.stream("staleness"), clock=lambda: env.now
     )
 
+    monitor: Optional[OnlineMonitor] = None
+    policy: Optional[AdaptationPolicy] = None
+    private_log: Optional[EventLog] = None
+    if config.monitoring is not None:
+        stream_log = _obs_events.active_event_log()
+        if stream_log is None:
+            # The monitor feeds off the event stream even when the run
+            # is not otherwise observed; a capacity-1 private log keeps
+            # storage bounded (subscribers see every event regardless).
+            stream_log = private_log = EventLog(capacity=1)
+            _obs_events.install(private_log)
+        if config.monitoring.adapt:
+            policy = AdaptationPolicy(grid.coordinator, config.monitoring)
+        monitor = OnlineMonitor(config.monitoring, log=stream_log, policy=policy)
+        stream_log.subscribe(monitor.on_event)
+
     def record_outcome(outcome: SessionOutcome) -> None:
         """Feed the run's collector and the observability layer."""
+        if policy is not None:
+            outcome = policy.finalize_outcome(outcome)
+            policy.unwatch(outcome.session_id)
+        if monitor is not None:
+            monitor.session_closed(outcome.session_id)
         metrics.record(outcome)
         _record_session_metrics(outcome)
 
@@ -271,16 +306,27 @@ def _run_simulation(
         for request in generator.generate():
             if request.arrival_time > env.now:
                 yield env.timeout(request.arrival_time - env.now)
+            binding = grid.binding_for(request.service, request.domain)
+            component_hosts = grid.component_hosts_for(request.service, request.domain)
+            if policy is not None:
+                policy.watch(
+                    request.session_id,
+                    service_name=request.service,
+                    binding=binding,
+                    planner=planner,
+                    component_hosts=component_hosts,
+                    demand_scale=request.demand_scale,
+                )
             session = ServiceSession(
                 env,
                 grid.coordinator,
                 request.session_id,
                 request.service,
-                grid.binding_for(request.service, request.domain),
+                binding,
                 planner,
                 request.duration,
                 demand_scale=request.demand_scale,
-                component_hosts=grid.component_hosts_for(request.service, request.domain),
+                component_hosts=component_hosts,
                 observed_at=stale_model.schedule_for_session(),
                 latency=config.latency,
                 contention_index=contention_index,
@@ -289,7 +335,13 @@ def _run_simulation(
             env.process(session.run())
 
     env.process(arrivals())
-    env.run()
+    try:
+        env.run()
+    finally:
+        if monitor is not None and monitor.log is not None:
+            monitor.log.unsubscribe(monitor.on_event)
+        if private_log is not None:
+            _obs_events.uninstall()
 
     fault_stats: Optional[Dict[str, int]] = None
     if injector is not None:
@@ -300,6 +352,12 @@ def _run_simulation(
         grid.coordinator.reap_orphans(force=True)
         fault_stats = dict(injector.injected_counts())
         fault_stats["orphans_reaped"] = grid.coordinator.leases_reaped
+
+    monitor_stats: Optional[Dict[str, object]] = None
+    if monitor is not None:
+        monitor_stats = monitor.report()
+        if observation is not None:
+            observation.monitoring = monitor_stats
 
     # Every session released everything it reserved -- a structural
     # invariant of the brokers; violation means an accounting bug.
@@ -312,6 +370,7 @@ def _run_simulation(
         wall_seconds=_time.perf_counter() - started,
         observation=observation,
         fault_stats=fault_stats,
+        monitor_stats=monitor_stats,
     )
 
 

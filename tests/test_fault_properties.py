@@ -1,11 +1,16 @@
 """Property: no seeded fault schedule can leak reserved capacity.
 
 Hypothesis drives ~200 random ``(FaultConfig, seed)`` pairs through the
-fault-tolerant coordinator on the small rig — establishments, partial
-teardowns, orphan reaping — and asserts the conservation invariant at
-every checkpoint plus broker quiescence at the end.  A leak in either
-direction (capacity a broker holds that no proxy will release, or a
-proxy tracking capacity the broker already freed) fails the property.
+fault-tolerant coordinators — establishments, partial teardowns, orphan
+reaping — and asserts the conservation invariant at every checkpoint
+plus broker quiescence at the end.  A leak in either direction
+(capacity a broker holds that no proxy will release, or a proxy
+tracking capacity the broker already freed) fails the property.
+
+Two coordinator flavours are covered: the centralized
+:class:`FaultTolerantCoordinator` on the small rig and the distributed
+:class:`FaultTolerantDistributedCoordinator` (§3 component fragments
+priced host-side, dispatched through the same lease machinery).
 
 The sessions run synchronously (the DES driver shares the same protocol
 generator, exercised by the full-simulation tests in test_faults.py);
@@ -16,14 +21,22 @@ invariant must be robust against.
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.brokers import (
+    BrokerRegistry,
+    LinkBandwidthBroker,
+    LocalResourceBroker,
+    PathBroker,
+)
 from repro.core import BasicPlanner
 from repro.faults import (
     FAULT_SEED_INDEX,
     FaultConfig,
     FaultInjector,
     FaultPlan,
+    FaultTolerantDistributedCoordinator,
     assert_capacity_conserved,
 )
+from repro.runtime import ComponentHost, ModelStore
 from repro.sim.experiment import derive_run_seed
 
 from tests.test_faults import build_ft_rig
@@ -84,6 +97,72 @@ def test_no_fault_schedule_leaks_capacity(small_service, small_binding, config, 
         # with orphaned leases outstanding.
         assert_capacity_conserved(registry, proxies)
         if len(established) >= 2:  # churn: keep contention, free capacity
+            coordinator.teardown(established.pop(0))
+            assert_capacity_conserved(registry, proxies)
+
+    for session_id in established:
+        coordinator.teardown(session_id)
+    coordinator.reap_orphans(force=True)
+    assert_capacity_conserved(registry, proxies)
+    registry.assert_quiescent()
+    for proxy in proxies.values():
+        for session_id in list(getattr(proxy, "_held", {})):
+            assert proxy.held_for(session_id) == ()
+
+
+def build_ft_distributed_rig(small_service, injector, clock):
+    """The test_distributed rig behind the fault boundary: component
+    definitions stored host-side, fragments priced there (§3)."""
+    registry = BrokerRegistry()
+    cpu = LocalResourceBroker("H1", "cpu", 100.0, clock=clock)
+    link = LinkBandwidthBroker("L1", "H1", "H2", 100.0, clock=clock)
+    path = PathBroker("net:L1", [link], clock=clock)
+    for broker in (cpu, link, path):
+        registry.register(broker)
+    host1 = ComponentHost("H1", registry)
+    host1.store_component(small_service.component("c1"))
+    host2 = ComponentHost("H2", registry)
+    host2.store_component(small_service.component("c2"))
+    structure = ModelStore()
+    structure.register(small_service)
+    proxies = {"H1": host1, "H2": host2}
+    coordinator = FaultTolerantDistributedCoordinator(
+        registry, structure, proxies, injector=injector
+    )
+    return registry, coordinator, proxies
+
+
+@settings(
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(config=fault_configs(), seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_no_fault_schedule_leaks_capacity_distributed(
+    small_service, small_binding, config, seed
+):
+    """The §3 fragment-dispatch path conserves capacity under any
+    schedule, exactly like the centralized protocol."""
+    clock = FakeClock()
+    plan = FaultPlan.generate(
+        config,
+        seed=derive_run_seed(seed, FAULT_SEED_INDEX),
+        horizon=120.0,
+        hosts=("H1", "H2"),
+    )
+    injector = FaultInjector(plan, clock=clock)
+    registry, coordinator, proxies = build_ft_distributed_rig(
+        small_service, injector, clock
+    )
+
+    established = []
+    for n in range(10):
+        clock.now = 12.0 * n
+        result = coordinator.establish(f"d{n}", "small", small_binding, BasicPlanner())
+        if result.success:
+            established.append(f"d{n}")
+        assert_capacity_conserved(registry, proxies)
+        if len(established) >= 2:
             coordinator.teardown(established.pop(0))
             assert_capacity_conserved(registry, proxies)
 

@@ -10,6 +10,7 @@ from repro.obs import MetricsRegistry, ObservabilityConfig
 from repro.obs.analyze import (
     TraceDocument,
     TraceFormatError,
+    adaptation_summary,
     broker_timelines,
     critical_path,
     diff_documents,
@@ -24,6 +25,7 @@ from repro.obs.prom import registry_exposition, snapshot_exposition
 GOLDEN_DIR = Path(__file__).parent / "data"
 GOLDEN_V1 = GOLDEN_DIR / "trace_v1_golden.json"
 GOLDEN_V2 = GOLDEN_DIR / "trace_v2_golden.json"
+GOLDEN_V3 = GOLDEN_DIR / "trace_v3_golden.json"
 
 
 class TestLoadTrace:
@@ -40,21 +42,12 @@ class TestLoadTrace:
         # ...but span-based analysis still works
         assert len(critical_path(doc)) == 1
 
-    def test_golden_v2_pins_the_schema(self):
-        """The committed golden file IS the v2 contract; if this test
-        breaks, either fix the regression or bump TRACE_SCHEMA_VERSION."""
+    def test_golden_v2_still_loads(self):
+        """Schema v2 documents (pre-monitoring) stay loadable forever."""
         payload = json.loads(GOLDEN_V2.read_text())
-        assert payload["schema_version"] == TRACE_SCHEMA_VERSION == 2
-        assert set(payload) == {
-            "schema_version",
-            "meta",
-            "spans",
-            "span_totals",
-            "metrics",
-            "events",
-            "event_counts",
-        }
+        assert payload["schema_version"] == 2
         doc = TraceDocument.from_dict(payload)
+        assert doc.monitoring == {}  # the v3 section is absent, not invented
         assert len(doc.events) == 7
         first = doc.events[0]
         assert first.kind == "session.planned"
@@ -63,6 +56,32 @@ class TestLoadTrace:
         for event in doc.events:
             counted[event.kind] = counted.get(event.kind, 0) + 1
         assert counted == payload["event_counts"]
+
+    def test_golden_v3_pins_the_schema(self):
+        """The committed golden file IS the v3 contract; if this test
+        breaks, either fix the regression or bump TRACE_SCHEMA_VERSION."""
+        payload = json.loads(GOLDEN_V3.read_text())
+        assert payload["schema_version"] == TRACE_SCHEMA_VERSION == 3
+        assert set(payload) == {
+            "schema_version",
+            "meta",
+            "spans",
+            "span_totals",
+            "metrics",
+            "events",
+            "event_counts",
+            "monitoring",
+        }
+        doc = TraceDocument.from_dict(payload)
+        assert doc.monitoring["drift_detected"] == 1
+        assert doc.monitoring["adaptation"]["outcomes"] == {"downgraded": 1}
+        drift = next(e for e in doc.events if e.kind == "session.drift")
+        reneg = next(e for e in doc.events if e.kind == "session.renegotiated")
+        assert drift.session == reneg.session == "ssn-1"  # causal pair
+        assert drift.seq < reneg.seq
+        summary = adaptation_summary(doc)
+        assert summary.causal_pairs == [("ssn-1", drift.seq, reneg.seq)]
+        assert summary.unmatched_renegotiations == 0
 
     def test_future_and_garbage_versions_rejected(self, tmp_path):
         with pytest.raises(TraceFormatError, match="unsupported"):

@@ -10,6 +10,7 @@ from repro.obs.cli import main
 GOLDEN_DIR = Path(__file__).parent / "data"
 GOLDEN_V1 = str(GOLDEN_DIR / "trace_v1_golden.json")
 GOLDEN_V2 = str(GOLDEN_DIR / "trace_v2_golden.json")
+GOLDEN_V3 = str(GOLDEN_DIR / "trace_v3_golden.json")
 
 
 @pytest.fixture(scope="module")
@@ -34,7 +35,7 @@ class TestSummarize:
     def test_sections_present(self, sim_trace, capsys):
         assert main(["summarize", sim_trace]) == 0
         out = capsys.readouterr().out
-        assert "schema v2" in out
+        assert "schema v3" in out
         assert "per-phase timings:" in out
         assert "reservation events:" in out
         assert "per-broker admission:" in out
@@ -125,6 +126,129 @@ class TestDiff:
         assert main(["diff", GOLDEN_V2, GOLDEN_V2, "--changed-only"]) == 0
         out = capsys.readouterr().out
         assert "event_counts" not in out  # all identical, all hidden
+
+    def test_gate_keys_timing_on_runner_fingerprint(self, tmp_path, capsys):
+        def ledger(fingerprint, seconds):
+            doc = {
+                "schema": "bench-ledger/1",
+                "headline": {"speedup": 4.0, "warm_seconds": seconds},
+            }
+            if fingerprint is not None:
+                doc["runner"] = {"fingerprint": fingerprint, "cpus": "8"}
+            return doc
+
+        def write(name, doc):
+            target = tmp_path / f"{name}.json"
+            target.write_text(json.dumps(doc))
+            return str(target)
+
+        base = write("base", ledger("aaa-8c-py3.11", 1.0))
+        # same machine: the timing blow-up gates
+        same = write("same", ledger("aaa-8c-py3.11", 3.0))
+        assert main(["diff", base, same, "--gate"]) == 1
+        capsys.readouterr()
+        # different machine: timing leaves drop out of the gate
+        other = write("other", ledger("bbb-4c-py3.12", 3.0))
+        assert main(["diff", base, other, "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "runner fingerprints differ" in out
+        assert "aaa-8c-py3.11" in out and "bbb-4c-py3.12" in out
+        # fingerprint on one side only: also excluded (unknown machine)
+        legacy = write("legacy", ledger(None, 3.0))
+        assert main(["diff", base, legacy, "--gate"]) == 0
+        assert "unrecorded" in capsys.readouterr().out
+        # structural leaves still gate regardless of the fingerprint
+        slower = write(
+            "slower",
+            {
+                "schema": "bench-ledger/1",
+                "runner": {"fingerprint": "bbb-4c-py3.12"},
+                "headline": {"speedup": 1.0, "warm_seconds": 3.0},
+            },
+        )
+        assert main(["diff", base, slower, "--gate"]) == 1
+        assert "headline.speedup" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def monitored_trace(tmp_path_factory):
+    """A trace recorded with the live monitoring plane adapting."""
+    from repro.obs import ObservabilityConfig
+    from repro.obs.monitor import MonitorConfig
+    from repro.sim import SimulationConfig, run_simulation
+    from repro.sim.workload import WorkloadSpec
+
+    path = tmp_path_factory.mktemp("cli-monitor") / "trace.json"
+    config = SimulationConfig(
+        algorithm="tradeoff",
+        seed=7,
+        staleness=2.0,
+        workload=WorkloadSpec(rate_per_60tu=140.0, horizon=120.0),
+        monitoring=MonitorConfig(adapt=True),
+        observability=ObservabilityConfig(trace_path=str(path)),
+    )
+    run_simulation(config)
+    return str(path)
+
+
+class TestWatch:
+    def test_recorded_timeline(self, monitored_trace, capsys):
+        assert main(["watch", monitored_trace]) == 0
+        out = capsys.readouterr().out
+        assert "recorded by the run's live monitor" in out
+        assert "session.drift" in out
+        assert "session.renegotiated" in out
+
+    def test_kind_filter_and_limit(self, monitored_trace, capsys):
+        assert main(
+            ["watch", monitored_trace, "--kind", "session.drift", "--limit", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "session.renegotiated" not in out
+        assert "truncated at 5 lines" in out
+
+    def test_unmonitored_trace_replays_offline(self, sim_trace, capsys):
+        assert main(["watch", sim_trace]) == 0
+        out = capsys.readouterr().out
+        assert "replayed offline" in out
+        assert "broker.observed" in out
+
+    def test_threshold_override_forces_replay(self, monitored_trace, capsys):
+        assert main(["watch", monitored_trace, "--threshold", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed offline" in out
+
+    def test_v1_trace_has_nothing_to_watch(self, capsys):
+        assert main(["watch", GOLDEN_V1]) == 0
+        assert "no event log" in capsys.readouterr().out
+
+
+class TestMonitorReport:
+    def test_recorded_monitoring_section(self, monitored_trace, capsys):
+        assert main(["monitor-report", monitored_trace]) == 0
+        out = capsys.readouterr().out
+        assert "recorded by the run's live monitor" in out
+        assert "adaptation loop:" in out
+        assert "per-broker estimators:" in out
+        assert "causal chains (from the event log):" in out
+        assert "-> renegotiated seq" in out
+
+    def test_golden_v3_report(self, capsys):
+        assert main(["monitor-report", GOLDEN_V3, "--pairs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "drift_detected" in out
+        assert "outcome downgraded" in out
+        assert "ssn-1: trigger seq" in out
+
+    def test_unmonitored_trace_replays_offline(self, sim_trace, capsys):
+        assert main(["monitor-report", sim_trace]) == 0
+        out = capsys.readouterr().out
+        assert "replayed offline" in out
+        assert "per-broker estimators:" in out
+
+    def test_v1_trace_has_nothing_to_report(self, capsys):
+        assert main(["monitor-report", GOLDEN_V1]) == 0
+        assert "nothing to report" in capsys.readouterr().out
 
 
 class TestExportProm:

@@ -49,11 +49,58 @@ class TestEventLog:
         log = EventLog(capacity=2)
         for n in range(5):
             log.emit("broker.probe", resource=f"r{n}")
-        assert len(log) == 2
+        # causal prefix kept, plus exactly one truncation marker
+        assert len(log) == 3
         assert log.dropped == 3
-        assert [e.resource for e in log] == ["r0", "r1"]  # causal prefix kept
+        events = list(log)
+        assert [e.resource for e in events[:2]] == ["r0", "r1"]
+        marker = events[2]
+        assert marker.kind == "log.truncated"
+        assert marker.attributes == {"capacity": 2, "first_dropped_seq": 2}
+        assert marker.seq > marker.attributes["first_dropped_seq"]
         with pytest.raises(ValueError):
             EventLog(capacity=0)
+
+    def test_subscribers_see_past_capacity(self):
+        log = EventLog(capacity=2)
+        seen = []
+        callback = log.subscribe(lambda e: seen.append((e.kind, e.resource)))
+        log.subscribe(callback)  # idempotent
+        assert log.subscriber_count == 1
+        for n in range(4):
+            log.emit("broker.probe", resource=f"r{n}")
+        # storage truncates, but the stream delivers every event (and the
+        # single marker) to subscribers
+        kinds = [k for k, _ in seen]
+        assert kinds.count("log.truncated") == 1
+        assert [r for k, r in seen if k == "broker.probe"] == ["r0", "r1", "r2", "r3"]
+        log.unsubscribe(callback)
+        log.unsubscribe(callback)  # unknown callback is a no-op
+        assert log.subscriber_count == 0
+        with pytest.raises(TypeError):
+            log.subscribe("not callable")
+
+    def test_clear_resets_truncation(self):
+        log = EventLog(capacity=1)
+        for _ in range(3):
+            log.emit("broker.probe", resource="r")
+        assert log.count("log.truncated") == 1
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+        log.emit("broker.probe", resource="r")
+        assert log.count("log.truncated") == 0
+
+    def test_install_over_existing_log_raises(self):
+        first, second = EventLog(), EventLog()
+        with event_logging(first):
+            with pytest.raises(RuntimeError, match="already installed"):
+                events_mod.install(second)
+            # force and reinstalling the same log are both allowed
+            events_mod.install(first)  # idempotent, no raise
+            events_mod.install(second, force=True)
+            assert active_event_log() is second
+            events_mod.install(first, force=True)
+        assert active_event_log() is None
 
     def test_query_helpers(self):
         log = EventLog()
@@ -188,9 +235,9 @@ class TestEmissionSites:
         # grants and releases balance: the run ends quiescent
         assert counts["broker.grant"] == counts["broker.release"]
 
-    def test_schema_v2_document_shape(self, sim_trace_document):
+    def test_schema_document_shape(self, sim_trace_document):
         document = sim_trace_document
-        assert document["schema_version"] == TRACE_SCHEMA_VERSION == 2
+        assert document["schema_version"] == TRACE_SCHEMA_VERSION == 3
         assert set(document["event_counts"]) <= EVENT_KINDS
         for event in document["events"][:50]:
             assert event["kind"] in EVENT_KINDS
@@ -234,8 +281,10 @@ class TestSessionIntegration:
         with ObservationSession(config) as session:
             for _ in range(5):
                 events_mod.emit("broker.probe", resource="r")
-        assert len(session.event_log) == 3
+        # 3 stored + the single log.truncated marker
+        assert len(session.event_log) == 4
         assert session.event_log.dropped == 2
+        assert session.event_log.count("log.truncated") == 1
         document = session.to_dict()
         assert document["events_dropped"] == 2
 
