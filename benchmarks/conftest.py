@@ -32,7 +32,7 @@ from typing import Mapping, Optional, Union
 
 import pytest
 
-from repro.obs import ObservationSummary
+from repro.obs import ObservationSummary, analyze
 from repro.sim import SimulationConfig, WorkloadSpec, run_simulation
 
 #: Reduced-scale defaults shared by the artifact benchmarks.
@@ -107,16 +107,25 @@ def write_bench_ledger(
     name: str,
     headline: Mapping[str, object],
     obs: Optional[Union[ObservationSummary, Mapping[str, object]]] = None,
+    *,
+    environment: Optional[Mapping[str, str]] = None,
 ) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
 
     ``headline`` carries the benchmark's reproducible numbers (counts,
     speedups, exponents); ``obs`` optionally attaches a detached
     :class:`~repro.obs.ObservationSummary` (or an equivalent dict) so
-    the ledger records *what the run did*, not just how fast.  Ledgers
+    the ledger records *what the run did*, not just how fast.
+    ``environment`` records runner-dependent facts (CPU counts,
+    effective worker counts) as *strings* so they document the run
+    without entering the numeric diff.  Ledgers
     land in ``$REPRO_BENCH_LEDGER_DIR`` (default ``benchmarks/ledger/``,
     which is gitignored); promoting one to a committed baseline means
-    copying it into ``benchmarks/baselines/``.
+    copying it into ``benchmarks/baselines/`` (merging
+    ``timing_baselines`` entries from other runners instead of
+    overwriting them, so the committed document accumulates one timing
+    baseline per runner fingerprint and ``repro-obs diff --gate`` can
+    hard-compare wall clocks on each of them).
     """
     document: dict = {
         "schema": LEDGER_SCHEMA,
@@ -125,6 +134,8 @@ def write_bench_ledger(
         "runner": runner_fingerprint(),
         "headline": dict(headline),
     }
+    if environment:
+        document["environment"] = {k: str(v) for k, v in environment.items()}
     if isinstance(obs, ObservationSummary):
         document["obs"] = {
             "span_totals": {k: dict(v) for k, v in obs.span_totals.items()},
@@ -133,6 +144,15 @@ def write_bench_ledger(
         }
     elif obs is not None:
         document["obs"] = dict(obs)
+    timing = {
+        path: value
+        for path, value in analyze.comparable_view(document).items()
+        if analyze.is_timing_path(path)
+    }
+    if timing:
+        document["timing_baselines"] = {
+            document["runner"]["fingerprint"]: timing
+        }
     target_dir = Path(os.environ.get(LEDGER_DIR_ENV, Path(__file__).parent / "ledger"))
     target_dir.mkdir(parents=True, exist_ok=True)
     target = target_dir / f"BENCH_{name}.json"

@@ -20,7 +20,9 @@ structure is kept explicitly for the two-pass heuristic of §4.3.2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as _np
 
 from repro.core.component import Binding
 from repro.core.errors import ModelError, PlanningError
@@ -31,6 +33,7 @@ from repro.core.resources import (
     AvailabilitySnapshot,
     ContentionIndex,
     ResourceVector,
+    headroom_contention_index,
     ratio_contention_index,
 )
 from repro.core.service import DistributedService
@@ -462,18 +465,141 @@ def build_skeleton(
     )
 
 
-def price_skeleton(
-    skeleton: QRGSkeleton,
-    snapshot: AvailabilitySnapshot,
-    *,
-    contention_index: ContentionIndex = ratio_contention_index,
-) -> QoSResourceGraph:
-    """The cheap per-snapshot pass: feasibility filter + psi weights.
+#: Mean bound resources per edge template above which the dense numpy
+#: pricing pass beats the scalar loop (empirical crossover; see
+#: :class:`_SkeletonPricingArrays.prefer_vector`).
+_VECTOR_MIN_MEAN_WIDTH = 5.0
 
-    Produces a graph equal (same nodes, edges, weights) to calling
-    :func:`build_qrg` from scratch against the same snapshot.
+
+class _SkeletonPricingArrays:
+    """Dense numpy layout of a skeleton's edge templates (lazy, cached).
+
+    ``required``/``bound_mask`` are (edges x resources) with columns in
+    ascending resource-id order -- the order the vectorized bottleneck
+    tie-break relies on.  Built once per skeleton; pricing then reduces
+    to one masked kernel evaluation per snapshot.
     """
-    availability = snapshot.availability()
+
+    __slots__ = (
+        "resource_ids",
+        "resource_set",
+        "required",
+        "bound_mask",
+        "edge_rids",
+        "flat_rows",
+        "flat_columns",
+        "prefer_vector",
+    )
+
+    def __init__(self, templates: Tuple[EdgeTemplate, ...]) -> None:
+        ids = sorted({rid for template in templates for rid, _ in template.bound_items})
+        index = {rid: column for column, rid in enumerate(ids)}
+        self.resource_ids: Tuple[str, ...] = tuple(ids)
+        self.resource_set: FrozenSet[str] = frozenset(ids)
+        self.required = _np.zeros((len(templates), len(ids)))
+        self.bound_mask = _np.zeros((len(templates), len(ids)), dtype=bool)
+        #: Per edge: its bound resource ids, in bound order.
+        self.edge_rids: List[Tuple[str, ...]] = []
+        #: Flat (row, column) gather indices over every edge's bound
+        #: items, concatenated in edge order -- one fancy-indexing pull
+        #: recovers all per-resource values without per-element boxing.
+        flat_rows: List[int] = []
+        flat_columns: List[int] = []
+        for row, template in enumerate(templates):
+            self.edge_rids.append(tuple(rid for rid, _ in template.bound_items))
+            for rid, amount in template.bound_items:
+                self.required[row, index[rid]] = amount
+                self.bound_mask[row, index[rid]] = True
+                flat_rows.append(row)
+                flat_columns.append(index[rid])
+        self.flat_rows = _np.array(flat_rows, dtype=_np.intp)
+        self.flat_columns = _np.array(flat_columns, dtype=_np.intp)
+        #: Whether the dense kernel beats the scalar loop for this
+        #: shape.  The per-edge python work (per-resource dict + edge
+        #: object) is identical on both paths, so the kernel only pays
+        #: off once it replaces enough scalar index calls per edge;
+        #: measured crossover is ~5 bound resources per template.
+        self.prefer_vector = bool(templates) and (
+            len(flat_rows) / len(templates) >= _VECTOR_MIN_MEAN_WIDTH
+        )
+
+
+def _new_intra_edge(
+    src: QRGNode,
+    dst: QRGNode,
+    requirement: ResourceVector,
+    bound: ResourceVector,
+    weight: float,
+    bottleneck_resource: str,
+    alpha: float,
+    per_resource: Dict[str, float],
+) -> IntraEdge:
+    """Construct an :class:`IntraEdge` without the frozen-dataclass
+    ``object.__setattr__``-per-field ceremony (~2.4x cheaper).
+
+    Pricing creates one instance per feasible edge per session, which
+    makes construction itself a measurable share of the planning hot
+    path.  Field set and semantics are identical to the generated
+    ``__init__`` (IntraEdge has no ``__post_init__``).
+    """
+    edge = object.__new__(IntraEdge)
+    edge.__dict__.update(
+        src=src,
+        dst=dst,
+        requirement=requirement,
+        bound=bound,
+        weight=weight,
+        bottleneck_resource=bottleneck_resource,
+        alpha=alpha,
+        per_resource=per_resource,
+    )
+    return edge
+
+
+def _ratio_kernel(required: _np.ndarray, available: _np.ndarray) -> _np.ndarray:
+    """Vectorized :func:`ratio_contention_index` (bit-identical)."""
+    return _np.where(available > 0.0, required / available, _np.inf)
+
+
+def _headroom_kernel(required: _np.ndarray, available: _np.ndarray) -> _np.ndarray:
+    """Vectorized :func:`headroom_contention_index` (bit-identical)."""
+    headroom = available - required
+    return _np.where(headroom > 0.0, required / headroom, _np.inf)
+
+
+#: Contention indices with a bit-identical vectorized form.  ``log`` is
+#: absent on purpose: ``numpy.log1p`` and ``math.log1p`` disagree in the
+#: last ulp on some inputs, and pricing must stay byte-identical to the
+#: scalar path.  Unknown (caller-supplied) indices also fall back.
+_VECTOR_KERNELS = {
+    ratio_contention_index: _ratio_kernel,
+    headroom_contention_index: _headroom_kernel,
+}
+
+
+def _pricing_arrays(skeleton: "QRGSkeleton") -> _SkeletonPricingArrays:
+    """The skeleton's cached dense layout (built on first use)."""
+    arrays = getattr(skeleton, "_pricing_arrays", None)
+    if arrays is None:
+        arrays = _SkeletonPricingArrays(skeleton.edge_templates)
+        object.__setattr__(skeleton, "_pricing_arrays", arrays)
+    return arrays
+
+
+def _price_edges_scalar(
+    skeleton: "QRGSkeleton",
+    snapshot: AvailabilitySnapshot,
+    availability: Mapping[str, float],
+    contention_index: ContentionIndex,
+) -> List[IntraEdge]:
+    """Reference pricing loop: feasibility filter + psi weights.
+
+    The vectorized path must match this edge-for-edge, bit-for-bit; it
+    remains the executable spec (and the path for contention indices
+    without a registered kernel, and for snapshots missing resources --
+    the error message must name the first missing resource in template
+    order).
+    """
     intra_edges: List[IntraEdge] = []
     # Inlined equivalent of bound.satisfiable_under + bound.contention
     # (this loop runs per session; the Mapping-protocol round trips are
@@ -501,16 +627,119 @@ def price_skeleton(
         assert best is not None
         psi, bottleneck = best
         intra_edges.append(
-            IntraEdge(
-                src=template.src,
-                dst=template.dst,
-                requirement=template.requirement,
-                bound=template.bound,
-                weight=psi,
-                bottleneck_resource=bottleneck,
-                alpha=snapshot[bottleneck].alpha,
-                per_resource=per_resource,
+            _new_intra_edge(
+                template.src,
+                template.dst,
+                template.requirement,
+                template.bound,
+                psi,
+                bottleneck,
+                snapshot[bottleneck].alpha,
+                per_resource,
             )
+        )
+    return intra_edges
+
+
+def _price_edges_vectorized(
+    skeleton: "QRGSkeleton",
+    arrays: _SkeletonPricingArrays,
+    snapshot: AvailabilitySnapshot,
+    availability: Mapping[str, float],
+    kernel,
+) -> List[IntraEdge]:
+    """One masked kernel evaluation prices every candidate edge at once.
+
+    Division only involves the same (required, available) float pairs as
+    the scalar index functions, so the values are bit-identical; psi and
+    the bottleneck are pure selections over them.
+    """
+    available = _np.array(
+        [availability[rid] for rid in arrays.resource_ids], dtype=float
+    )
+    with _np.errstate(divide="ignore", invalid="ignore"):
+        values = kernel(arrays.required, available)
+    values = _np.where(arrays.bound_mask, values, -_np.inf)
+    infeasible = ((arrays.required > available) & arrays.bound_mask).any(axis=1)
+    # The scalar tie-break takes the max (value, resource_id) tuple;
+    # columns are in ascending resource-id order, so among equal values
+    # the largest column must win.  argmax returns the *first* max, so
+    # scan each row reversed.
+    last_column = values.shape[1] - 1
+    best_column = last_column - _np.argmax(values[:, ::-1], axis=1)
+    psi = values[_np.arange(values.shape[0]), best_column]
+
+    # Bulk-convert to python scalars (one C pass each); per-element
+    # ndarray indexing in the edge loop would dominate the runtime.
+    flat_values = values[arrays.flat_rows, arrays.flat_columns].tolist()
+    infeasible_list = infeasible.tolist()
+    best_column_list = best_column.tolist()
+    psi_list = psi.tolist()
+
+    # One alpha lookup per *resource*, not per edge.
+    alphas = [snapshot[rid].alpha for rid in arrays.resource_ids]
+
+    intra_edges: List[IntraEdge] = []
+    position = 0
+    for row, template in enumerate(skeleton.edge_templates):
+        rids = arrays.edge_rids[row]
+        next_position = position + len(rids)
+        if infeasible_list[row]:
+            position = next_position
+            continue
+        per_resource = dict(zip(rids, flat_values[position:next_position]))
+        position = next_position
+        best = best_column_list[row]
+        intra_edges.append(
+            _new_intra_edge(
+                template.src,
+                template.dst,
+                template.requirement,
+                template.bound,
+                psi_list[row],
+                arrays.resource_ids[best],
+                alphas[best],
+                per_resource,
+            )
+        )
+    return intra_edges
+
+
+def price_skeleton(
+    skeleton: QRGSkeleton,
+    snapshot: AvailabilitySnapshot,
+    *,
+    contention_index: ContentionIndex = ratio_contention_index,
+    vectorize: Optional[bool] = None,
+) -> QoSResourceGraph:
+    """The cheap per-snapshot pass: feasibility filter + psi weights.
+
+    Produces a graph equal (same nodes, edges, weights) to calling
+    :func:`build_qrg` from scratch against the same snapshot.  Indices
+    with a registered vectorized kernel (``ratio``, ``headroom``) can
+    price every candidate edge in one numpy pass over the skeleton's
+    cached dense layout; by default (``vectorize=None``) the pass is
+    used when the skeleton's shape makes it profitable (wide templates
+    -- see ``_VECTOR_MIN_MEAN_WIDTH``).  Other indices, snapshots
+    missing a required resource, and ``vectorize=False`` take the
+    scalar reference loop.  Both paths produce bit-identical graphs (a
+    property-tested invariant).
+    """
+    availability = snapshot.availability()
+    kernel = _VECTOR_KERNELS.get(contention_index)
+    use_vector = False
+    if kernel is not None and skeleton.edge_templates and vectorize is not False:
+        arrays = _pricing_arrays(skeleton)
+        use_vector = (
+            arrays.prefer_vector if vectorize is None else True
+        ) and arrays.resource_set.issubset(availability.keys())
+    if use_vector:
+        intra_edges = _price_edges_vectorized(
+            skeleton, arrays, snapshot, availability, kernel
+        )
+    else:
+        intra_edges = _price_edges_scalar(
+            skeleton, snapshot, availability, contention_index
         )
     return QoSResourceGraph(
         service=skeleton.service,
@@ -593,6 +822,29 @@ class QRGSkeletonCache:
             self._skeletons.clear()
             return dropped
         stale = [key for key in self._skeletons if key[0] == service_name]
+        for key in stale:
+            del self._skeletons[key]
+        return len(stale)
+
+    def invalidate_resources(self, resource_ids) -> int:
+        """Drop skeletons whose binding touches any of ``resource_ids``.
+
+        The per-host invalidation hook: when a host fails (or its
+        resources are rebound), only the skeletons bound to its
+        resources are stale -- every other service keeps its warm
+        entry, so fault recovery does not cold-start the whole cache.
+        Returns how many skeletons were dropped.
+        """
+        doomed = set(resource_ids)
+        if not doomed:
+            return 0
+        # Key element 3 is the binding's ((component, slot), resource_id)
+        # items, so membership is decidable without the skeletons.
+        stale = [
+            key
+            for key in self._skeletons
+            if any(rid in doomed for _slot, rid in key[3])
+        ]
         for key in stale:
             del self._skeletons[key]
         return len(stale)

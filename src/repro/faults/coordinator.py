@@ -38,7 +38,7 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.brokers.registry import AnyReservation, BrokerRegistry
 from repro.core.component import Binding
-from repro.core.errors import AdmissionError
+from repro.core.errors import AdmissionError, ModelError
 from repro.core.resources import AvailabilitySnapshot, ResourceObservation
 from repro.faults.injector import FaultInjector
 from repro.obs import events as _events
@@ -118,12 +118,43 @@ class FaultTolerantCoordinator(ReservationCoordinator):
         """Synchronous driver: backoff delays collapse to the same instant."""
         if self.injector.is_zero:
             return super()._establish(*args, **kwargs)
+        if kwargs.pop("snapshot", None) is not None:
+            raise ModelError(
+                "snapshot= establishment is unsupported under fault injection: "
+                "phase 1 must run per session so message faults apply"
+            )
         gen = self._ft_establish(*args, **kwargs)
         while True:
             try:
                 next(gen)
             except StopIteration as stop:
                 return stop.value
+
+    def establish_batch(self, requests, planner, **kwargs):
+        """Batched establishment under the fault boundary.
+
+        With a zero injector this is the parent's amortised batch path
+        verbatim.  With faults enabled every arrival runs the tolerant
+        protocol individually -- faults are injected per message, so a
+        shared snapshot or memoised plan would mask exactly the
+        timeouts, stale reports, and retries the fault plan asks for.
+        """
+        if self.injector.is_zero:
+            return super().establish_batch(requests, planner, **kwargs)
+        kwargs.pop("snapshot", None)
+        return [
+            self.establish(
+                request.session_id,
+                request.service_name,
+                request.binding,
+                planner,
+                component_hosts=request.component_hosts,
+                source_label=request.source_label,
+                demand_scale=request.demand_scale,
+                **kwargs,
+            )
+            for request in list(requests)
+        ]
 
     def establish_process(self, env, latency: float, /, *args, **kwargs):
         """DES driver: backoff delays become real simulated waiting."""
@@ -293,6 +324,12 @@ class FaultTolerantCoordinator(ReservationCoordinator):
             reason = "admission_failed" if failed_resource is not None else "host_unreachable"
             if failed_host is not None:
                 excluded.add(failed_host)
+                # The unreachable host's skeletons are stale (replans and
+                # later sessions see it as zero availability, and a
+                # recovered host may rebind); every other service keeps
+                # its warm cache entry -- see the per-host regression
+                # test in tests/test_faults.py.
+                self.invalidate_qrg_cache_for_host(failed_host)
             if replans < config.max_replans:
                 replans += 1
                 self._note_replan(session_id, reason, replans, excluded)

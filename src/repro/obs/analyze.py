@@ -48,6 +48,7 @@ __all__ = [
     "diff_documents",
     "fault_summary",
     "gate_diff",
+    "is_timing_path",
     "load_trace",
     "top_bottlenecks",
 ]
@@ -567,7 +568,13 @@ def comparable_view(payload: dict) -> Dict[str, float]:
                 _flatten_numeric(payload[section], section, view)
         return view
     view = {}
-    _flatten_numeric(payload, "", view)
+    for key, value in payload.items():
+        # Per-runner timing baselines are gate *inputs* (substituted for
+        # the headline's timing leaves when fingerprints differ), never
+        # comparable leaves themselves.
+        if key == "timing_baselines":
+            continue
+        _flatten_numeric(value, str(key), view)
     return view
 
 
@@ -581,10 +588,18 @@ def diff_documents(base: dict, new: dict) -> List[DiffEntry]:
     return entries
 
 
-#: Path fragments treated as wall-clock measurements by :func:`gate_diff`
-#: when ``ignore_timing`` is set -- machine-dependent, excluded from the
-#: structural regression gate.
-TIMING_FRAGMENTS = ("seconds", "wall", "_us", "_ms")
+#: Path fragments treated as wall-clock measurements by :func:`gate_diff`:
+#: machine-dependent, so they gate with their own runner-keyed tolerance
+#: (``timing_tolerance``) or are excluded entirely (``ignore_timing``).
+#: ``speedup`` counts as timing -- a wall-clock ratio is exactly as
+#: hardware-dependent as the wall clocks it divides.
+TIMING_FRAGMENTS = ("seconds", "wall", "_us", "_ms", "speedup")
+
+
+def is_timing_path(path: str) -> bool:
+    """True when a diff path is a wall-clock (machine-dependent) leaf."""
+    lowered = path.lower()
+    return any(fragment in lowered for fragment in TIMING_FRAGMENTS)
 
 
 def gate_diff(
@@ -592,28 +607,37 @@ def gate_diff(
     *,
     tolerance: float = 0.25,
     ignore_timing: bool = False,
+    timing_tolerance: Optional[float] = None,
 ) -> List[DiffEntry]:
     """The entries whose relative change falls outside the tolerance band.
 
     ``tolerance`` is a symmetric relative band (0.25 = +-25% of the
     baseline value).  Leaves present on only one side always gate (a
-    metric appeared or vanished).  With ``ignore_timing``, paths
-    containing a :data:`TIMING_FRAGMENTS` fragment are skipped so the
-    gate stays deterministic across machines.
+    metric appeared or vanished).  Timing leaves (paths containing a
+    :data:`TIMING_FRAGMENTS` fragment) are machine-dependent:
+    ``timing_tolerance`` gives them their own, typically wider, band --
+    the hard-fail flavour used when both documents were measured on the
+    same runner fingerprint -- while ``ignore_timing`` skips them
+    entirely so the gate stays deterministic across machines.
     """
     if tolerance < 0:
         raise ValueError(f"tolerance must be >= 0, got {tolerance!r}")
+    if timing_tolerance is not None and timing_tolerance < 0:
+        raise ValueError(f"timing_tolerance must be >= 0, got {timing_tolerance!r}")
     regressions: List[DiffEntry] = []
     for entry in entries:
-        lowered = entry.path.lower()
-        if ignore_timing and any(fragment in lowered for fragment in TIMING_FRAGMENTS):
+        timing = is_timing_path(entry.path)
+        if ignore_timing and timing:
             continue
+        band = (
+            timing_tolerance if (timing and timing_tolerance is not None) else tolerance
+        )
         if entry.base is None or entry.new is None:
             regressions.append(entry)
             continue
         relative = entry.relative
         if relative is None:
             continue  # both zero
-        if relative is math.inf or abs(relative) > tolerance:
+        if relative is math.inf or abs(relative) > band:
             regressions.append(entry)
     return regressions

@@ -33,7 +33,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.obs import analyze
 from repro.obs.prom import DEFAULT_PREFIX, snapshot_exposition
@@ -263,6 +263,42 @@ def _runner_fingerprint(document: dict) -> Optional[str]:
     return None
 
 
+def _timing_baseline_for(document: dict, fingerprint: Optional[str]) -> Optional[dict]:
+    """The document's recorded timing baseline for a runner fingerprint."""
+    if not fingerprint:
+        return None
+    baselines = document.get("timing_baselines")
+    if isinstance(baselines, dict):
+        recorded = baselines.get(fingerprint)
+        if isinstance(recorded, dict):
+            return recorded
+    return None
+
+
+def _rekey_timing_entries(
+    entries, recorded: dict
+) -> Tuple[list, int]:
+    """Substitute a runner's recorded timing baseline as the base side.
+
+    Timing leaves with a recorded per-fingerprint value compare against
+    *that* value (hard gate); timing leaves without one are dropped --
+    there is nothing measured on this hardware to hold them to.
+    Structural leaves pass through untouched.
+    """
+    rekeyed = []
+    substituted = 0
+    for entry in entries:
+        if not analyze.is_timing_path(entry.path):
+            rekeyed.append(entry)
+            continue
+        if entry.path in recorded:
+            rekeyed.append(
+                analyze.DiffEntry(entry.path, float(recorded[entry.path]), entry.new)
+            )
+            substituted += 1
+    return rekeyed, substituted
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     base = _load_document(args.base)
     new = _load_document(args.new)
@@ -281,29 +317,50 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     if not args.gate:
         return 0
     ignore_timing = args.ignore_timing
+    gated = entries
     if not ignore_timing:
-        # Timing comparisons are keyed on the runner fingerprint: a
-        # baseline recorded on a different machine makes wall-clock
-        # deltas meaningless, so they drop out of the gate instead of
-        # hard-failing it.  Documents where *neither* side records a
-        # runner (traces, pre-fingerprint ledgers) keep the historical
-        # behavior: timings gate unless --ignore-timing says otherwise.
+        # Timing comparisons are keyed on the runner fingerprint.  Same
+        # fingerprint: wall clocks gate hard at --timing-tolerance.
+        # Different fingerprints: the baseline may still *record* a
+        # timing baseline for the new runner's fingerprint
+        # (``timing_baselines``), and those leaves gate hard against it;
+        # without a recorded baseline the wall-clock deltas are
+        # meaningless and drop out of the gate.  Documents where
+        # *neither* side records a runner (traces, pre-fingerprint
+        # ledgers) keep the historical behavior: timings gate unless
+        # --ignore-timing says otherwise.
         base_runner = _runner_fingerprint(base)
         new_runner = _runner_fingerprint(new)
         if (base_runner or new_runner) and base_runner != new_runner:
-            ignore_timing = True
-            _print(
-                [
-                    "gate: runner fingerprints differ "
-                    f"({base_runner or 'unrecorded'} vs {new_runner or 'unrecorded'}); "
-                    "timing leaves excluded from the gate"
-                ]
-            )
+            recorded = _timing_baseline_for(base, new_runner)
+            if recorded is None:
+                ignore_timing = True
+                _print(
+                    [
+                        "gate: runner fingerprints differ "
+                        f"({base_runner or 'unrecorded'} vs {new_runner or 'unrecorded'}) "
+                        "and the baseline records no timing baseline for "
+                        f"{new_runner or 'this runner'}; "
+                        "timing leaves excluded from the gate"
+                    ]
+                )
+            else:
+                gated, substituted = _rekey_timing_entries(entries, recorded)
+                _print(
+                    [
+                        "gate: runner fingerprints differ; "
+                        f"{substituted} timing leaves gated against the baseline "
+                        f"recorded for {new_runner}"
+                    ]
+                )
     regressions = analyze.gate_diff(
-        entries, tolerance=args.tolerance, ignore_timing=ignore_timing
+        gated,
+        tolerance=args.tolerance,
+        ignore_timing=ignore_timing,
+        timing_tolerance=None if ignore_timing else args.timing_tolerance,
     )
     if not regressions:
-        _print([f"gate: OK ({len(entries)} leaves within +-{args.tolerance:.0%})"])
+        _print([f"gate: OK ({len(gated)} leaves within +-{args.tolerance:.0%})"])
         return 0
     _print([f"gate: {len(regressions)} leaves outside the +-{args.tolerance:.0%} band:"])
     for entry in regressions:
@@ -556,6 +613,14 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--tolerance", type=float, default=0.25, metavar="FRAC",
         help="symmetric relative band for --gate (default 0.25 = +-25%%)",
+    )
+    diff.add_argument(
+        "--timing-tolerance", type=float, default=0.5, metavar="FRAC",
+        help="runner-keyed relative band for wall-clock leaves (paths "
+        "containing " + ", ".join(analyze.TIMING_FRAGMENTS) + "); applied "
+        "when both ledgers share a runner fingerprint, or against the "
+        "baseline's recorded timing_baselines entry for the new runner "
+        "(default 0.5 = +-50%%)",
     )
     diff.add_argument(
         "--ignore-timing", action="store_true",

@@ -25,6 +25,7 @@ from repro.runtime.messages import (
     AvailabilityRequest,
     PlanSegment,
     ReleaseOrder,
+    SessionRequest,
 )
 from repro.runtime.model_store import ModelStore
 from repro.runtime.proxy import QoSProxy
@@ -45,4 +46,5 @@ __all__ = [
     "ReservationCoordinator",
     "ServiceSession",
     "SessionOutcome",
+    "SessionRequest",
 ]

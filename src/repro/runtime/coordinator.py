@@ -20,19 +20,20 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.brokers.registry import BrokerRegistry
 from repro.core.component import Binding
 from repro.core.errors import AdmissionError, BrokerError, PlanningError
 from repro.core.plan import ReservationPlan
+from repro.core.planner import BatchPlanMemo
 from repro.core.qrg import QRGSkeletonCache, price_skeleton
 from repro.core.resources import AvailabilitySnapshot, ResourceObservation
 from repro.core.translation import ScaledTranslation
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
-from repro.runtime.messages import AvailabilityRequest, PlanSegment
+from repro.runtime.messages import AvailabilityRequest, PlanSegment, SessionRequest
 from repro.runtime.model_store import ModelStore
 from repro.runtime.proxy import QoSProxy
 
@@ -132,16 +133,20 @@ class ReservationCoordinator:
         demand_scale: float = 1.0,
         observed_at: Optional[ObservationSchedule] = None,
         contention_index=None,
+        snapshot: Optional[AvailabilitySnapshot] = None,
     ) -> EstablishmentResult:
         """Run the three phases atomically (no simulated latency).
 
         ``demand_scale`` scales every translation-function requirement
-        (the evaluation's "fat" sessions, §5.1).
+        (the evaluation's "fat" sessions, §5.1).  ``snapshot`` replaces
+        phase 1 with an already-collected availability snapshot (it must
+        cover the binding's resources); this is the sequential reference
+        point that :meth:`establish_batch` is byte-identical to.
         """
-        registry = _metrics.active_registry()
-        started = _time.perf_counter() if registry is not None else 0.0
-        with _trace.span("establish", session=session_id, service=service_name) as span:
-            result = self._establish(
+        return self._with_establish_accounting(
+            session_id,
+            service_name,
+            lambda: self._establish(
                 session_id,
                 service_name,
                 binding,
@@ -151,7 +156,25 @@ class ReservationCoordinator:
                 demand_scale=demand_scale,
                 observed_at=observed_at,
                 contention_index=contention_index,
-            )
+                snapshot=snapshot,
+            ),
+        )
+
+    def _with_establish_accounting(
+        self,
+        session_id: str,
+        service_name: str,
+        compute: Callable[[], EstablishmentResult],
+    ) -> EstablishmentResult:
+        """The per-session span/counter/histogram bracket of :meth:`establish`.
+
+        Shared verbatim by :meth:`establish_batch` so each batched
+        arrival is accounted exactly like a sequential one.
+        """
+        registry = _metrics.active_registry()
+        started = _time.perf_counter() if registry is not None else 0.0
+        with _trace.span("establish", session=session_id, service=service_name) as span:
+            result = compute()
             span.set(outcome="established" if result.success else result.reason)
             if registry is not None:
                 outcome = "established" if result.success else result.reason
@@ -165,6 +188,26 @@ class ReservationCoordinator:
                 )
             return result
 
+    def _collect_snapshot(
+        self,
+        session_id: str,
+        resource_ids: Sequence[str],
+        observed_at: Optional[ObservationSchedule],
+    ) -> AvailabilitySnapshot:
+        """Phase 1: collect availability from the owning proxies."""
+        with _trace.span("phase1_availability", resources=len(resource_ids)):
+            request = AvailabilityRequest(
+                session_id=session_id, resource_ids=tuple(resource_ids)
+            )
+            observations: Dict[str, ResourceObservation] = {}
+            for proxy in self._participating_proxies(resource_ids):
+                report = proxy.report_availability(request, observed_at=observed_at)
+                observations.update(report.observations)
+            missing = set(resource_ids) - set(observations)
+            if missing:
+                raise BrokerError(f"no proxy reported resources {sorted(missing)}")
+            return AvailabilitySnapshot(observations)
+
     def _establish(
         self,
         session_id: str,
@@ -177,28 +220,18 @@ class ReservationCoordinator:
         demand_scale: float = 1.0,
         observed_at: Optional[ObservationSchedule] = None,
         contention_index=None,
+        snapshot: Optional[AvailabilitySnapshot] = None,
     ) -> EstablishmentResult:
         """The three phases themselves (timing/accounting in :meth:`establish`)."""
         service = self._service_at_scale(service_name, demand_scale)
 
-        # Phase 1: collect availability from the owning proxies.
-        resource_ids = sorted(binding.resource_ids())
-        with _trace.span("phase1_availability", resources=len(resource_ids)):
-            request = AvailabilityRequest(
-                session_id=session_id, resource_ids=tuple(resource_ids)
-            )
-            observations: Dict[str, ResourceObservation] = {}
-            for proxy in self._participating_proxies(resource_ids):
-                report = proxy.report_availability(request, observed_at=observed_at)
-                observations.update(report.observations)
-            missing = set(resource_ids) - set(observations)
-            if missing:
-                raise BrokerError(f"no proxy reported resources {sorted(missing)}")
-            snapshot = AvailabilitySnapshot(observations)
+        if snapshot is None:
+            resource_ids = sorted(binding.resource_ids())
+            snapshot = self._collect_snapshot(session_id, resource_ids, observed_at)
         # The causal log timestamps session events with the instant the
         # availability snapshot describes (== env.now for fresh probes).
         observed_instant = max(
-            (obs.observed_at for obs in observations.values()), default=None
+            (obs.observed_at for obs in snapshot.values()), default=None
         )
 
         # Phase 2: local plan computation at the main proxy.
@@ -217,7 +250,25 @@ class ReservationCoordinator:
         if failure is not None:
             return failure
 
-        # Phase 3: dispatch plan segments to the owning proxies.
+        return self._phase3_admit(
+            session_id, service_name, plan, snapshot, observed_instant, component_hosts
+        )
+
+    def _phase3_admit(
+        self,
+        session_id: str,
+        service_name: str,
+        plan: ReservationPlan,
+        observations: Mapping[str, ResourceObservation],
+        observed_instant: Optional[float],
+        component_hosts: Optional[Mapping[str, str]],
+    ) -> EstablishmentResult:
+        """Phase 3: dispatch plan segments to the owning proxies.
+
+        A segment failure rolls back every applied segment; on success
+        the session's components are started and the admission is
+        recorded causally.
+        """
         segments = self._segments(session_id, plan)
         with _trace.span("phase3_dispatch", segments=len(segments)) as dispatch_span:
             applied: List[QoSProxy] = []
@@ -268,65 +319,290 @@ class ReservationCoordinator:
         run against this session's snapshot.  Returns ``(plan, None)``
         on success and ``(None, EstablishmentResult)`` on failure.
         """
-        log = _events.active_event_log()
         with _trace.span("phase2_plan"):
-            kwargs = (
-                {} if contention_index is None else {"contention_index": contention_index}
-            )
             try:
-                with _trace.span("qrg_build", service=service.name) as qrg_span:
-                    skeleton = self.qrg_skeletons.skeleton_for(
-                        service,
-                        binding,
-                        source_label=source_label,
-                        extra=(demand_scale,),
-                    )
-                    qrg = price_skeleton(skeleton, snapshot, **kwargs)
-                    qrg_span.set(nodes=qrg.count_nodes(), edges=qrg.count_edges())
+                qrg = self._price_qrg(
+                    service,
+                    binding,
+                    snapshot,
+                    source_label=source_label,
+                    demand_scale=demand_scale,
+                    contention_index=contention_index,
+                )
             except PlanningError as exc:
-                if log is not None:
-                    log.emit(
-                        "session.rejected",
-                        session=session_id,
-                        time=observed_instant,
-                        service=service_name,
-                        reason="qrg",
-                        detail=str(exc),
-                        available=snapshot.availability(),
-                    )
-                return None, EstablishmentResult(
-                    session_id, False, None, reason=f"qrg: {exc}"
+                return None, self._reject_unplannable(
+                    session_id, service_name, snapshot, observed_instant, exc
                 )
-            plan = planner.plan(qrg)
-            if plan is None:
-                if log is not None:
-                    log.emit(
-                        "session.rejected",
-                        session=session_id,
-                        time=observed_instant,
-                        service=service_name,
-                        reason="no_feasible_plan",
-                        available=snapshot.availability(),
-                    )
-                return None, EstablishmentResult(
-                    session_id, False, None, reason="no_feasible_plan"
-                )
+            return self._plan_priced(
+                session_id, service_name, planner, qrg, snapshot, observed_instant
+            )
+
+    def _price_qrg(
+        self,
+        service,
+        binding: Binding,
+        snapshot: AvailabilitySnapshot,
+        *,
+        source_label: Optional[str],
+        demand_scale: float,
+        contention_index,
+    ):
+        """Skeleton lookup + per-snapshot pricing, under a qrg_build span."""
+        kwargs = (
+            {} if contention_index is None else {"contention_index": contention_index}
+        )
+        with _trace.span("qrg_build", service=service.name) as qrg_span:
+            skeleton = self.qrg_skeletons.skeleton_for(
+                service,
+                binding,
+                source_label=source_label,
+                extra=(demand_scale,),
+            )
+            qrg = price_skeleton(skeleton, snapshot, **kwargs)
+            qrg_span.set(nodes=qrg.count_nodes(), edges=qrg.count_edges())
+        return qrg
+
+    def _reject_unplannable(
+        self,
+        session_id: str,
+        service_name: str,
+        snapshot: AvailabilitySnapshot,
+        observed_instant: Optional[float],
+        exc: PlanningError,
+    ) -> EstablishmentResult:
+        """The causal record of a pricing failure (unbuildable QRG)."""
+        log = _events.active_event_log()
+        if log is not None:
+            log.emit(
+                "session.rejected",
+                session=session_id,
+                time=observed_instant,
+                service=service_name,
+                reason="qrg",
+                detail=str(exc),
+                available=snapshot.availability(),
+            )
+        return EstablishmentResult(session_id, False, None, reason=f"qrg: {exc}")
+
+    def _plan_priced(
+        self,
+        session_id: str,
+        service_name: str,
+        planner,
+        qrg,
+        snapshot: AvailabilitySnapshot,
+        observed_instant: Optional[float],
+    ) -> Tuple[Optional[ReservationPlan], Optional[EstablishmentResult]]:
+        """Run the planner on a priced QRG and emit the causal outcome."""
+        log = _events.active_event_log()
+        plan = planner.plan(qrg)
+        if plan is None:
             if log is not None:
-                requested = dict(plan.demand)
                 log.emit(
-                    "session.planned",
+                    "session.rejected",
                     session=session_id,
                     time=observed_instant,
                     service=service_name,
-                    level=plan.end_to_end_label,
-                    rank=plan.end_to_end_rank,
-                    psi=plan.psi,
-                    bottleneck=plan.bottleneck_resource,
-                    bottleneck_alpha=plan.bottleneck_alpha,
-                    requested=requested,
-                    available={r: snapshot[r].available for r in requested},
+                    reason="no_feasible_plan",
+                    available=snapshot.availability(),
                 )
+            return None, EstablishmentResult(
+                session_id, False, None, reason="no_feasible_plan"
+            )
+        if log is not None:
+            requested = dict(plan.demand)
+            log.emit(
+                "session.planned",
+                session=session_id,
+                time=observed_instant,
+                service=service_name,
+                level=plan.end_to_end_label,
+                rank=plan.end_to_end_rank,
+                psi=plan.psi,
+                bottleneck=plan.bottleneck_resource,
+                bottleneck_alpha=plan.bottleneck_alpha,
+                requested=requested,
+                available={r: snapshot[r].available for r in requested},
+            )
         return plan, None
+
+    # -- batched establishment (amortised planning hot path) -------------------
+
+    @staticmethod
+    def _group_key(request: SessionRequest) -> Tuple:
+        """Requests with equal keys share one priced QRG within a batch."""
+        return (
+            request.service_name,
+            request.demand_scale,
+            request.source_label,
+            QRGSkeletonCache.binding_key(request.binding),
+        )
+
+    def _collect_batch_snapshot(
+        self,
+        requests: Sequence[SessionRequest],
+        observed_at: Optional[ObservationSchedule],
+    ) -> AvailabilitySnapshot:
+        """One phase-1 round covering the union of the batch's resources."""
+        union = sorted(
+            {rid for request in requests for rid in request.binding.resource_ids()}
+        )
+        return self._collect_snapshot(f"batch[{len(requests)}]", union, observed_at)
+
+    def plan_batch(
+        self,
+        requests: Iterable[SessionRequest],
+        planner,
+        *,
+        snapshot: Optional[AvailabilitySnapshot] = None,
+        observed_at: Optional[ObservationSchedule] = None,
+        contention_index=None,
+    ) -> List[Optional[ReservationPlan]]:
+        """Plan (without admitting) N arrivals against one snapshot.
+
+        The batched planning hot path: phase 1 runs once over the union
+        of the batch's bound resources (unless ``snapshot`` is given),
+        each distinct (service, demand_scale, source_label, binding)
+        group prices its QRG once, and deterministic planners plan each
+        priced QRG once (:class:`~repro.core.planner.BatchPlanMemo`).
+
+        Returns one entry per request, aligned: the plan, or ``None``
+        when pricing failed or no feasible plan exists.  Planning-only
+        -- no session events are emitted and nothing is reserved; use
+        :meth:`establish_batch` for the full three-phase protocol.
+        """
+        requests = list(requests)
+        with _trace.span("plan_batch", sessions=len(requests)) as span:
+            if snapshot is None:
+                snapshot = self._collect_batch_snapshot(requests, observed_at)
+            memo = BatchPlanMemo(planner)
+            priced: Dict[Tuple, object] = {}
+            plans: List[Optional[ReservationPlan]] = []
+            for request in requests:
+                entry = self._price_group(request, priced, snapshot, contention_index)
+                plans.append(
+                    None if isinstance(entry, PlanningError) else memo.plan(entry)
+                )
+            span.set(groups=len(priced))
+            return plans
+
+    def establish_batch(
+        self,
+        requests: Iterable[SessionRequest],
+        planner,
+        *,
+        snapshot: Optional[AvailabilitySnapshot] = None,
+        observed_at: Optional[ObservationSchedule] = None,
+        contention_index=None,
+    ) -> List[EstablishmentResult]:
+        """Establish N concurrent arrivals against one availability snapshot.
+
+        Byte-identical in results, causal events, and counters to the
+        sequential reference loop
+
+        .. code-block:: python
+
+            shared = coordinator._collect_batch_snapshot(requests, observed_at)
+            [coordinator.establish(r.session_id, r.service_name, r.binding,
+                                   planner, ..., snapshot=shared)
+             for r in requests]
+
+        but prices each distinct request group's QRG once and (for
+        deterministic planners) runs the planner once per group,
+        replaying the planner's causal events per session.  Sessions are
+        admitted in request order, each seeing the reservations of the
+        ones before it -- exactly like the sequential loop.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if snapshot is None:
+            snapshot = self._collect_batch_snapshot(requests, observed_at)
+        observed_instant = max(
+            (obs.observed_at for obs in snapshot.values()), default=None
+        )
+        memo = BatchPlanMemo(planner)
+        priced: Dict[Tuple, object] = {}
+        return [
+            self._with_establish_accounting(
+                request.session_id,
+                request.service_name,
+                lambda request=request: self._establish_batched(
+                    request, memo, priced, snapshot, observed_instant, contention_index
+                ),
+            )
+            for request in requests
+        ]
+
+    def _price_group(
+        self,
+        request: SessionRequest,
+        priced: Dict[Tuple, object],
+        snapshot: AvailabilitySnapshot,
+        contention_index,
+    ):
+        """The request group's priced QRG (or its PlanningError), memoised.
+
+        First encounter prices under a qrg_build span; later sessions in
+        the same group reuse the object (the memoisation
+        :class:`~repro.core.planner.BatchPlanMemo` keys on).
+        """
+        key = self._group_key(request)
+        entry = priced.get(key)
+        if entry is None:
+            service = self._service_at_scale(request.service_name, request.demand_scale)
+            try:
+                entry = self._price_qrg(
+                    service,
+                    request.binding,
+                    snapshot,
+                    source_label=request.source_label,
+                    demand_scale=request.demand_scale,
+                    contention_index=contention_index,
+                )
+            except PlanningError as exc:
+                entry = exc
+            priced[key] = entry
+        return entry
+
+    def _establish_batched(
+        self,
+        request: SessionRequest,
+        memo: BatchPlanMemo,
+        priced: Dict[Tuple, object],
+        snapshot: AvailabilitySnapshot,
+        observed_instant: Optional[float],
+        contention_index,
+    ) -> EstablishmentResult:
+        """One batched arrival: shared phase 2, per-session phase 3."""
+        with _trace.span("phase2_plan"):
+            entry = self._price_group(request, priced, snapshot, contention_index)
+            if isinstance(entry, PlanningError):
+                return self._reject_unplannable(
+                    request.session_id,
+                    request.service_name,
+                    snapshot,
+                    observed_instant,
+                    entry,
+                )
+            plan, failure = self._plan_priced(
+                request.session_id,
+                request.service_name,
+                memo,
+                entry,
+                snapshot,
+                observed_instant,
+            )
+        if failure is not None:
+            return failure
+        return self._phase3_admit(
+            request.session_id,
+            request.service_name,
+            plan,
+            snapshot,
+            observed_instant,
+            request.component_hosts,
+        )
 
     def _emit_admission_rejected(
         self,
@@ -622,6 +898,20 @@ class ReservationCoordinator:
             for key in [k for k in self._scaled_services if k[0] == service_name]:
                 del self._scaled_services[key]
         return self.qrg_skeletons.invalidate(service_name)
+
+    def invalidate_qrg_cache_for_host(self, host: str) -> int:
+        """Drop cached skeletons bound to resources the host's proxy owns.
+
+        The per-host flavour of :meth:`invalidate_qrg_cache`: a failed
+        (or decommissioned) host only stales the skeletons whose binding
+        touches its resources, so every other service keeps its warm
+        cache entry across the fault.  Returns the number dropped;
+        unknown hosts drop nothing.
+        """
+        proxy = self.proxies.get(host)
+        if proxy is None:
+            return 0
+        return self.qrg_skeletons.invalidate_resources(proxy.owned_resources())
 
     # -- helpers --------------------------------------------------------------
 

@@ -12,8 +12,9 @@ wire protocol a real deployment would need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Tuple
+from typing import Mapping, Optional, Tuple
 
+from repro.core.component import Binding
 from repro.core.resources import ResourceObservation
 
 
@@ -23,6 +24,25 @@ class AvailabilityRequest:
 
     session_id: str
     resource_ids: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One arrival of a batched establishment (§4.2 under load).
+
+    The per-session arguments of
+    :meth:`~repro.runtime.coordinator.ReservationCoordinator.establish`,
+    reified so N concurrent arrivals can be admitted against one
+    availability snapshot
+    (:meth:`~repro.runtime.coordinator.ReservationCoordinator.establish_batch`).
+    """
+
+    session_id: str
+    service_name: str
+    binding: Binding
+    component_hosts: Optional[Mapping[str, str]] = None
+    source_label: Optional[str] = None
+    demand_scale: float = 1.0
 
 
 @dataclass(frozen=True)

@@ -322,7 +322,11 @@ class TestFaultySimulation:
 
         configs = [faulty_config(seed=s) for s in (3, 4)]
         serial = run_configs(configs, runner=SerialSweepRunner())
-        parallel = run_configs(configs, runner=ParallelSweepRunner(max_workers=2))
+        # clamp_to_cpus=False forces a real pool even on a 1-CPU box:
+        # the process boundary is the thing under test.
+        parallel = run_configs(
+            configs, runner=ParallelSweepRunner(max_workers=2, clamp_to_cpus=False)
+        )
         for s, p in zip(serial, parallel):
             assert p.metrics == s.metrics
             assert p.fault_stats == s.fault_stats
@@ -435,6 +439,54 @@ class TestRecoveryProtocol:
 
 
 # -- the conservation checker ----------------------------------------------
+
+
+class TestPerHostSkeletonInvalidation:
+    def test_host_exclusion_keeps_other_hosts_skeletons_warm(
+        self, small_service, small_binding
+    ):
+        from repro.core.component import Binding
+
+        retries = FaultConfig(drop_rate=0.5).max_retries
+        injector = ScriptedInjector({"reserve": ["message_drop"] * (retries + 1)})
+        registry, coordinator, proxies = build_ft_rig(small_service, injector)
+        # A second placement of the same service that avoids H1 entirely.
+        cpu3 = LocalResourceBroker("H3", "cpu", 100.0)
+        registry.register(cpu3)
+        proxy_h3 = QoSProxy("H3", registry)
+        proxy_h3.own("cpu:H3")
+        coordinator.proxies["H3"] = proxy_h3
+        proxies["H3"] = proxy_h3
+        other_binding = Binding({("c1", "cpu"): "cpu:H3", ("c2", "net"): "net:L1"})
+
+        cache = coordinator.qrg_skeletons
+        # Warm both placements (extra=(1.0,) matches the coordinator's
+        # demand_scale discriminator).
+        cache.skeleton_for(small_service, small_binding, extra=(1.0,))
+        cache.skeleton_for(small_service, other_binding, extra=(1.0,))
+        assert cache.stats() == {"hits": 0, "misses": 2, "size": 2}
+
+        # Exhausted reserve retries exclude H1; the exclusion must drop
+        # only the H1-bound skeleton.  The replan then rebuilds it (the
+        # extra miss below is the proof the drop happened), while the
+        # H3 placement's entry survives the whole fault.
+        result = coordinator.establish("s1", "small", small_binding, BasicPlanner())
+        assert not result.success
+        assert cache.stats() == {"hits": 1, "misses": 3, "size": 2}
+
+        # Warm-speedup regression: the unaffected placement still hits.
+        cache.skeleton_for(small_service, other_binding, extra=(1.0,))
+        assert cache.stats() == {"hits": 2, "misses": 3, "size": 2}
+
+    def test_unknown_host_invalidates_nothing(self, small_service, small_binding):
+        injector = ScriptedInjector({})
+        _registry, coordinator, _proxies = build_ft_rig(small_service, injector)
+        coordinator.qrg_skeletons.skeleton_for(small_service, small_binding)
+        assert coordinator.invalidate_qrg_cache_for_host("H9") == 0
+        assert len(coordinator.qrg_skeletons) == 1
+        # A known host drops exactly its bound skeletons.
+        assert coordinator.invalidate_qrg_cache_for_host("H1") == 1
+        assert len(coordinator.qrg_skeletons) == 0
 
 
 class TestCapacityConservation:

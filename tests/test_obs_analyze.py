@@ -203,6 +203,41 @@ class TestDiff:
         ]
         assert gate_diff(entries, tolerance=0.25, ignore_timing=True) == []
 
+    def test_gate_timing_tolerance_is_a_separate_band(self):
+        base = {"headline": {"warm_seconds": 1.0, "sessions": 100.0}}
+        new = {"headline": {"warm_seconds": 1.4, "sessions": 130.0}}
+        entries = diff_documents(base, new)
+        # Structural band 0.25: sessions (+30%) gates, warm_seconds
+        # (+40%) is held to the looser timing band instead.
+        flagged = gate_diff(entries, tolerance=0.25, timing_tolerance=0.5)
+        assert [e.path for e in flagged] == ["headline.sessions"]
+        # Tightening the timing band flags the wall clock too.
+        flagged = gate_diff(entries, tolerance=0.25, timing_tolerance=0.1)
+        assert [e.path for e in flagged] == [
+            "headline.sessions",
+            "headline.warm_seconds",
+        ]
+        with pytest.raises(ValueError):
+            gate_diff(entries, timing_tolerance=-0.5)
+
+    def test_speedup_is_a_timing_leaf(self):
+        from repro.obs.analyze import is_timing_path
+
+        assert is_timing_path("headline.speedup_4w")
+        assert is_timing_path("headline.parallel_seconds")
+        assert not is_timing_path("headline.sessions")
+
+    def test_comparable_view_skips_timing_baselines_and_runner(self):
+        from repro.obs.analyze import comparable_view
+
+        doc = {
+            "schema": "bench-ledger/1",
+            "runner": {"fingerprint": "aaa-8c-py3.11", "cpus": "8"},
+            "headline": {"speedup": 2.0},
+            "timing_baselines": {"aaa-8c-py3.11": {"headline.speedup": 2.0}},
+        }
+        assert comparable_view(doc) == {"headline.speedup": 2.0}
+
     def test_booleans_and_strings_are_not_leaves(self):
         entries = diff_documents(
             {"git_sha": "abc", "ok": True, "n": 1},

@@ -158,16 +158,106 @@ class TestDiff:
         assert main(["diff", base, legacy, "--gate"]) == 0
         assert "unrecorded" in capsys.readouterr().out
         # structural leaves still gate regardless of the fingerprint
+        # (speedup is a wall-clock ratio, so it is *not* structural)
         slower = write(
             "slower",
             {
                 "schema": "bench-ledger/1",
                 "runner": {"fingerprint": "bbb-4c-py3.12"},
-                "headline": {"speedup": 1.0, "warm_seconds": 3.0},
+                "headline": {"speedup": 4.0, "warm_seconds": 3.0, "sessions": 7},
             },
         )
-        assert main(["diff", base, slower, "--gate"]) == 1
-        assert "headline.speedup" in capsys.readouterr().out
+        base_structural = write(
+            "base_structural",
+            {
+                "schema": "bench-ledger/1",
+                "runner": {"fingerprint": "aaa-8c-py3.11"},
+                "headline": {"speedup": 4.0, "warm_seconds": 1.0, "sessions": 100},
+            },
+        )
+        assert main(["diff", base_structural, slower, "--gate"]) == 1
+        assert "headline.sessions" in capsys.readouterr().out
+
+    def test_gate_uses_recorded_timing_baseline_for_new_runner(
+        self, tmp_path, capsys
+    ):
+        def write(name, doc):
+            target = tmp_path / f"{name}.json"
+            target.write_text(json.dumps(doc))
+            return str(target)
+
+        base = write(
+            "base",
+            {
+                "schema": "bench-ledger/1",
+                "runner": {"fingerprint": "aaa-8c-py3.11"},
+                "headline": {"speedup": 4.0, "warm_seconds": 1.0},
+                # A timing baseline previously measured on runner bbb:
+                # its wall clocks hard-compare even though the headline
+                # was measured on runner aaa.
+                "timing_baselines": {
+                    "aaa-8c-py3.11": {
+                        "headline.speedup": 4.0,
+                        "headline.warm_seconds": 1.0,
+                    },
+                    "bbb-4c-py3.12": {
+                        "headline.speedup": 2.0,
+                        "headline.warm_seconds": 2.0,
+                    },
+                },
+            },
+        )
+        # In-band against bbb's recorded baseline -> gate OK (hard gate,
+        # not an exclusion: the message says what it compared against).
+        ok = write(
+            "ok",
+            {
+                "schema": "bench-ledger/1",
+                "runner": {"fingerprint": "bbb-4c-py3.12"},
+                "headline": {"speedup": 2.1, "warm_seconds": 2.2},
+            },
+        )
+        assert main(["diff", base, ok, "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "gated against the baseline recorded for bbb-4c-py3.12" in out
+        # Out of band against bbb's recorded baseline -> hard failure.
+        regressed = write(
+            "regressed",
+            {
+                "schema": "bench-ledger/1",
+                "runner": {"fingerprint": "bbb-4c-py3.12"},
+                "headline": {"speedup": 0.8, "warm_seconds": 6.0},
+            },
+        )
+        assert main(["diff", base, regressed, "--gate"]) == 1
+        out = capsys.readouterr().out
+        assert "headline.warm_seconds" in out and "headline.speedup" in out
+
+    def test_timing_tolerance_band_is_separate(self, tmp_path, capsys):
+        def write(name, doc):
+            target = tmp_path / f"{name}.json"
+            target.write_text(json.dumps(doc))
+            return str(target)
+
+        runner = {"fingerprint": "aaa-8c-py3.11"}
+        base = write(
+            "base",
+            {"schema": "bench-ledger/1", "runner": runner,
+             "headline": {"warm_seconds": 1.0, "sessions": 100}},
+        )
+        new = write(
+            "new",
+            {"schema": "bench-ledger/1", "runner": runner,
+             "headline": {"warm_seconds": 1.4, "sessions": 100}},
+        )
+        # +40% wall clock: outside the structural band, inside the
+        # default +-50% timing band.
+        assert main(["diff", base, new, "--gate", "--tolerance", "0.25"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["diff", base, new, "--gate", "--timing-tolerance", "0.1"]
+        ) == 1
+        assert "headline.warm_seconds" in capsys.readouterr().out
 
 
 @pytest.fixture(scope="module")

@@ -40,11 +40,16 @@ BASE = SimulationConfig(workload=WorkloadSpec(horizon=250.0))
 RATES = [60.0, 150.0]
 
 
+#: Forces a real process pool even on a 1-CPU box: the byte-identity
+#: contract across the process boundary is what these tests pin.
+FORCED_POOL = dict(max_workers=2, clamp_to_cpus=False)
+
+
 class TestDeterminism:
     def test_parallel_rate_sweep_matches_serial_for_every_planner(self):
         serial = rate_sweep(ALGORITHMS, RATES, base=BASE, runner=SerialSweepRunner())
         parallel = rate_sweep(
-            ALGORITHMS, RATES, base=BASE, runner=ParallelSweepRunner(max_workers=2)
+            ALGORITHMS, RATES, base=BASE, runner=ParallelSweepRunner(**FORCED_POOL)
         )
         assert set(serial) == set(ALGORITHMS) == set(parallel)
         for algorithm in ALGORITHMS:
@@ -59,7 +64,19 @@ class TestDeterminism:
             BASE, "staleness", [0.0, 2.0], runner=SerialSweepRunner()
         )
         parallel = sweep(
-            BASE, "staleness", [0.0, 2.0], runner=ParallelSweepRunner(max_workers=2)
+            BASE, "staleness", [0.0, 2.0], runner=ParallelSweepRunner(**FORCED_POOL)
+        )
+        for s, p in zip(serial, parallel):
+            assert p.metrics == s.metrics
+
+    @pytest.mark.parametrize("chunk_size", [1, 5])
+    def test_chunked_dispatch_matches_serial(self, chunk_size):
+        serial = sweep(BASE, "staleness", [0.0, 1.0, 2.0], runner=SerialSweepRunner())
+        parallel = sweep(
+            BASE,
+            "staleness",
+            [0.0, 1.0, 2.0],
+            runner=ParallelSweepRunner(chunk_size=chunk_size, **FORCED_POOL),
         )
         for s, p in zip(serial, parallel):
             assert p.metrics == s.metrics
@@ -75,6 +92,71 @@ class TestDeterminism:
         assert first == second
         assert len(set(first)) == len(first)
         assert first != [derive_run_seed(8, i) for i in range(8)]
+
+
+class TestWorkerEdgeCases:
+    """Worker-count edge cases: no pool when a pool cannot help."""
+
+    def _poison_pool(self, monkeypatch):
+        import repro.sim.experiment as experiment
+
+        def boom(*args, **kwargs):  # pragma: no cover - should never run
+            raise AssertionError("ProcessPoolExecutor constructed")
+
+        monkeypatch.setattr(experiment, "ProcessPoolExecutor", boom)
+
+    def test_workers_1_delegates_to_serial_without_a_pool(self, monkeypatch):
+        self._poison_pool(monkeypatch)
+        serial = run_configs([BASE, BASE.with_(seed=9)], runner=SerialSweepRunner())
+        inline = run_configs(
+            [BASE, BASE.with_(seed=9)], runner=ParallelSweepRunner(max_workers=1)
+        )
+        for s, p in zip(serial, inline):
+            assert p.metrics == s.metrics
+            # Inline execution still detaches observations, exactly like
+            # a worker would, so the result shape is runner-independent.
+            assert p.observation is None
+
+    def test_single_config_never_constructs_a_pool(self, monkeypatch):
+        self._poison_pool(monkeypatch)
+        [result] = run_configs(
+            [BASE], runner=ParallelSweepRunner(max_workers=8, clamp_to_cpus=False)
+        )
+        [serial] = run_configs([BASE], runner=SerialSweepRunner())
+        assert result.metrics == serial.metrics
+
+    def test_workers_clamp_to_batch_size(self):
+        runner = ParallelSweepRunner(max_workers=100, clamp_to_cpus=False)
+        assert runner.effective_workers(3) == 3
+        assert runner.effective_workers(1) == 1
+        assert runner.effective_workers(0) == 0
+
+    def test_workers_clamp_to_available_cpus(self):
+        from repro.sim.experiment import _available_cpus
+
+        cpus = _available_cpus()
+        clamped = ParallelSweepRunner(max_workers=cpus + 64)
+        assert clamped.effective_workers(cpus + 64) == cpus
+        unclamped = ParallelSweepRunner(max_workers=cpus + 64, clamp_to_cpus=False)
+        assert unclamped.effective_workers(cpus + 64) == cpus + 64
+
+    def test_default_workers_follow_cpu_count(self):
+        from repro.sim.experiment import _available_cpus
+
+        runner = ParallelSweepRunner()
+        assert runner.effective_workers(1000) == _available_cpus()
+
+    def test_chunk_size_default_and_validation(self):
+        from repro.core.errors import ModelError
+
+        runner = ParallelSweepRunner(max_workers=2, clamp_to_cpus=False)
+        # Default: ~4 chunks per worker, never below 1.
+        assert runner.effective_chunk_size(24, 2) == 3
+        assert runner.effective_chunk_size(2, 2) == 1
+        explicit = ParallelSweepRunner(chunk_size=5)
+        assert explicit.effective_chunk_size(24, 2) == 5
+        with pytest.raises(ModelError, match="chunk_size"):
+            ParallelSweepRunner(chunk_size=0).effective_chunk_size(24, 2)
 
 
 class TestRunnerSelection:
@@ -113,7 +195,7 @@ class TestDetachedResults:
             BASE.with_(algorithm=algorithm, observability=obs)
             for algorithm in ("basic", "random")
         ]
-        results = run_configs(configs, runner=ParallelSweepRunner(max_workers=2))
+        results = run_configs(configs, runner=ParallelSweepRunner(**FORCED_POOL))
         for result in results:
             assert result.observation is None
             summary = result.observation_summary

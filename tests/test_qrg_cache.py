@@ -21,7 +21,12 @@ from repro.core.qrg import (
     build_skeleton,
     price_skeleton,
 )
-from repro.core.resources import AvailabilitySnapshot
+from repro.core.resources import (
+    AvailabilitySnapshot,
+    headroom_contention_index,
+    log_contention_index,
+    ratio_contention_index,
+)
 from repro.core.synthetic import random_availability, synthetic_chain, synthetic_diamond_dag
 
 
@@ -152,6 +157,33 @@ class TestCacheBookkeeping:
         cached = build_qrg(service_b, binding_b, snapshot_b, skeleton_cache=cache)
         assert qrg_fingerprint(cached) == qrg_fingerprint(fresh)
 
+    def test_invalidation_by_resource_drops_only_bound_skeletons(self):
+        service_a, binding_a, snapshot_a = synthetic_chain(2, 2)
+        rng = np.random.default_rng(3)
+        service_b, binding_b, snapshot_b = synthetic_diamond_dag(2, 2, rng=rng)
+        cache = QRGSkeletonCache()
+        build_qrg(service_a, binding_a, snapshot_a, skeleton_cache=cache)
+        build_qrg(service_b, binding_b, snapshot_b, skeleton_cache=cache)
+        assert len(cache) == 2
+        doomed = sorted(binding_a.resource_ids())[:1]
+        assert cache.invalidate_resources(doomed) == 1
+        assert len(cache) == 1
+        # The survivor is untouched: pricing it is a cache hit and
+        # matches a from-scratch build.
+        hits_before = cache.hits
+        fresh = build_qrg(service_b, binding_b, snapshot_b)
+        cached = build_qrg(service_b, binding_b, snapshot_b, skeleton_cache=cache)
+        assert cache.hits == hits_before + 1
+        assert qrg_fingerprint(cached) == qrg_fingerprint(fresh)
+
+    def test_invalidation_by_resource_ignores_unknown_and_empty(self):
+        service, binding, snapshot = synthetic_chain(2, 2)
+        cache = QRGSkeletonCache()
+        build_qrg(service, binding, snapshot, skeleton_cache=cache)
+        assert cache.invalidate_resources([]) == 0
+        assert cache.invalidate_resources(["no-such-resource"]) == 0
+        assert len(cache) == 1
+
     def test_missing_resource_error_matches_scratch_build(self):
         service, binding, _snapshot = synthetic_chain(2, 2)
         empty = AvailabilitySnapshot.from_amounts({})
@@ -167,3 +199,82 @@ class TestCacheBookkeeping:
         skeleton = build_skeleton(service, binding)
         qrg = price_skeleton(skeleton, snapshot)
         assert qrg_fingerprint(qrg) == qrg_fingerprint(build_qrg(service, binding, snapshot))
+
+
+class TestVectorizedPricingIdentity:
+    """Forced numpy pricing == the scalar reference loop, bit for bit.
+
+    The scalar loop is the executable spec; the vectorized pass is a
+    pure optimisation and must never change a weight, a bottleneck
+    choice, or the set of surviving edges.
+    """
+
+    INDICES = {
+        "ratio": ratio_contention_index,
+        "headroom": headroom_contention_index,
+        "log": log_contention_index,
+    }
+
+    @settings(max_examples=30, deadline=None)
+    @given(chain_with_snapshots(), st.sampled_from(sorted(INDICES)))
+    def test_vector_matches_scalar_for_every_index(self, case, index_name):
+        service, binding, snapshots = case
+        skeleton = build_skeleton(service, binding)
+        index = self.INDICES[index_name]
+        for snapshot in snapshots:
+            scalar = price_skeleton(
+                skeleton, snapshot, contention_index=index, vectorize=False
+            )
+            vector = price_skeleton(
+                skeleton, snapshot, contention_index=index, vectorize=True
+            )
+            assert qrg_fingerprint(vector) == qrg_fingerprint(scalar)
+
+    @settings(max_examples=20, deadline=None)
+    @given(chain_with_snapshots())
+    def test_adaptive_dispatch_matches_forced_paths(self, case):
+        service, binding, snapshots = case
+        skeleton = build_skeleton(service, binding)
+        for snapshot in snapshots:
+            default = price_skeleton(skeleton, snapshot)
+            forced_scalar = price_skeleton(skeleton, snapshot, vectorize=False)
+            assert qrg_fingerprint(default) == qrg_fingerprint(forced_scalar)
+
+    def test_log_index_has_no_registered_kernel(self):
+        # np.log1p and math.log1p differ in the last ulp on some
+        # platforms, so the log index must stay on the scalar loop even
+        # when vectorize=True is requested (the dispatch falls back).
+        from repro.core.qrg import _VECTOR_KERNELS
+
+        assert log_contention_index not in _VECTOR_KERNELS
+        assert ratio_contention_index in _VECTOR_KERNELS
+        assert headroom_contention_index in _VECTOR_KERNELS
+
+    def test_missing_resource_error_identical_under_vectorize(self):
+        service, binding, snapshot = synthetic_chain(3, 2)
+        skeleton = build_skeleton(service, binding)
+        resource_ids = sorted(binding.resource_ids())
+        partial = AvailabilitySnapshot.from_amounts(
+            {
+                rid: snapshot[rid].available
+                for rid in resource_ids[:-1]
+            }
+        )
+        with pytest.raises(PlanningError) as scalar_err:
+            price_skeleton(skeleton, partial, vectorize=False)
+        with pytest.raises(PlanningError) as vector_err:
+            price_skeleton(skeleton, partial, vectorize=True)
+        assert str(vector_err.value) == str(scalar_err.value)
+        assert resource_ids[-1] in str(vector_err.value)
+
+    def test_infeasible_edges_filtered_identically(self):
+        service, binding, snapshot = synthetic_chain(3, 3)
+        rng = np.random.default_rng(3)
+        # Starve the snapshot so a nontrivial subset of edges fails the
+        # feasibility filter on both paths.
+        starved = random_availability(snapshot, rng, low=0.01, high=2.0)
+        skeleton = build_skeleton(service, binding)
+        scalar = price_skeleton(skeleton, starved, vectorize=False)
+        vector = price_skeleton(skeleton, starved, vectorize=True)
+        assert len(scalar.intra_edges) < len(skeleton.edge_templates)
+        assert qrg_fingerprint(vector) == qrg_fingerprint(scalar)
