@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import platform
 import socket
@@ -103,6 +104,24 @@ def runner_fingerprint() -> dict:
     }
 
 
+def _nulled_non_finite(value):
+    """``value`` with every non-finite float replaced by ``None``.
+
+    ``json.dumps`` serializes inf/-inf/NaN as the non-standard
+    ``Infinity``/``-Infinity``/``NaN`` tokens, which strict JSON parsers
+    (and the ledger diff gate) reject.  Ledgers null them instead: a
+    missing number diffs as a structural change, an ``Infinity`` token
+    breaks loading entirely.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: _nulled_non_finite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_nulled_non_finite(item) for item in value]
+    return value
+
+
 def write_bench_ledger(
     name: str,
     headline: Mapping[str, object],
@@ -144,6 +163,10 @@ def write_bench_ledger(
         }
     elif obs is not None:
         document["obs"] = dict(obs)
+    # Non-finite values are nulled *before* the timing-baseline
+    # extraction so baselines and the document body stay consistent,
+    # and ``allow_nan=False`` enforces that none slipped through.
+    document = _nulled_non_finite(document)
     timing = {
         path: value
         for path, value in analyze.comparable_view(document).items()
@@ -156,7 +179,9 @@ def write_bench_ledger(
     target_dir = Path(os.environ.get(LEDGER_DIR_ENV, Path(__file__).parent / "ledger"))
     target_dir.mkdir(parents=True, exist_ok=True)
     target = target_dir / f"BENCH_{name}.json"
-    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
     return target
 
 

@@ -40,6 +40,20 @@ class ExperimentReport:
     extras: Dict[str, object] = field(default_factory=dict)
 
 
+def finite_speedup(cold: float, warm: float) -> Optional[float]:
+    """``cold / warm`` as a finite float, or None.
+
+    A zero (timer-granularity) or negative warm time must not turn into
+    an infinite speedup: ``float("inf")`` serializes as the non-standard
+    ``Infinity`` token in JSON artifacts/ledgers downstream, which
+    strict parsers reject.
+    """
+    if warm <= 0:
+        return None
+    speedup = cold / warm
+    return speedup if np.isfinite(speedup) else None
+
+
 def _rates(quick: bool) -> List[float]:
     return [60, 120, 180, 240] if quick else [60, 80, 100, 120, 140, 160, 180, 200, 220, 240]
 
@@ -329,10 +343,11 @@ def run_complexity(seed: int = 0, quick: bool = False) -> ExperimentReport:
         cache_rows.append((k, q, cold, warm))
     lines.append("QRG construction, cold (skeleton rebuilt) vs warm (skeleton cached):")
     for k, q, cold, warm in cache_rows:
-        speedup = cold / warm if warm > 0 else float("inf")
+        speedup = finite_speedup(cold, warm)
+        speedup_text = f"{speedup:.1f}x" if speedup is not None else "n/a"
         lines.append(
             f"  K={k:<3d} Q={q:<3d} cold={cold * 1e6:9.1f}us "
-            f"warm={warm * 1e6:9.1f}us  ({speedup:.1f}x)"
+            f"warm={warm * 1e6:9.1f}us  ({speedup_text})"
         )
     dropped = cache.invalidate()
     lines.append(

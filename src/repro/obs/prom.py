@@ -18,6 +18,7 @@ No Prometheus client library is involved -- the format is plain text.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Tuple
 
 from repro.obs.metrics import MetricsRegistry
@@ -65,11 +66,14 @@ def _parse_instrument_key(key: str) -> Tuple[str, Dict[str, str]]:
 
 
 def _format_value(value: float) -> str:
-    if value == float("inf"):
-        return "+Inf"
-    if value == float("-inf"):
-        return "-Inf"
-    return repr(float(value))
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        # The exposition format spells NaN exactly like this; Python's
+        # repr(float("nan")) is lowercase "nan", which scrapers reject.
+        return "NaN"
+    return repr(value)
 
 
 class _Writer:

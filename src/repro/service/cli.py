@@ -1,0 +1,101 @@
+"""``repro-serve``: run the reservation daemon until SIGINT/SIGTERM.
+
+Boots a :class:`~repro.service.daemon.ReservationDaemon` over a seeded
+:class:`~repro.sim.environment.GridEnvironment` and serves the admission
+API, the WebSocket event plane, and ``/metrics`` until a termination
+signal arrives; shutdown drains in-flight admissions before closing the
+listener (bounded by ``--drain-timeout``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import List, Optional
+
+from repro.faults.plan import FaultConfig
+from repro.service.daemon import DaemonConfig, ReservationDaemon
+from repro.sim.experiment import ALGORITHMS, CONTENTION_INDICES
+
+__all__ = ["build_config", "main"]
+
+
+def build_config(argv: Optional[List[str]] = None) -> DaemonConfig:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="listen port (0 = ephemeral, printed on boot)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="grid + planner seed (admissions are "
+                             "deterministic given the seed and request order)")
+    parser.add_argument("--algorithm", default="basic", choices=sorted(ALGORITHMS))
+    parser.add_argument("--contention-index", default="ratio",
+                        choices=sorted(CONTENTION_INDICES))
+    parser.add_argument("--capacity-min", type=float, default=1000.0)
+    parser.add_argument("--capacity-max", type=float, default=4000.0)
+    parser.add_argument("--no-tie-break", action="store_true",
+                        help="disable the §4.3 load tie-break")
+    parser.add_argument("--faults", action="store_true",
+                        help="serve through the fault-tolerant coordinator "
+                             "with an injected §6 fault plan")
+    parser.add_argument("--event-capacity", type=int, default=65536,
+                        help="bounded EventLog capacity")
+    parser.add_argument("--subscriber-queue", type=int, default=256,
+                        help="default per-WebSocket-subscriber queue bound")
+    parser.add_argument("--drain-timeout", type=float, default=10.0,
+                        help="seconds to wait for in-flight admissions on "
+                             "shutdown")
+    args = parser.parse_args(argv)
+    return DaemonConfig(
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        capacity_range=(args.capacity_min, args.capacity_max),
+        contention_index=args.contention_index,
+        tie_break=not args.no_tie_break,
+        faults=FaultConfig() if args.faults else None,
+        event_capacity=args.event_capacity,
+        subscriber_queue=args.subscriber_queue,
+        drain_timeout=args.drain_timeout,
+    )
+
+
+async def _serve(config: DaemonConfig) -> None:
+    daemon = ReservationDaemon(config)
+    await daemon.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            signal.signal(signum, lambda *_: stop.set())
+    print(
+        f"repro-serve: listening on {config.host}:{daemon.port} "
+        f"(algorithm={config.algorithm}, seed={config.seed}, "
+        f"faults={'on' if config.faults else 'off'})",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        print("repro-serve: draining and shutting down", flush=True)
+        await daemon.shutdown(drain=True)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    config = build_config(argv)
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""Asyncio client for the reservation daemon's admission API.
+
+One :class:`ServiceClient` talks to one daemon.  Admission calls use a
+fresh ``Connection: close`` exchange each (the daemon serializes
+admissions anyway, so connection reuse buys nothing and per-request
+sockets keep the open-loop load generator honest about concurrency);
+:meth:`events` upgrades a dedicated connection to the WebSocket event
+plane and yields event dicts until either side closes.
+
+The client is also the reference consumer of the wire protocol: the
+daemon's tests drive every endpoint through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, List, Optional
+
+from repro.service import http as _http
+
+__all__ = ["ServiceClient", "ServiceResponse", "ServiceClientError"]
+
+
+class ServiceClientError(RuntimeError):
+    """The daemon answered with an error status (carries the body)."""
+
+    def __init__(self, status: int, payload: object) -> None:
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One parsed HTTP response."""
+
+    status: int
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        return json.loads(self.body.decode("utf-8")) if self.body else None
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.daemon.ReservationDaemon`."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    # -- raw exchange ------------------------------------------------------
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ServiceResponse:
+        """One request/response exchange on a fresh connection."""
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head_lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            "Connection: close",
+            f"Content-Length: {len(body)}",
+            "Content-Type: application/json",
+        ]
+        for name, value in (headers or {}).items():
+            head_lines.append(f"{name}: {value}")
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + body)
+            await writer.drain()
+            return await _read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    async def _call(self, method: str, path: str, payload: Optional[dict] = None):
+        response = await self.request(method, path, payload)
+        document = response.json()
+        if response.status != 200:
+            raise ServiceClientError(response.status, document)
+        return document
+
+    # -- admission API -----------------------------------------------------
+
+    async def establish(self, **fields) -> dict:
+        """``POST /v1/establish`` (service=, domain=, session_id=, ...)."""
+        return await self._call("POST", "/v1/establish", fields)
+
+    async def establish_batch(self, arrivals: List[dict]) -> List[dict]:
+        """``POST /v1/establish_batch`` over a list of arrival dicts."""
+        return await self._call(
+            "POST", "/v1/establish_batch", {"arrivals": arrivals}
+        )
+
+    async def renegotiate(self, session_id: str, *, trigger: str = "api") -> dict:
+        return await self._call(
+            "POST", "/v1/renegotiate", {"session_id": session_id, "trigger": trigger}
+        )
+
+    async def teardown(self, session_id: str) -> dict:
+        return await self._call("POST", "/v1/teardown", {"session_id": session_id})
+
+    async def query(self, session_id: Optional[str] = None) -> dict:
+        path = "/v1/query"
+        if session_id is not None:
+            path += f"?session_id={session_id}"
+        return await self._call("GET", path)
+
+    async def healthz(self) -> dict:
+        return await self._call("GET", "/healthz")
+
+    async def metrics(self) -> str:
+        """The raw Prometheus exposition text from ``/metrics``."""
+        response = await self.request("GET", "/metrics")
+        if response.status != 200:
+            raise ServiceClientError(response.status, response.body)
+        return response.body.decode("utf-8")
+
+    # -- the event plane ---------------------------------------------------
+
+    async def events(
+        self, *, queue: Optional[int] = None, handshake_timeout: float = 10.0
+    ) -> AsyncIterator[dict]:
+        """Subscribe to ``/v1/events``; yields event dicts until closed.
+
+        ``queue`` requests a specific per-subscriber bound from the
+        daemon (the slow-consumer tests use a tiny one).  The iterator
+        ends when the daemon closes the stream; callers cancel the
+        surrounding task to unsubscribe early.
+        """
+        path = "/v1/events" + (f"?queue={queue}" if queue is not None else "")
+        key = "cmVwcm8tc2VydmljZS1ldnQ="  # any base64 16-byte nonce works
+        head = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        )
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(head.encode("latin-1"))
+            await writer.drain()
+            status_line = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=handshake_timeout
+            )
+            if b" 101 " not in status_line.split(b"\r\n", 1)[0]:
+                raise ServiceClientError(400, status_line.decode("latin-1", "replace"))
+            expected = _http.websocket_accept_key(key).encode("latin-1")
+            if expected not in status_line:
+                raise ServiceClientError(400, "bad Sec-WebSocket-Accept")
+            while True:
+                opcode, payload = await _http.read_ws_frame(reader)
+                if opcode == _http.OP_CLOSE:
+                    return
+                if opcode == _http.OP_PING:
+                    writer.write(
+                        _http.encode_ws_frame(payload, opcode=_http.OP_PONG, mask=True)
+                    )
+                    await writer.drain()
+                    continue
+                if opcode in (_http.OP_TEXT, _http.OP_BINARY):
+                    yield json.loads(payload.decode("utf-8"))
+        except (_http.ProtocolError, ConnectionError):
+            return
+        finally:
+            try:
+                writer.write(_http.encode_ws_frame(b"", opcode=_http.OP_CLOSE, mask=True))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+
+async def _read_response(reader: asyncio.StreamReader) -> ServiceResponse:
+    """Parse one ``Connection: close`` HTTP response."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        raise _http.ProtocolError("connection closed before response head") from exc
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        status = int(lines[0].split(" ", 2)[1])
+    except (IndexError, ValueError) as exc:
+        raise _http.ProtocolError(f"malformed status line {lines[0]!r}") from exc
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        body = await reader.readexactly(int(length_text))
+    else:
+        body = await reader.read()
+    return ServiceResponse(status=status, headers=headers, body=body)

@@ -1,0 +1,656 @@
+"""The long-lived reservation service daemon (admission API + event plane).
+
+Everything before this module is run-to-completion: build a grid, drive
+a workload, exit.  :class:`ReservationService` keeps one
+:class:`~repro.sim.environment.GridEnvironment` (and its
+:class:`~repro.runtime.coordinator.ReservationCoordinator`, or the
+fault-tolerant variant when a :class:`~repro.faults.plan.FaultConfig` is
+configured) alive behind an admission API, and
+:class:`ReservationDaemon` serves that API over HTTP:
+
+===========================  ==================================================
+``POST /v1/establish``       one three-phase establishment
+``POST /v1/establish_batch`` N arrivals against one availability snapshot
+``POST /v1/renegotiate``     §5 re-planning of a live session
+``POST /v1/teardown``        release everything a session holds
+``GET  /v1/query``           daemon + session + utilization state
+``GET  /v1/events``          WebSocket stream of the causal event log
+``GET  /metrics``            Prometheus text exposition of the live registry
+``GET  /healthz``            liveness probe
+===========================  ==================================================
+
+Admissions execute *serialized* on the event loop under one lock, so
+daemon decisions for a given request order are byte-identical to calling
+``coordinator.establish`` in-process in that order -- the property the
+acceptance test pins.  The event plane fans the coordinator's causal
+:class:`~repro.obs.events.EventLog` out to WebSocket subscribers through
+bounded queues (:mod:`repro.service.events`): a slow consumer loses its
+own events behind a ``stream.truncated`` marker, never the daemon's.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ModelError, ReproError
+from repro.core.planner import BasicPlanner, RandomPlanner
+from repro.core.tradeoff import TradeoffPlanner
+from repro.des.engine import Environment
+from repro.des.rng import RandomStreams
+from repro.faults.coordinator import FaultTolerantCoordinator
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_SEED_INDEX, FaultConfig, FaultPlan
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import registry_exposition
+from repro.runtime.coordinator import EstablishmentResult, RenegotiationResult
+from repro.service import http as _http
+from repro.service.events import EventPlane
+from repro.sim.environment import GridEnvironment
+from repro.sim.experiment import ALGORITHMS, CONTENTION_INDICES, derive_run_seed
+from repro.sim.workload import SessionArrival
+
+__all__ = ["DaemonConfig", "ReservationDaemon", "ReservationService", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A request the service refuses (bad input, unknown session, ...)."""
+
+    def __init__(self, message: str, *, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Everything that defines one daemon instance.
+
+    The grid-shaped fields (``seed``, ``capacity_range``, ``algorithm``,
+    ``contention_index``, ``tie_break``) mean exactly what they mean on
+    :class:`~repro.sim.SimulationConfig`, so a daemon and an in-process
+    run built from the same values admit identically.
+    """
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (see ``ReservationDaemon.port``).
+    port: int = 8787
+    seed: int = 0
+    algorithm: str = "basic"
+    capacity_range: Tuple[float, float] = (1000.0, 4000.0)
+    contention_index: str = "ratio"
+    tie_break: bool = True
+    #: Route admissions through the fault-tolerant coordinator.
+    faults: Optional[FaultConfig] = None
+    #: Horizon the fault plan is generated over (TU of the DES clock).
+    fault_horizon: float = 10800.0
+    #: Retained-event bound of the daemon's EventLog (None = unbounded).
+    event_capacity: Optional[int] = 65536
+    #: Per-WebSocket-subscriber queue bound (the slow-consumer cutoff).
+    subscriber_queue: int = 256
+    #: Seconds shutdown waits for in-flight admissions before forcing.
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ModelError(
+                f"unknown algorithm {self.algorithm!r}; pick from {ALGORITHMS}"
+            )
+        if self.contention_index not in CONTENTION_INDICES:
+            raise ModelError(
+                f"unknown contention index {self.contention_index!r}; "
+                f"pick from {sorted(CONTENTION_INDICES)}"
+            )
+        if self.subscriber_queue < 2:
+            raise ModelError("subscriber_queue must be >= 2")
+        if self.drain_timeout < 0:
+            raise ModelError("drain_timeout must be >= 0")
+
+
+class ReservationService:
+    """The daemon's in-process core: grid + coordinator + event plane.
+
+    Owns the process-global observability handles while started: its
+    :class:`MetricsRegistry` backs ``/metrics`` and its
+    :class:`EventLog` feeds the event plane.  ``start()``/``close()``
+    install/uninstall them, so sequential daemons (tests, restarts)
+    leave a clean process behind.
+    """
+
+    def __init__(self, config: DaemonConfig) -> None:
+        self.config = config
+        self.env = Environment()
+        self.streams = RandomStreams(config.seed)
+        self.registry = MetricsRegistry()
+        self.log = EventLog(capacity=config.event_capacity)
+        self.plane = EventPlane(queue_size=config.subscriber_queue)
+        self.grid = GridEnvironment(
+            self.env, self.streams, capacity_range=config.capacity_range
+        )
+        if config.faults is not None:
+            plan = FaultPlan.generate(
+                config.faults,
+                seed=derive_run_seed(config.seed, FAULT_SEED_INDEX),
+                horizon=config.fault_horizon,
+                hosts=sorted(self.grid.proxies),
+            )
+            injector = FaultInjector(plan, clock=lambda: self.env.now)
+            self.grid.coordinator = FaultTolerantCoordinator(
+                self.grid.registry,
+                self.grid.model_store,
+                self.grid.proxies,
+                injector=injector,
+                env=self.env,
+            )
+        self.coordinator = self.grid.coordinator
+        self.planner = self._make_planner()
+        self.contention_index = CONTENTION_INDICES[config.contention_index]
+        #: session_id -> the arrival facts needed to renegotiate/query it.
+        self.sessions: Dict[str, dict] = {}
+        self.counters = {"established": 0, "rejected": 0, "torn_down": 0}
+        self.started_at = _time.monotonic()
+        self._session_seq = 0
+        self._started = False
+
+    def _make_planner(self):
+        if self.config.algorithm == "basic":
+            return BasicPlanner(tie_break=self.config.tie_break)
+        if self.config.algorithm == "tradeoff":
+            return TradeoffPlanner(tie_break=self.config.tie_break)
+        return RandomPlanner(rng=self.streams.stream("random-planner"))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Install the registry + event log and attach the event plane."""
+        if self._started:
+            return
+        _metrics.install(self.registry)
+        try:
+            _events.install(self.log)
+        except RuntimeError:
+            _metrics.uninstall()
+            raise
+        self.plane.attach(self.log)
+        self._started = True
+
+    def close(self) -> None:
+        """Detach the event plane and release the global handles."""
+        if not self._started:
+            return
+        self.plane.detach()
+        if _events.active_event_log() is self.log:
+            _events.uninstall()
+        if _metrics.active_registry() is self.registry:
+            _metrics.uninstall()
+        self._started = False
+
+    # -- request decoding --------------------------------------------------
+
+    def _fresh_session_id(self) -> str:
+        self._session_seq += 1
+        return f"svc-{self._session_seq}"
+
+    def _arrival_from(self, payload: dict) -> SessionArrival:
+        """Decode one establish payload into a workload-style arrival."""
+        try:
+            service = str(payload["service"])
+            domain = str(payload["domain"])
+        except KeyError as exc:
+            raise ServiceError(f"missing required field {exc.args[0]!r}") from exc
+        session_id = str(payload.get("session_id") or self._fresh_session_id())
+        try:
+            demand_scale = float(payload.get("demand_scale", 1.0))
+            duration = float(payload.get("duration", 1.0))
+            arrival_time = float(payload.get("arrival_time", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"non-numeric field: {exc}") from exc
+        if demand_scale <= 0:
+            raise ServiceError(f"demand_scale must be positive, got {demand_scale!r}")
+        return SessionArrival(
+            session_id=session_id,
+            arrival_time=arrival_time,
+            domain=domain,
+            service=service,
+            demand_scale=demand_scale,
+            duration=duration,
+        )
+
+    def _placed(self, arrival: SessionArrival):
+        """(binding, component_hosts) of an arrival; 400 on bad placement."""
+        try:
+            binding = self.grid.binding_for(arrival.service, arrival.domain)
+            component_hosts = self.grid.component_hosts_for(
+                arrival.service, arrival.domain
+            )
+        except ModelError as exc:
+            raise ServiceError(str(exc)) from exc
+        return binding, component_hosts
+
+    # -- admission operations (serialized by the daemon's lock) ------------
+
+    def establish(self, payload: dict) -> dict:
+        """One three-phase establishment; returns the JSON-ready outcome."""
+        arrival = self._arrival_from(payload)
+        if arrival.session_id in self.sessions:
+            raise ServiceError(
+                f"session {arrival.session_id!r} already established", status=409
+            )
+        binding, component_hosts = self._placed(arrival)
+        result = self.coordinator.establish(
+            arrival.session_id,
+            arrival.service,
+            binding,
+            self.planner,
+            component_hosts=component_hosts,
+            demand_scale=arrival.demand_scale,
+            contention_index=self.contention_index,
+        )
+        return self._record(arrival, result)
+
+    def establish_batch(self, payload: dict) -> List[dict]:
+        """N arrivals admitted against one availability snapshot."""
+        arrivals_payload = payload.get("arrivals")
+        if not isinstance(arrivals_payload, list) or not arrivals_payload:
+            raise ServiceError("'arrivals' must be a non-empty list")
+        arrivals = [self._arrival_from(item) for item in arrivals_payload]
+        seen = set()
+        for arrival in arrivals:
+            if arrival.session_id in self.sessions or arrival.session_id in seen:
+                raise ServiceError(
+                    f"session {arrival.session_id!r} already established", status=409
+                )
+            seen.add(arrival.session_id)
+        requests = []
+        for arrival in arrivals:
+            binding, component_hosts = self._placed(arrival)
+            requests.append(
+                arrival.to_session_request(binding, component_hosts=component_hosts)
+            )
+        results = self.coordinator.establish_batch(
+            requests, self.planner, contention_index=self.contention_index
+        )
+        return [
+            self._record(arrival, result)
+            for arrival, result in zip(arrivals, results)
+        ]
+
+    def _record(self, arrival: SessionArrival, result: EstablishmentResult) -> dict:
+        """Track the outcome and shape the response document."""
+        outcome = _establishment_to_dict(result)
+        if result.success:
+            self.counters["established"] += 1
+            self.sessions[arrival.session_id] = {
+                "service": arrival.service,
+                "domain": arrival.domain,
+                "demand_scale": arrival.demand_scale,
+                "duration": arrival.duration,
+                "level": result.qos_level,
+                "established_at": _time.monotonic(),
+            }
+        else:
+            self.counters["rejected"] += 1
+        return outcome
+
+    def renegotiate(self, payload: dict) -> dict:
+        """§5 re-planning of a live session against fresh availability."""
+        session_id = payload.get("session_id")
+        if not session_id:
+            raise ServiceError("missing required field 'session_id'")
+        session = self.sessions.get(str(session_id))
+        if session is None:
+            raise ServiceError(f"unknown session {session_id!r}", status=404)
+        binding = self.grid.binding_for(session["service"], session["domain"])
+        component_hosts = self.grid.component_hosts_for(
+            session["service"], session["domain"]
+        )
+        result = self.coordinator.renegotiate(
+            str(session_id),
+            session["service"],
+            binding,
+            self.planner,
+            component_hosts=component_hosts,
+            demand_scale=session["demand_scale"],
+            contention_index=self.contention_index,
+            trigger=str(payload.get("trigger", "api")),
+            previous_level=session["level"],
+        )
+        if result.outcome == "failed_dropped":
+            self.sessions.pop(str(session_id), None)
+        else:
+            session["level"] = result.new_level
+        return _renegotiation_to_dict(result)
+
+    def teardown(self, payload: dict) -> dict:
+        """Release everything a session holds."""
+        session_id = payload.get("session_id")
+        if not session_id:
+            raise ServiceError("missing required field 'session_id'")
+        known = self.sessions.pop(str(session_id), None)
+        released = self.coordinator.teardown(str(session_id))
+        if known is None and released == 0:
+            raise ServiceError(f"unknown session {session_id!r}", status=404)
+        self.counters["torn_down"] += 1
+        return {"session_id": str(session_id), "released": released}
+
+    # -- read-only views ---------------------------------------------------
+
+    def query(self, session_id: Optional[str] = None) -> dict:
+        """Daemon state, or one session's record with ``session_id``."""
+        if session_id is not None:
+            session = self.sessions.get(session_id)
+            if session is None:
+                raise ServiceError(f"unknown session {session_id!r}", status=404)
+            document = {"session_id": session_id}
+            document.update(
+                {k: v for k, v in session.items() if k != "established_at"}
+            )
+            return document
+        return {
+            "uptime_seconds": _time.monotonic() - self.started_at,
+            "algorithm": self.config.algorithm,
+            "seed": self.config.seed,
+            "fault_tolerant": self.config.faults is not None,
+            "active_sessions": len(self.sessions),
+            "counters": dict(self.counters),
+            "event_log": {
+                "recorded": len(self.log),
+                "dropped": self.log.dropped,
+                "subscribers": self.plane.subscriber_count,
+                "fanned_out": self.plane.events_seen,
+            },
+            "utilization": {
+                broker.resource_id: broker.utilization()
+                for broker in self.grid.registry.brokers()
+            },
+        }
+
+    def metrics_exposition(self) -> str:
+        """The ``/metrics`` body (Prometheus text format)."""
+        return registry_exposition(self.registry)
+
+
+def _establishment_to_dict(result: EstablishmentResult) -> dict:
+    document = {
+        "session_id": result.session_id,
+        "success": result.success,
+        "reason": result.reason,
+        "failed_resource": result.failed_resource,
+        "level": result.qos_level,
+        "label": None,
+        "psi": None,
+    }
+    if result.success and result.plan is not None:
+        document["label"] = result.plan.end_to_end_label
+        document["psi"] = result.plan.psi
+    return document
+
+
+def _renegotiation_to_dict(result: RenegotiationResult) -> dict:
+    return {
+        "session_id": result.session_id,
+        "outcome": result.outcome,
+        "success": result.success,
+        "previous_level": result.previous_level,
+        "new_level": result.new_level,
+        "restored": result.restored,
+        "result": _establishment_to_dict(result.result),
+    }
+
+
+@dataclass
+class _DaemonStats:
+    """Wire-level counters surfaced under /healthz."""
+
+    requests: int = 0
+    websocket_clients: int = 0
+
+
+class ReservationDaemon:
+    """Serves a :class:`ReservationService` over HTTP + WebSocket."""
+
+    def __init__(self, config: Optional[DaemonConfig] = None) -> None:
+        self.config = config or DaemonConfig()
+        self.service = ReservationService(self.config)
+        self.stats = _DaemonStats()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._lock = asyncio.Lock()
+        self._inflight = 0
+        self._drained = asyncio.Event()
+        self._drained.set()
+        self._draining = False
+        self._ws_tasks: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves port 0 after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("daemon is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Install observability and bind the listening socket."""
+        self.service.start()
+        try:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+        except BaseException:
+            self.service.close()
+            raise
+
+    async def shutdown(self, *, drain: Optional[bool] = True) -> None:
+        """Stop accepting work, drain in-flight admissions, release state.
+
+        New admissions are refused with 503 the moment shutdown begins;
+        requests already inside the admission lock complete (bounded by
+        ``config.drain_timeout``).  WebSocket streams are closed, the
+        socket is closed, and the observability handles are uninstalled.
+        """
+        self._draining = True
+        if drain:
+            try:
+                await asyncio.wait_for(
+                    self._drained.wait(), timeout=self.config.drain_timeout
+                )
+            except asyncio.TimeoutError:  # pragma: no cover - pathological
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._ws_tasks):
+            task.cancel()
+        if self._ws_tasks:
+            await asyncio.gather(*self._ws_tasks, return_exceptions=True)
+        self.service.close()
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the ``repro-serve`` entry point's core)."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await _http.read_request(reader)
+            if request is None:
+                return
+            self.stats.requests += 1
+            if request.path == "/v1/events" and request.wants_websocket:
+                await self._serve_websocket(request, reader, writer)
+                return
+            response = await self._dispatch(request)
+            writer.write(response)
+            await writer.drain()
+        except _http.ProtocolError as exc:
+            try:
+                writer.write(
+                    _http.json_response_bytes(400, {"error": str(exc)})
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass
+        except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, request: _http.Request) -> bytes:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return _http.json_response_bytes(
+                200,
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "requests": self.stats.requests,
+                    "websocket_clients": self.stats.websocket_clients,
+                },
+            )
+        if route == ("GET", "/metrics"):
+            body = self.service.metrics_exposition().encode("utf-8")
+            return _http.response_bytes(
+                200, body, content_type="text/plain; version=0.0.4"
+            )
+        if route == ("GET", "/v1/query"):
+            return self._guarded(
+                lambda: self.service.query(request.query.get("session_id"))
+            )
+        if request.method != "POST":
+            return _http.json_response_bytes(
+                405, {"error": f"no route for {request.method} {request.path}"}
+            )
+        handlers = {
+            "/v1/establish": self.service.establish,
+            "/v1/establish_batch": self.service.establish_batch,
+            "/v1/renegotiate": self.service.renegotiate,
+            "/v1/teardown": self.service.teardown,
+        }
+        handler = handlers.get(request.path)
+        if handler is None:
+            return _http.json_response_bytes(
+                404, {"error": f"unknown path {request.path!r}"}
+            )
+        if self._draining:
+            return _http.json_response_bytes(
+                503, {"error": "daemon is shutting down"}
+            )
+        payload = request.json()
+        return await self._admit(handler, payload)
+
+    async def _admit(self, handler, payload: dict) -> bytes:
+        """Run one admission operation serialized under the lock.
+
+        The in-flight window covers lock wait + execution, so shutdown's
+        drain barrier sees every request that was accepted before the
+        draining flag flipped.
+        """
+        self._inflight += 1
+        self._drained.clear()
+        try:
+            async with self._lock:
+                return self._guarded(lambda: handler(payload))
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._drained.set()
+
+    def _guarded(self, operation) -> bytes:
+        try:
+            return _http.json_response_bytes(200, operation())
+        except ServiceError as exc:
+            return _http.json_response_bytes(exc.status, {"error": str(exc)})
+        except (ModelError, ReproError) as exc:
+            return _http.json_response_bytes(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            return _http.json_response_bytes(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    # -- the event plane over WebSocket ------------------------------------
+
+    async def _serve_websocket(
+        self,
+        request: _http.Request,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        key = request.headers.get("sec-websocket-key")
+        if not key:
+            writer.write(
+                _http.json_response_bytes(400, {"error": "missing Sec-WebSocket-Key"})
+            )
+            await writer.drain()
+            return
+        writer.write(_http.websocket_handshake_bytes(key))
+        await writer.drain()
+        queue_size = None
+        if "queue" in request.query:
+            try:
+                queue_size = max(2, int(request.query["queue"]))
+            except ValueError:
+                queue_size = None
+        subscriber = self.service.plane.subscribe(queue_size=queue_size)
+        self.stats.websocket_clients += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._ws_tasks.add(task)
+        control = asyncio.create_task(self._ws_control_loop(reader))
+        # A client close (or dead socket) must wake the sender even when
+        # no events are flowing: closing the subscription queues the
+        # close sentinel next_event() is waiting on.
+        control.add_done_callback(
+            lambda _task: self.service.plane.unsubscribe(subscriber)
+        )
+        try:
+            while True:
+                event = await subscriber.next_event()
+                if event is None:
+                    break
+                frame = _http.encode_ws_frame(
+                    json.dumps(event, sort_keys=True).encode("utf-8")
+                )
+                writer.write(frame)
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.service.plane.unsubscribe(subscriber)
+            self.stats.websocket_clients -= 1
+            if task is not None:
+                self._ws_tasks.discard(task)
+            control.cancel()
+            try:
+                await control
+            except (Exception, asyncio.CancelledError):  # pragma: no cover
+                pass
+            try:
+                writer.write(_http.encode_ws_frame(b"", opcode=_http.OP_CLOSE))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    async def _ws_control_loop(self, reader: asyncio.StreamReader) -> None:
+        """Consume client frames; returns when the client closes."""
+        while True:
+            opcode, _payload = await _http.read_ws_frame(reader)
+            if opcode == _http.OP_CLOSE:
+                return

@@ -1,0 +1,149 @@
+"""The daemon's live event plane: EventLog -> bounded subscriber queues.
+
+:class:`repro.obs.events.EventLog` delivers every emitted event to its
+subscribers *synchronously inside emit*; a WebSocket consumer on the
+other end of a TCP connection can be arbitrarily slow.  The
+:class:`EventPlane` decouples the two: one synchronous fan-out callback
+pushes JSON-ready event dicts into a bounded :class:`asyncio.Queue` per
+subscriber, and a slow consumer loses events *from its own queue only* --
+admission processing and every other subscriber are unaffected.
+
+Loss is never silent: once a subscriber's queue has room again, the next
+delivery is preceded by a single ``stream.truncated`` marker carrying the
+number of events that subscriber missed (mirroring the ``log.truncated``
+marker the bounded :class:`EventLog` itself appends at capacity).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from repro.obs.events import EventLog, ReservationEvent
+
+__all__ = ["EventPlane", "EventSubscriber", "TRUNCATION_KIND"]
+
+#: The marker kind injected into a slow subscriber's stream.  Distinct
+#: from ``log.truncated`` (the EventLog's own storage bound): this one is
+#: per-subscriber and says "events were emitted that *you* did not get".
+TRUNCATION_KIND = "stream.truncated"
+
+#: Sentinel closing a subscriber's stream (queued on detach/close).
+_CLOSE = None
+
+
+class EventSubscriber:
+    """One consumer's bounded view of the event stream."""
+
+    def __init__(self, subscriber_id: int, maxsize: int) -> None:
+        self.subscriber_id = subscriber_id
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=maxsize)
+        #: Events dropped since the last delivered truncation marker.
+        self.dropped = 0
+        #: Total events dropped over the subscriber's lifetime.
+        self.total_dropped = 0
+        self.closed = False
+
+    async def next_event(self) -> Optional[dict]:
+        """The next event dict, or None once the stream is closed."""
+        if self.closed and self.queue.empty():
+            return None
+        item = await self.queue.get()
+        if item is _CLOSE:
+            self.closed = True
+            return None
+        return item
+
+
+class EventPlane:
+    """Fans one :class:`EventLog` out to bounded per-subscriber queues."""
+
+    def __init__(self, *, queue_size: int = 256) -> None:
+        if queue_size < 2:
+            # One slot for the truncation marker plus one for a payload
+            # is the minimum that lets a stalled consumer ever recover.
+            raise ValueError(f"queue_size must be >= 2, got {queue_size!r}")
+        self.queue_size = queue_size
+        self._subscribers: Dict[int, EventSubscriber] = {}
+        self._ids = itertools.count(1)
+        self._log: Optional[EventLog] = None
+        #: Total events fanned out (delivered or dropped), for /v1/query.
+        self.events_seen = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, log: EventLog) -> None:
+        """Start fanning out every event ``log`` emits."""
+        if self._log is not None:
+            raise RuntimeError("EventPlane is already attached to a log")
+        self._log = log
+        log.subscribe(self._deliver)
+
+    def detach(self) -> None:
+        """Stop fanning out and close every subscriber's stream."""
+        if self._log is not None:
+            self._log.unsubscribe(self._deliver)
+            self._log = None
+        for subscriber in list(self._subscribers.values()):
+            self.unsubscribe(subscriber)
+
+    # -- subscriptions -----------------------------------------------------
+
+    def subscribe(self, *, queue_size: Optional[int] = None) -> EventSubscriber:
+        """A new subscriber receiving every event from now on."""
+        subscriber = EventSubscriber(next(self._ids), queue_size or self.queue_size)
+        self._subscribers[subscriber.subscriber_id] = subscriber
+        return subscriber
+
+    def unsubscribe(self, subscriber: EventSubscriber) -> None:
+        """Close the subscriber's stream (idempotent)."""
+        self._subscribers.pop(subscriber.subscriber_id, None)
+        if not subscriber.closed:
+            subscriber.closed = True
+            # Make sure the reader wakes up even on a full queue: drop
+            # one pending event to make room for the close sentinel.
+            try:
+                subscriber.queue.put_nowait(_CLOSE)
+            except asyncio.QueueFull:
+                try:
+                    subscriber.queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover - racy branch
+                    pass
+                subscriber.queue.put_nowait(_CLOSE)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    # -- fan-out -----------------------------------------------------------
+
+    def _deliver(self, event: ReservationEvent) -> None:
+        """EventLog subscriber callback: runs inside ``emit``."""
+        self.events_seen += 1
+        payload = event.to_dict()
+        for subscriber in list(self._subscribers.values()):
+            self._offer(subscriber, payload)
+
+    def _offer(self, subscriber: EventSubscriber, payload: dict) -> None:
+        queue = subscriber.queue
+        if subscriber.dropped:
+            # Recovery needs room for the marker *and* this event, or the
+            # marker itself would immediately re-truncate the stream.
+            if queue.maxsize - queue.qsize() < 2:
+                subscriber.dropped += 1
+                subscriber.total_dropped += 1
+                return
+            queue.put_nowait(
+                {
+                    "kind": TRUNCATION_KIND,
+                    "dropped": subscriber.dropped,
+                    "resume_seq": payload.get("seq"),
+                }
+            )
+            subscriber.dropped = 0
+        try:
+            queue.put_nowait(payload)
+        except asyncio.QueueFull:
+            subscriber.dropped += 1
+            subscriber.total_dropped += 1

@@ -1,0 +1,264 @@
+"""Minimal HTTP/1.1 + WebSocket (RFC 6455) plumbing over asyncio streams.
+
+The reservation daemon speaks plain HTTP for its admission API and a
+WebSocket for the live event plane.  The container policy is stdlib-only
+(no FastAPI/uvicorn/websockets), so this module implements exactly the
+slice both ends need:
+
+* request parsing (request line, headers, ``Content-Length`` bodies) and
+  response serialization for short-lived ``Connection: close`` exchanges;
+* the RFC 6455 opening handshake (``Sec-WebSocket-Accept``) and data
+  framing -- unmasked server frames, masked client frames, 7/16/64-bit
+  payload lengths, close/ping/pong control opcodes.
+
+Both the daemon (:mod:`repro.service.daemon`) and the client
+(:mod:`repro.service.client`) build on these primitives, so the framing
+code is exercised from both directions in every test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+    "OP_TEXT",
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "ProtocolError",
+    "Request",
+    "read_request",
+    "response_bytes",
+    "json_response_bytes",
+    "websocket_accept_key",
+    "websocket_handshake_bytes",
+    "encode_ws_frame",
+    "read_ws_frame",
+]
+
+#: Bounds on inbound messages; a reservation API exchange is tiny, so
+#: anything larger is a confused (or hostile) peer, not a real request.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: RFC 6455 §1.3 handshake GUID.
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed HTTP request or WebSocket frame."""
+
+
+@dataclass
+class Request:
+    """One parsed inbound HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body decoded as a JSON object ({} when empty)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError("JSON body must be an object")
+        return payload
+
+    @property
+    def wants_websocket(self) -> bool:
+        """True when the request asks to upgrade to a WebSocket."""
+        upgrade = self.headers.get("upgrade", "").lower()
+        connection = self.headers.get("connection", "").lower()
+        return upgrade == "websocket" and "upgrade" in connection
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; None on clean EOF before any bytes arrive."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("request head exceeds the stream limit") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"request head exceeds {MAX_HEADER_BYTES} bytes")
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"malformed request line: {head[:80]!r}") from exc
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise ProtocolError(f"bad Content-Length: {length_text!r}") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise ProtocolError(f"body of {length} bytes refused")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise ProtocolError("connection closed mid-body") from exc
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=parts.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    extra_headers: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Serialize one ``Connection: close`` HTTP response."""
+    phrase = _STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response_bytes(status: int, payload: object) -> bytes:
+    """A JSON response with deterministic key order."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return response_bytes(status, body)
+
+
+# -- WebSocket ---------------------------------------------------------------
+
+
+def websocket_accept_key(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's key."""
+    digest = hashlib.sha1((key + _WS_GUID).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def websocket_handshake_bytes(key: str) -> bytes:
+    """The 101 Switching Protocols response completing the handshake."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {websocket_accept_key(key)}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def encode_ws_frame(payload: bytes, *, opcode: int = OP_TEXT, mask: bool = False) -> bytes:
+    """One final (FIN=1) WebSocket frame.
+
+    Servers send unmasked frames; clients MUST mask (RFC 6455 §5.3),
+    so the client passes ``mask=True``.
+    """
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < (1 << 16):
+        header.append(mask_bit | 126)
+        header += struct.pack("!H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+async def read_ws_frame(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
+    """Read one frame; returns (opcode, unmasked payload).
+
+    Handles both masked (client-sent) and unmasked (server-sent) frames
+    and the extended 16/64-bit payload lengths.  Raises
+    :class:`ProtocolError` on EOF mid-frame or oversized payloads;
+    fragmented messages (FIN=0) are refused -- every producer in this
+    codebase sends final frames only.
+    """
+    try:
+        first = await reader.readexactly(2)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    fin = first[0] & 0x80
+    opcode = first[0] & 0x0F
+    if not fin and opcode != 0:
+        raise ProtocolError("fragmented WebSocket messages are not supported")
+    masked = first[1] & 0x80
+    length = first[1] & 0x7F
+    try:
+        if length == 126:
+            length = struct.unpack("!H", await reader.readexactly(2))[0]
+        elif length == 127:
+            length = struct.unpack("!Q", await reader.readexactly(8))[0]
+        if length > MAX_BODY_BYTES:
+            raise ProtocolError(f"frame of {length} bytes refused")
+        key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload

@@ -1,0 +1,345 @@
+"""Open-loop load generator: WorkloadSpec arrivals as concurrent clients.
+
+Replays the §5.1 Poisson arrival process against a live
+:class:`~repro.service.daemon.ReservationDaemon`: every
+:class:`~repro.sim.workload.SessionArrival` becomes one HTTP client that
+fires its ``/v1/establish`` at ``arrival_time * time_scale`` seconds
+after start *regardless of how earlier requests are doing* (open loop --
+the daemon's queueing shows up as admission latency, exactly what a
+closed loop would hide).  Admitted sessions optionally hold their
+reservation for a scaled duration and then tear down.
+
+The run distils into a :class:`LoadReport` whose :meth:`headline
+<LoadReport.headline>` feeds the committed ``BENCH_service_load``
+telemetry ledger: throughput and admission-latency percentiles keyed so
+the ledger diff gate treats them as runner-dependent timings, plus the
+deterministic session count as a structural leaf.
+
+Also runnable standalone against an already-running daemon::
+
+    repro-serve --port 8787 &
+    python -m repro.service.loadgen --port 8787 --rate 600 --horizon 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.des.rng import RandomStreams
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.sim.workload import SessionArrival, WorkloadGenerator, WorkloadSpec
+
+__all__ = ["LoadGenConfig", "LoadReport", "arrival_payload", "run_load", "main"]
+
+
+def arrival_payload(arrival: SessionArrival) -> dict:
+    """The wire form of one workload arrival.
+
+    The daemon reconstructs a :class:`SessionArrival` from this payload
+    and converts it with :meth:`SessionArrival.to_session_request` once
+    the binding is known -- the two halves of the workload-to-protocol
+    converter the load generator rides on.
+    """
+    return {
+        "session_id": arrival.session_id,
+        "service": arrival.service,
+        "domain": arrival.domain,
+        "demand_scale": arrival.demand_scale,
+        "duration": arrival.duration,
+        "arrival_time": arrival.arrival_time,
+    }
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """One load run: the workload to replay and how fast to replay it."""
+
+    #: The arrival process (TU-denominated, exactly as in simulation).
+    workload: WorkloadSpec = field(
+        default_factory=lambda: WorkloadSpec(rate_per_60tu=600.0, horizon=30.0)
+    )
+    seed: int = 7
+    #: Wall seconds per workload TU (0.01 = a 60 TU horizon in 0.6 s).
+    time_scale: float = 0.01
+    #: Hold admitted reservations for ``duration * time_scale`` wall
+    #: seconds (capped) before tearing down; 0 tears down immediately.
+    max_hold_seconds: float = 0.25
+    #: Tear admitted sessions down at all (off = leak them on purpose).
+    teardown: bool = True
+    #: Stop after this many arrivals (None = the full horizon).
+    max_sessions: Optional[int] = None
+    #: Send arrivals in establish_batch groups of this size instead of
+    #: one establish per client (1 = plain per-session open loop).
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time_scale <= 0:
+            raise ValueError(f"time_scale must be positive, got {self.time_scale!r}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch!r}")
+
+
+@dataclass
+class LoadReport:
+    """What one open-loop run measured."""
+
+    sessions: int
+    admitted: int
+    rejected: int
+    errors: int
+    torn_down: int
+    wall_seconds: float
+    latencies_ms: List[float]
+    peak_inflight: int
+
+    @property
+    def throughput(self) -> float:
+        """Completed admission decisions per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return (self.admitted + self.rejected) / self.wall_seconds
+
+    def percentile_ms(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def headline(self) -> Dict[str, float]:
+        """Ledger headline: structural counts + timing-keyed latencies.
+
+        Keys carrying wall-clock facts embed a timing fragment
+        (``wall``/``_ms``/``seconds``) so ``repro-obs diff`` gates them
+        per runner fingerprint instead of structurally.
+        """
+        return {
+            "sessions": self.sessions,
+            "wall_seconds": self.wall_seconds,
+            "throughput_per_wall_second": self.throughput,
+            "admission_latency_p50_ms": self.percentile_ms(50),
+            "admission_latency_p90_ms": self.percentile_ms(90),
+            "admission_latency_p99_ms": self.percentile_ms(99),
+            "admission_latency_max_ms": self.percentile_ms(100),
+            "admission_latency_mean_ms": (
+                float(np.mean(self.latencies_ms)) if self.latencies_ms else 0.0
+            ),
+        }
+
+    def environment(self) -> Dict[str, str]:
+        """Run facts that document, but never gate (order-dependent)."""
+        return {
+            "admitted": str(self.admitted),
+            "rejected": str(self.rejected),
+            "errors": str(self.errors),
+            "torn_down": str(self.torn_down),
+            "peak_inflight": str(self.peak_inflight),
+        }
+
+    def to_dict(self) -> dict:
+        document = dict(self.headline())
+        document.update({k: int(v) for k, v in self.environment().items()})
+        return document
+
+
+class _Tracker:
+    """Shared counters across the open-loop client tasks."""
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.rejected = 0
+        self.errors = 0
+        self.torn_down = 0
+        self.latencies_ms: List[float] = []
+        self.inflight = 0
+        self.peak_inflight = 0
+
+    def enter(self) -> None:
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def leave(self) -> None:
+        self.inflight -= 1
+
+
+async def run_load(host: str, port: int, config: LoadGenConfig) -> LoadReport:
+    """Replay the configured workload against a live daemon."""
+    generator = WorkloadGenerator(config.workload, RandomStreams(config.seed))
+    arrivals = list(generator.generate())
+    if config.max_sessions is not None:
+        arrivals = arrivals[: config.max_sessions]
+    client = ServiceClient(host, port)
+    tracker = _Tracker()
+    started = _time.perf_counter()
+    if config.batch > 1:
+        groups = [
+            arrivals[i : i + config.batch]
+            for i in range(0, len(arrivals), config.batch)
+        ]
+        tasks = [
+            asyncio.create_task(
+                _batch_client(client, group, config, tracker, started)
+            )
+            for group in groups
+        ]
+    else:
+        tasks = [
+            asyncio.create_task(
+                _one_client(client, arrival, config, tracker, started)
+            )
+            for arrival in arrivals
+        ]
+    if tasks:
+        await asyncio.gather(*tasks)
+    wall = _time.perf_counter() - started
+    return LoadReport(
+        sessions=len(arrivals),
+        admitted=tracker.admitted,
+        rejected=tracker.rejected,
+        errors=tracker.errors,
+        torn_down=tracker.torn_down,
+        wall_seconds=wall,
+        latencies_ms=tracker.latencies_ms,
+        peak_inflight=tracker.peak_inflight,
+    )
+
+
+async def _pace(arrival_time: float, config: LoadGenConfig, started: float) -> None:
+    """Sleep until the arrival's scheduled open-loop fire time."""
+    due = arrival_time * config.time_scale
+    delay = due - (_time.perf_counter() - started)
+    if delay > 0:
+        await asyncio.sleep(delay)
+
+
+async def _one_client(
+    client: ServiceClient,
+    arrival: SessionArrival,
+    config: LoadGenConfig,
+    tracker: _Tracker,
+    started: float,
+) -> None:
+    await _pace(arrival.arrival_time, config, started)
+    tracker.enter()
+    try:
+        sent = _time.perf_counter()
+        try:
+            outcome = await client.establish(**arrival_payload(arrival))
+        except (ServiceClientError, ConnectionError, OSError):
+            tracker.errors += 1
+            return
+        tracker.latencies_ms.append((_time.perf_counter() - sent) * 1e3)
+        if not outcome.get("success"):
+            tracker.rejected += 1
+            return
+        tracker.admitted += 1
+        await _hold_and_teardown(client, arrival, config, tracker)
+    finally:
+        tracker.leave()
+
+
+async def _batch_client(
+    client: ServiceClient,
+    group: List[SessionArrival],
+    config: LoadGenConfig,
+    tracker: _Tracker,
+    started: float,
+) -> None:
+    """One client submitting a whole batch at its first arrival's time."""
+    await _pace(group[0].arrival_time, config, started)
+    tracker.enter()
+    try:
+        sent = _time.perf_counter()
+        try:
+            outcomes = await client.establish_batch(
+                [arrival_payload(arrival) for arrival in group]
+            )
+        except (ServiceClientError, ConnectionError, OSError):
+            tracker.errors += len(group)
+            return
+        tracker.latencies_ms.append((_time.perf_counter() - sent) * 1e3)
+        holders = []
+        for arrival, outcome in zip(group, outcomes):
+            if outcome.get("success"):
+                tracker.admitted += 1
+                holders.append(
+                    _hold_and_teardown(client, arrival, config, tracker)
+                )
+            else:
+                tracker.rejected += 1
+        if holders:
+            await asyncio.gather(*holders)
+    finally:
+        tracker.leave()
+
+
+async def _hold_and_teardown(
+    client: ServiceClient,
+    arrival: SessionArrival,
+    config: LoadGenConfig,
+    tracker: _Tracker,
+) -> None:
+    if not config.teardown:
+        return
+    hold = min(arrival.duration * config.time_scale, config.max_hold_seconds)
+    if hold > 0:
+        await asyncio.sleep(hold)
+    try:
+        await client.teardown(arrival.session_id)
+        tracker.torn_down += 1
+    except (ServiceClientError, ConnectionError, OSError):
+        tracker.errors += 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.service.loadgen`` -- drive a running daemon."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument("--rate", type=float, default=600.0,
+                        help="sessions per 60 TU (workload rate)")
+    parser.add_argument("--horizon", type=float, default=30.0,
+                        help="workload horizon in TU")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--time-scale", type=float, default=0.01,
+                        help="wall seconds per workload TU")
+    parser.add_argument("--max-hold", type=float, default=0.25,
+                        help="cap on scaled reservation hold, seconds")
+    parser.add_argument("--max-sessions", type=int, default=None)
+    parser.add_argument("--batch", type=int, default=1,
+                        help="establish_batch group size (1 = per-session)")
+    parser.add_argument("--no-teardown", action="store_true")
+    parser.add_argument("--out", default=None,
+                        help="write the report JSON here")
+    args = parser.parse_args(argv)
+
+    config = LoadGenConfig(
+        workload=WorkloadSpec(rate_per_60tu=args.rate, horizon=args.horizon),
+        seed=args.seed,
+        time_scale=args.time_scale,
+        max_hold_seconds=args.max_hold,
+        teardown=not args.no_teardown,
+        max_sessions=args.max_sessions,
+        batch=args.batch,
+    )
+    report = asyncio.run(run_load(args.host, args.port, config))
+    document = report.to_dict()
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    print(text)
+    if report.errors:
+        print(f"{report.errors} request error(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

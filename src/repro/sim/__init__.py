@@ -39,7 +39,12 @@ from repro.sim.services import (
     family_of_service,
 )
 from repro.sim.staleness import StaleObservationModel
-from repro.sim.workload import SessionClassifier, WorkloadGenerator, WorkloadSpec
+from repro.sim.workload import (
+    SessionArrival,
+    SessionClassifier,
+    WorkloadGenerator,
+    WorkloadSpec,
+)
 
 __all__ = [
     "ClassBreakdown",
@@ -51,6 +56,7 @@ __all__ = [
     "PathCensus",
     "SerialSweepRunner",
     "ServiceFamily",
+    "SessionArrival",
     "SessionClassifier",
     "SimulationConfig",
     "SimulationResult",

@@ -21,6 +21,7 @@ constraints and are all overridable via :class:`WorkloadSpec`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -31,8 +32,15 @@ from repro.des.rng import RandomStreams
 
 
 @dataclass(frozen=True)
-class SessionRequest:
-    """One generated arrival, before any planning happens."""
+class SessionArrival:
+    """One generated arrival, before any planning happens.
+
+    This is the *workload-side* record (when and what a client asked
+    for); the *protocol-side* per-session establishment arguments are
+    :class:`repro.runtime.messages.SessionRequest`.  The two used to
+    share a name -- use :meth:`to_session_request` to convert an arrival
+    into the protocol message once its binding is known.
+    """
 
     session_id: str
     arrival_time: float
@@ -48,8 +56,57 @@ class SessionRequest:
 
     @property
     def long(self) -> bool:
-        """True for a session longer than 60 time units (§5.1)."""
-        return self.duration > 60.0
+        """True for a session of at least 60 time units (§5.1).
+
+        The boundary is :data:`SessionClassifier.LONG_BOUNDARY`,
+        *inclusive* on the long side: a long-law draw of exactly 60.0
+        (``long_range`` includes its lower bound) is a long session.
+        """
+        return SessionClassifier.is_long(self.duration)
+
+    @property
+    def session_class(self) -> str:
+        """The §5.2.3 class name of this arrival."""
+        return SessionClassifier.classify(self.fat, self.long)
+
+    def to_session_request(
+        self,
+        binding,
+        *,
+        component_hosts: Optional[Dict[str, str]] = None,
+        source_label: Optional[str] = None,
+    ):
+        """Convert to a :class:`repro.runtime.messages.SessionRequest`.
+
+        The arrival carries *what* was asked for; ``binding`` (and
+        optionally ``component_hosts``) say *where* it lands -- typically
+        ``GridEnvironment.binding_for(arrival.service, arrival.domain)``.
+        The load generator and the service daemon's batch endpoint both
+        go through this converter.
+        """
+        from repro.runtime.messages import SessionRequest as _ProtocolRequest
+
+        return _ProtocolRequest(
+            session_id=self.session_id,
+            service_name=self.service,
+            binding=binding,
+            component_hosts=component_hosts,
+            source_label=source_label,
+            demand_scale=self.demand_scale,
+        )
+
+
+def __getattr__(name: str):
+    if name == "SessionRequest":
+        warnings.warn(
+            "repro.sim.workload.SessionRequest was renamed to SessionArrival "
+            "(it collided with the distinct repro.runtime.messages."
+            "SessionRequest batch-planning input); update the import",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return SessionArrival
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -104,6 +161,16 @@ class SessionClassifier:
     """The §5.2.3 class taxonomy: {normal, fat} x {short, long}."""
 
     CLASSES = ("norm.-short", "norm.-long", "fat-short", "fat-long")
+
+    #: The short/long duration boundary (60 TU in §5.1).  Long durations
+    #: are drawn from ``long_range`` which *includes* its lower bound, so
+    #: the boundary itself classifies as long.
+    LONG_BOUNDARY = 60.0
+
+    @staticmethod
+    def is_long(duration: float) -> bool:
+        """True for durations at or beyond :data:`LONG_BOUNDARY`."""
+        return duration >= SessionClassifier.LONG_BOUNDARY
 
     @staticmethod
     def classify(fat: bool, long: bool) -> str:
@@ -174,10 +241,10 @@ class WorkloadGenerator:
             spec.popularity_concentration,
         )
 
-    def __iter__(self) -> Iterator[SessionRequest]:
+    def __iter__(self) -> Iterator[SessionArrival]:
         return self.generate()
 
-    def generate(self) -> Iterator[SessionRequest]:
+    def generate(self) -> Iterator[SessionArrival]:
         """Yield arrivals in time order until the horizon."""
         spec = self.spec
         time = 0.0
@@ -194,7 +261,7 @@ class WorkloadGenerator:
             service = self._pick_service(domain, time, placement)
             demand_scale = self._pick_scale(classes)
             duration = self._pick_duration(classes)
-            yield SessionRequest(
+            yield SessionArrival(
                 session_id=f"ssn-{counter}",
                 arrival_time=time,
                 domain=domain,

@@ -1,0 +1,98 @@
+"""Non-finite values never reach committed artifacts.
+
+``float("inf")``/NaN serialize as the non-standard ``Infinity``/``NaN``
+JSON tokens, which strict parsers (and the ledger diff gate) reject.
+The bench ledger writer nulls them at write time; these tests load the
+writer straight from ``benchmarks/conftest.py`` (the benchmarks
+directory is not a package) and pin that guarantee.
+"""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_bench_conftest():
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", REPO_ROOT / "benchmarks" / "conftest.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestNulledNonFinite:
+    def test_scalars_and_nesting(self):
+        bench = load_bench_conftest()
+        nulled = bench._nulled_non_finite(
+            {
+                "ok": 1.5,
+                "pos": float("inf"),
+                "neg": float("-inf"),
+                "nan": float("nan"),
+                "nested": {"rows": [1.0, float("inf"), (2.0, float("nan"))]},
+                "text": "inf",
+                "count": 7,
+            }
+        )
+        assert nulled["ok"] == 1.5
+        assert nulled["pos"] is None
+        assert nulled["neg"] is None
+        assert nulled["nan"] is None
+        assert nulled["nested"]["rows"] == [1.0, None, [2.0, None]]
+        assert nulled["text"] == "inf"  # strings pass through untouched
+        assert nulled["count"] == 7
+
+    def test_integers_survive(self):
+        bench = load_bench_conftest()
+        assert bench._nulled_non_finite(10**30) == 10**30
+
+
+class TestLedgerWriter:
+    def test_non_finite_headline_is_nulled_on_disk(self, tmp_path, monkeypatch):
+        bench = load_bench_conftest()
+        monkeypatch.setenv(bench.LEDGER_DIR_ENV, str(tmp_path))
+        target = bench.write_bench_ledger(
+            "nonfinite_probe",
+            headline={
+                "speedup": float("inf"),
+                "ratio_nan": float("nan"),
+                "floor": float("-inf"),
+                "count": 3,
+                "wall_seconds": 0.25,
+            },
+            environment={"note": "test"},
+        )
+        text = target.read_text()
+        # The raw bytes carry none of the non-standard JSON tokens.
+        assert "Infinity" not in text
+        assert "NaN" not in text
+        document = json.loads(text)
+        headline = document["headline"]
+        assert headline["speedup"] is None
+        assert headline["ratio_nan"] is None
+        assert headline["floor"] is None
+        assert headline["count"] == 3
+        assert headline["wall_seconds"] == 0.25
+        # Timing baselines were extracted *after* nulling: the nulled
+        # "speedup" (a timing-fragment key) must not reappear there as
+        # a non-finite number.
+        for timings in document.get("timing_baselines", {}).values():
+            for value in timings.values():
+                assert value is None or math.isfinite(value)
+
+
+class TestComplexitySpeedupGuard:
+    def test_zero_warm_time_yields_none_not_inf(self):
+        # The complexity experiment's cache-speedup line: a timer-
+        # granularity zero warm time must degrade to None ("n/a" in the
+        # report), never emit float("inf") into the report extras.
+        from repro.analysis.experiments import finite_speedup
+
+        assert finite_speedup(1e-6, 0.0) is None
+        assert finite_speedup(1e-6, -1.0) is None
+        assert finite_speedup(1e300, 1e-300) is None  # overflows to inf
+        assert finite_speedup(4.0, 2.0) == 2.0

@@ -283,6 +283,23 @@ class TestPromExposition:
     def test_empty_snapshot(self):
         assert snapshot_exposition({}) == ""
 
+    def test_non_finite_values_use_prometheus_spellings(self):
+        # Python's repr() spells them "inf"/"-inf"/"nan"; the exposition
+        # format requires "+Inf"/"-Inf"/"NaN" or scrapers reject the
+        # whole page.
+        registry = MetricsRegistry()
+        registry.gauge("edge.pos", kind="p").set(float("inf"))
+        registry.gauge("edge.neg", kind="n").set(float("-inf"))
+        registry.gauge("edge.nan", kind="x").set(float("nan"))
+        text = registry_exposition(registry)
+        assert 'repro_edge_pos{kind="p"} +Inf' in text.splitlines()
+        assert 'repro_edge_neg{kind="n"} -Inf' in text.splitlines()
+        assert 'repro_edge_nan{kind="x"} NaN' in text.splitlines()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert line.rsplit(" ", 1)[1] not in {"inf", "-inf", "nan"}
+
 
 class TestExportRoundTrip:
     """write_trace_json -> load_trace preserves totals, metrics, events."""

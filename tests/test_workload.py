@@ -6,6 +6,7 @@ import pytest
 from repro.des import RandomStreams
 from repro.sim.workload import (
     PopularityDrift,
+    SessionArrival,
     SessionClassifier,
     WorkloadGenerator,
     WorkloadSpec,
@@ -142,3 +143,65 @@ class TestClassifier:
         assert SessionClassifier.classify(True, False) == "fat-short"
         assert SessionClassifier.classify(True, True) == "fat-long"
         assert len(SessionClassifier.CLASSES) == 4
+
+
+class TestSessionArrival:
+    """The renamed workload-side record and its protocol converter."""
+
+    def make(self, **overrides):
+        fields = dict(
+            session_id="sess-1",
+            arrival_time=0.0,
+            domain="D1",
+            service="S2",
+            demand_scale=1.0,
+            duration=30.0,
+        )
+        fields.update(overrides)
+        return SessionArrival(**fields)
+
+    def test_duration_boundary_matches_classifier(self):
+        # long_range includes its lower bound, so a draw of exactly 60.0
+        # is a *long* session; the old `duration > 60.0` check disagreed
+        # with SessionClassifier and miscounted boundary draws.
+        assert not self.make(duration=59.999).long
+        assert self.make(duration=60.0).long
+        assert self.make(duration=60.001).long
+        boundary = SessionClassifier.LONG_BOUNDARY
+        assert self.make(duration=boundary).long == SessionClassifier.is_long(boundary)
+        assert self.make(duration=60.0).session_class == "norm.-long"
+        assert self.make(duration=60.0, demand_scale=2.0).session_class == "fat-long"
+
+    def test_generated_arrivals_agree_with_classifier(self):
+        generator = WorkloadGenerator(
+            WorkloadSpec(rate_per_60tu=240.0, horizon=120.0), RandomStreams(5)
+        )
+        for arrival in generator.generate():
+            assert arrival.long == SessionClassifier.is_long(arrival.duration)
+            assert arrival.session_class in SessionClassifier.CLASSES
+
+    def test_deprecated_session_request_alias(self):
+        import repro.sim.workload as workload
+
+        with pytest.warns(DeprecationWarning, match="SessionArrival"):
+            alias = workload.SessionRequest
+        assert alias is SessionArrival
+        with pytest.raises(AttributeError):
+            workload.does_not_exist
+
+    def test_to_session_request_converter(self):
+        from repro.runtime.messages import SessionRequest as ProtocolRequest
+
+        arrival = self.make(demand_scale=2.0)
+        binding = object()
+        hosts = {"cS": "H1", "cP": "H2", "cC": "D1"}
+        request = arrival.to_session_request(
+            binding, component_hosts=hosts, source_label="D1"
+        )
+        assert isinstance(request, ProtocolRequest)
+        assert request.session_id == arrival.session_id
+        assert request.service_name == arrival.service
+        assert request.binding is binding
+        assert request.component_hosts == hosts
+        assert request.source_label == "D1"
+        assert request.demand_scale == 2.0
