@@ -35,6 +35,16 @@ from repro.obs import events as _events
 from repro.obs import export as _export
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
+from repro.obs.context import (
+    TraceContext,
+    bind_trace_context,
+    child_context,
+    current_trace_context,
+    new_trace_context,
+    parse_traceparent,
+    reset_trace_context,
+    trace_context,
+)
 from repro.obs.events import (
     EVENT_KINDS,
     EventLog,
@@ -42,6 +52,7 @@ from repro.obs.events import (
     active_event_log,
     event_logging,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.export import (
     TRACE_SCHEMA_VERSION,
     observability_to_dict,
@@ -68,6 +79,7 @@ __all__ = [
     "DEFAULT_PSI_BUCKETS",
     "EVENT_KINDS",
     "EventLog",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -78,16 +90,24 @@ __all__ = [
     "ReservationEvent",
     "SpanRecord",
     "TRACE_SCHEMA_VERSION",
+    "TraceContext",
     "Tracer",
     "active_event_log",
     "active_observation_session",
     "active_registry",
     "active_tracer",
+    "bind_trace_context",
+    "child_context",
+    "current_trace_context",
     "event_logging",
     "metering",
+    "new_trace_context",
     "observability_to_dict",
+    "parse_traceparent",
+    "reset_trace_context",
     "reset_worker_observability",
     "summary_report",
+    "trace_context",
     "tracing",
     "write_metrics_csv",
     "write_summary",

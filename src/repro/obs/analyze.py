@@ -1,9 +1,9 @@
 """Trace analysis: answer "why" questions from an exported trace document.
 
 Loads the JSON trace documents written by :func:`repro.obs.export
-.write_trace_json` (schema v3 with the causal event log and the online
-monitoring digest; v1/v2 documents without them still load) and
-computes:
+.write_trace_json` (schema v4 with request-scoped ``trace_id``/
+``request_id`` stamps on spans and events; v1-v3 documents without them
+still load) and computes:
 
 * :func:`critical_path` -- per-session wall-time breakdown by phase
   *self time* (time in a span minus its children), the "where did this
@@ -16,7 +16,12 @@ computes:
   race, or rejected a broker request;
 * :func:`diff_documents` / :func:`gate_diff` -- numeric deltas between
   two documents (trace or benchmark-ledger JSON), the engine behind
-  ``repro-obs diff`` and the CI benchmark regression gate.
+  ``repro-obs diff`` and the CI benchmark regression gate;
+* :func:`stitch_traces` -- merge a *client-side* trace document (from
+  the load generator or any traced ``ServiceClient`` caller) with a
+  *daemon-side* one (a flight-recorder dump, or the daemon's exported
+  trace) into one cross-process timeline per request, joined on the
+  propagated ``trace_id`` -- the engine behind ``repro-obs stitch``.
 
 Everything here consumes plain loaded JSON -- no live tracer or registry
 is needed, so post-mortem analysis works on any exported artifact.
@@ -39,7 +44,9 @@ __all__ = [
     "BrokerTimeline",
     "DiffEntry",
     "FaultSummary",
+    "RequestTimeline",
     "SessionBreakdown",
+    "StitchReport",
     "TraceDocument",
     "TraceFormatError",
     "adaptation_summary",
@@ -50,6 +57,7 @@ __all__ = [
     "gate_diff",
     "is_timing_path",
     "load_trace",
+    "stitch_traces",
     "top_bottlenecks",
 ]
 
@@ -80,7 +88,7 @@ class TraceDocument:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "TraceDocument":
-        """Normalise a loaded JSON document (schema v1, v2 or v3)."""
+        """Normalise a loaded JSON document (schema v1 through v4)."""
         if not isinstance(payload, dict) or "schema_version" not in payload:
             raise TraceFormatError(
                 "not a trace document: missing the 'schema_version' field"
@@ -125,7 +133,7 @@ class TraceDocument:
 
 
 def load_trace(path: PathLike) -> TraceDocument:
-    """Load and normalise a trace JSON file (schema v1, v2 or v3)."""
+    """Load and normalise a trace JSON file (schema v1 through v4)."""
     payload = json.loads(Path(path).read_text())
     return TraceDocument.from_dict(payload)
 
@@ -508,6 +516,163 @@ def adaptation_summary(doc: TraceDocument) -> AdaptationSummary:
     summary.violations = dict(sorted(summary.violations.items()))
     summary.renegotiations = dict(sorted(summary.renegotiations.items()))
     return summary
+
+
+# -- cross-process stitching ---------------------------------------------------
+
+
+@dataclass
+class RequestTimeline:
+    """One request's story across the service boundary.
+
+    Joined on the propagated ``trace_id``: the client-side spans are the
+    caller's view (connect + round trip), the daemon-side spans and
+    causal events are what that request made the service do.  Spans are
+    plain span dicts (schema v4 shape), oldest first.
+    """
+
+    trace_id: str
+    request_id: Optional[str] = None
+    session: Optional[str] = None
+    client_spans: List[dict] = field(default_factory=list)
+    daemon_spans: List[dict] = field(default_factory=list)
+    daemon_events: List[ReservationEvent] = field(default_factory=list)
+
+    @property
+    def client_seconds(self) -> float:
+        """The caller-observed wall time: its longest span's duration."""
+        return max((float(s.get("duration", 0.0)) for s in self.client_spans), default=0.0)
+
+    @property
+    def daemon_seconds(self) -> float:
+        """The daemon-observed wall time: its longest span's duration."""
+        return max((float(s.get("duration", 0.0)) for s in self.daemon_spans), default=0.0)
+
+    @property
+    def outcome(self) -> str:
+        """The request's session outcome from its causal events ("" when
+        the events carry no ``session.*`` verdict)."""
+        for event in reversed(self.daemon_events):
+            if event.kind.startswith("session."):
+                return event.kind.split(".", 1)[1]
+        return ""
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Daemon-side summed duration per span name."""
+        totals: Dict[str, float] = {}
+        for record in self.daemon_spans:
+            name = str(record.get("name", ""))
+            totals[name] = totals.get(name, 0.0) + float(record.get("duration", 0.0))
+        return totals
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (the stitched document's shape)."""
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "session": self.session,
+            "outcome": self.outcome,
+            "client_seconds": self.client_seconds,
+            "daemon_seconds": self.daemon_seconds,
+            "client_spans": list(self.client_spans),
+            "daemon_spans": list(self.daemon_spans),
+            "daemon_events": [event.to_dict() for event in self.daemon_events],
+        }
+
+
+@dataclass
+class StitchReport:
+    """The result of merging a client and a daemon trace document."""
+
+    #: One timeline per linked trace_id, in client send order.
+    timelines: List[RequestTimeline] = field(default_factory=list)
+    #: Client-side trace_ids with no daemon-side span or event -- the
+    #: request never reached (or never finished inside) the daemon's
+    #: telemetry window.
+    orphan_client: List[str] = field(default_factory=list)
+    #: Daemon-side trace_ids with no client-side span -- telemetry from
+    #: callers outside the client document (or an untraced caller).
+    orphan_daemon: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when every client request linked to daemon-side telemetry."""
+        return not self.orphan_client
+
+    def to_dict(self) -> dict:
+        """JSON-compatible stitched document."""
+        return {
+            "schema": "stitched-trace/1",
+            "requests": [timeline.to_dict() for timeline in self.timelines],
+            "orphan_client": list(self.orphan_client),
+            "orphan_daemon": list(self.orphan_daemon),
+            "complete": self.complete,
+        }
+
+
+def stitch_traces(client: TraceDocument, daemon: TraceDocument) -> StitchReport:
+    """Merge client- and daemon-side documents into per-request timelines.
+
+    Every span of the client document stamped with a ``trace_id`` opens
+    (or extends) that trace's timeline; the daemon document contributes
+    its stamped spans and causal events to the same key.  Client traces
+    with no daemon-side telemetry land in ``orphan_client`` (the
+    acceptance gate of the CI smoke run), daemon traces with no client
+    side in ``orphan_daemon``.  Un-stamped records on either side are
+    ignored -- they belong to no request.
+    """
+    timelines: Dict[str, RequestTimeline] = {}
+    client_order: List[str] = []
+
+    def timeline_for(trace_id: str) -> RequestTimeline:
+        timeline = timelines.get(trace_id)
+        if timeline is None:
+            timeline = timelines[trace_id] = RequestTimeline(trace_id)
+        return timeline
+
+    for record in client.spans:
+        trace_id = record.get("trace_id")
+        if not trace_id:
+            continue
+        if trace_id not in timelines:
+            client_order.append(trace_id)
+        timeline = timeline_for(trace_id)
+        timeline.client_spans.append(record)
+        if timeline.request_id is None:
+            timeline.request_id = record.get("request_id")
+        session = record.get("attributes", {}).get("session")
+        if timeline.session is None and session is not None:
+            timeline.session = str(session)
+
+    daemon_side = set()
+    for record in daemon.spans:
+        trace_id = record.get("trace_id")
+        if not trace_id:
+            continue
+        daemon_side.add(trace_id)
+        timeline = timeline_for(trace_id)
+        timeline.daemon_spans.append(record)
+        if timeline.request_id is None:
+            timeline.request_id = record.get("request_id")
+    for event in daemon.events:
+        if not event.trace_id:
+            continue
+        daemon_side.add(event.trace_id)
+        timeline = timeline_for(event.trace_id)
+        timeline.daemon_events.append(event)
+        if timeline.request_id is None:
+            timeline.request_id = event.request_id
+        if timeline.session is None and event.session is not None:
+            timeline.session = event.session
+
+    client_side = set(client_order)
+    linked = [timelines[tid] for tid in client_order if tid in daemon_side]
+    orphan_client = [tid for tid in client_order if tid not in daemon_side]
+    orphan_daemon = sorted(daemon_side - client_side)
+    return StitchReport(
+        timelines=linked, orphan_client=orphan_client, orphan_daemon=orphan_daemon
+    )
 
 
 # -- document diffing ----------------------------------------------------------

@@ -21,7 +21,12 @@ v1 and v2 both load):
 * ``monitor-report``-- the monitoring digest (per-broker estimators,
   drift/SLO/renegotiation counts, causal drift->renegotiation pairs);
 * ``export-prom``   -- the document's metrics snapshot in Prometheus
-  text exposition format.
+  text exposition format;
+* ``stitch``        -- merge a client-side and a daemon-side trace
+  document (e.g. the loadgen's ``--trace-json`` output and a flight-
+  recorder dump) into one cross-process timeline per request, joined on
+  the propagated ``trace_id``; ``--require-complete`` exits non-zero
+  when any client request has no daemon-side telemetry.
 
 Installed as a console script via ``[project.scripts]``; also runnable
 as ``python -m repro.obs.cli``.
@@ -558,6 +563,55 @@ def _cmd_export_prom(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- stitch --------------------------------------------------------------------
+
+
+def _cmd_stitch(args: argparse.Namespace) -> int:
+    client = _load_trace(args.client)
+    daemon = _load_trace(args.daemon)
+    report = analyze.stitch_traces(client, daemon)
+    if args.output:
+        target = Path(args.output)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    total_client = len(report.timelines) + len(report.orphan_client)
+    lines = [
+        f"stitched {len(report.timelines)}/{total_client} client requests to "
+        f"daemon-side telemetry ({len(report.orphan_daemon)} daemon-only traces)"
+    ]
+    if report.timelines:
+        lines.append(
+            f"  {'request':<22} {'session':<14} {'outcome':<12} "
+            f"{'client_ms':>10} {'daemon_ms':>10} {'spans':>6} {'events':>7}"
+        )
+        shown = report.timelines if args.limit is None else report.timelines[: args.limit]
+        for timeline in shown:
+            lines.append(
+                f"  {(timeline.request_id or timeline.trace_id[:16]):<22} "
+                f"{(timeline.session or '-'):<14} {(timeline.outcome or '-'):<12} "
+                f"{1e3 * timeline.client_seconds:>10.2f} "
+                f"{1e3 * timeline.daemon_seconds:>10.2f} "
+                f"{len(timeline.client_spans) + len(timeline.daemon_spans):>6} "
+                f"{len(timeline.daemon_events):>7}"
+            )
+        if args.limit is not None and len(report.timelines) > args.limit:
+            lines.append(
+                f"  ... ({len(report.timelines) - args.limit} more; raise --limit)"
+            )
+    for trace_id in report.orphan_client:
+        lines.append(f"  ORPHAN client trace {trace_id}: no daemon-side telemetry")
+    _print(lines)
+    if args.require_complete and not report.complete:
+        _print(
+            [
+                f"stitch: INCOMPLETE -- {len(report.orphan_client)} client "
+                "request(s) have no daemon-side spans or events"
+            ]
+        )
+        return 1
+    return 0
+
+
 # -- parser --------------------------------------------------------------------
 
 
@@ -680,6 +734,29 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"metric name prefix (default {DEFAULT_PREFIX!r})",
     )
     prom.set_defaults(func=_cmd_export_prom)
+
+    stitch = sub.add_parser(
+        "stitch",
+        help="merge client- and daemon-side trace documents into one "
+        "cross-process timeline per request (joined on trace_id)",
+    )
+    stitch.add_argument("client", help="client-side trace JSON (loadgen --trace-json)")
+    stitch.add_argument(
+        "daemon", help="daemon-side trace JSON (flight-recorder dump or export)"
+    )
+    stitch.add_argument(
+        "-o", "--output", default=None,
+        help="write the merged stitched-trace/1 JSON document here",
+    )
+    stitch.add_argument(
+        "--limit", type=int, default=50, metavar="N",
+        help="per-request rows to print (default 50)",
+    )
+    stitch.add_argument(
+        "--require-complete", action="store_true",
+        help="exit 1 when any client request lacks daemon-side telemetry",
+    )
+    stitch.set_defaults(func=_cmd_stitch)
 
     return parser
 

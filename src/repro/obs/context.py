@@ -1,0 +1,160 @@
+"""Request-scoped trace context: W3C-style ids across the service boundary.
+
+A :class:`TraceContext` carries the identity of one end-to-end request:
+a 128-bit ``trace_id`` shared by every process that touches the request,
+a 64-bit ``span_id`` naming the current hop, and an optional
+human-oriented ``request_id`` (the daemon's per-request tag, or the
+load generator's session id).  The context travels between processes as
+a W3C ``traceparent`` header (``00-<trace_id>-<span_id>-<flags>``) and
+within a process as a :class:`contextvars.ContextVar`, so every asyncio
+task sees exactly the context its request bound -- two concurrent
+admissions can never observe each other's ids.
+
+The tracer (:mod:`repro.obs.trace`) and the event log
+(:mod:`repro.obs.events`) read the current context at record time and
+stamp ``trace_id``/``request_id`` onto every :class:`SpanRecord` and
+:class:`ReservationEvent` emitted while a context is bound.  Nothing is
+stamped when no context is active, so run-to-completion simulations are
+byte-identical to their pre-tracing selves.
+
+Parsing is deliberately lenient: a malformed or truncated
+``traceparent`` yields ``None`` and the caller starts a fresh root
+trace -- a bad header must never fail a request.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "REQUEST_ID_HEADER",
+    "TraceContext",
+    "bind_trace_context",
+    "child_context",
+    "current_trace_context",
+    "format_traceparent",
+    "new_trace_context",
+    "parse_traceparent",
+    "reset_trace_context",
+    "trace_context",
+]
+
+#: The propagation headers (lowercase, as :mod:`repro.service.http`
+#: normalises inbound header names).
+TRACEPARENT_HEADER = "traceparent"
+REQUEST_ID_HEADER = "x-request-id"
+
+_SUPPORTED_VERSION = "00"
+_HEX = set("0123456789abcdef")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity (immutable; derive children, never mutate)."""
+
+    #: 32 lowercase hex chars shared across every hop of the request.
+    trace_id: str
+    #: 16 lowercase hex chars naming this hop.
+    span_id: str
+    #: The upstream hop's span id (None at the root).
+    parent_id: Optional[str] = None
+    #: Free-form request tag stamped onto spans/events alongside trace_id.
+    request_id: Optional[str] = None
+
+    def traceparent(self) -> str:
+        """This context as an outbound ``traceparent`` header value."""
+        return format_traceparent(self)
+
+
+def _hex_id(n_bytes: int) -> str:
+    return os.urandom(n_bytes).hex()
+
+
+def new_trace_context(request_id: Optional[str] = None) -> TraceContext:
+    """A fresh root context (new trace_id, no parent)."""
+    return TraceContext(
+        trace_id=_hex_id(16), span_id=_hex_id(8), request_id=request_id
+    )
+
+
+def child_context(
+    parent: TraceContext, request_id: Optional[str] = None
+) -> TraceContext:
+    """A new hop within ``parent``'s trace (fresh span_id, same trace_id)."""
+    return replace(
+        parent,
+        span_id=_hex_id(8),
+        parent_id=parent.span_id,
+        request_id=request_id if request_id is not None else parent.request_id,
+    )
+
+
+def _is_hex(text: str, length: int) -> bool:
+    return len(text) == length and all(ch in _HEX for ch in text)
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Decode a ``traceparent`` header; None on anything malformed.
+
+    Accepts exactly the W3C shape
+    ``<2 hex version>-<32 hex trace_id>-<16 hex parent_id>-<2 hex flags>``
+    with lowercase hex digits; all-zero trace or span ids are invalid per
+    the spec and also yield None.  Callers treat None as "start a fresh
+    root trace" -- a truncated or garbage header never errors.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, parent_id, flags = parts
+    if not _is_hex(version, 2) or version == "ff":
+        return None
+    if not _is_hex(trace_id, 32) or set(trace_id) == {"0"}:
+        return None
+    if not _is_hex(parent_id, 16) or set(parent_id) == {"0"}:
+        return None
+    if not _is_hex(flags, 2):
+        return None
+    return TraceContext(trace_id=trace_id, span_id=_hex_id(8), parent_id=parent_id)
+
+
+def format_traceparent(context: TraceContext) -> str:
+    """Encode a context as an outbound ``traceparent`` header value."""
+    return f"{_SUPPORTED_VERSION}-{context.trace_id}-{context.span_id}-01"
+
+
+#: The bound context of the current task/thread; None outside a request.
+_CURRENT: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace_context() -> Optional[TraceContext]:
+    """The context bound in this task, or None outside any request."""
+    return _CURRENT.get()
+
+
+def bind_trace_context(context: Optional[TraceContext]):
+    """Bind ``context`` in the current task; returns the reset token."""
+    return _CURRENT.set(context)
+
+
+def reset_trace_context(token) -> None:
+    """Undo a :func:`bind_trace_context` (pass its returned token)."""
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def trace_context(context: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """Bind ``context`` for the duration of the block, then restore."""
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)

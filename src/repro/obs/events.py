@@ -45,6 +45,12 @@ the ones the capacity bound keeps out of storage -- which is what the
 online monitoring plane builds on.  With no subscriber installed the
 dispatch cost is one empty-list truth test on the already-enabled path;
 the disabled path is untouched.
+
+When a request-scoped :class:`~repro.obs.context.TraceContext` is bound
+(the service daemon binds one per admission), every emitted event is
+stamped with its ``trace_id``/``request_id``, linking the causal record
+to the client request that caused it.  Outside any request the fields
+stay None and the serialized shape is unchanged.
 """
 
 from __future__ import annotations
@@ -53,6 +59,8 @@ import time as _time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.obs import context as _context
 
 __all__ = [
     "EVENT_KINDS",
@@ -111,10 +119,16 @@ class ReservationEvent:
     session: Optional[str] = None
     resource: Optional[str] = None
     attributes: Dict[str, object] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    request_id: Optional[str] = None
 
     def to_dict(self) -> dict:
-        """JSON-compatible representation (the trace document's schema)."""
-        return {
+        """JSON-compatible representation (the trace document's schema).
+
+        The trace-context keys appear only when stamped, so documents
+        from un-contexted runs keep the pre-v4 shape byte-for-byte.
+        """
+        payload = {
             "kind": self.kind,
             "seq": self.seq,
             "wall": self.wall,
@@ -123,6 +137,11 @@ class ReservationEvent:
             "resource": self.resource,
             "attributes": dict(self.attributes),
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ReservationEvent":
@@ -135,6 +154,8 @@ class ReservationEvent:
             session=payload.get("session"),
             resource=payload.get("resource"),
             attributes=dict(payload.get("attributes", {})),
+            trace_id=payload.get("trace_id"),
+            request_id=payload.get("request_id"),
         )
 
 
@@ -207,6 +228,9 @@ class EventLog:
             )
         seq = self._next_seq
         self._next_seq += 1
+        context = _context.current_trace_context()
+        trace_id = context.trace_id if context is not None else None
+        request_id = context.request_id if context is not None else None
         if self.capacity is not None and len(self.records) >= self.capacity + (
             1 if self._truncated else 0
         ):
@@ -236,6 +260,8 @@ class EventLog:
                     session=session,
                     resource=resource,
                     attributes=attributes,
+                    trace_id=trace_id,
+                    request_id=request_id,
                 )
                 for callback in self._subscribers:
                     callback(event)
@@ -248,6 +274,8 @@ class EventLog:
             session=session,
             resource=resource,
             attributes=attributes,
+            trace_id=trace_id,
+            request_id=request_id,
         )
         self.records.append(event)
         for callback in self._subscribers:
@@ -292,6 +320,10 @@ class EventLog:
     def for_resource(self, resource_id: str) -> List[ReservationEvent]:
         """Every event tagged with the given resource id, in causal order."""
         return [record for record in self.records if record.resource == resource_id]
+
+    def for_trace(self, trace_id: str) -> List[ReservationEvent]:
+        """Every event stamped with the given trace id, in causal order."""
+        return [record for record in self.records if record.trace_id == trace_id]
 
     def to_dicts(self) -> List[dict]:
         """Every event as a JSON-compatible dict, in causal order."""

@@ -1,0 +1,143 @@
+"""Always-on flight recorder: the daemon's black box for postmortems.
+
+A :class:`FlightRecorder` keeps a bounded ring of the most recent
+telemetry -- spans (a :class:`~repro.obs.trace.Tracer` in capacity
+mode), causal reservation events (subscribed to the live
+:class:`~repro.obs.events.EventLog`, so it sees the full stream even
+past the log's own storage bound), and a small dict of wire counters
+(requests, bytes, errors).  Memory stays constant no matter how long
+the daemon runs.
+
+:meth:`snapshot` materialises the rings as a schema-v4 trace document
+(the same shape :func:`repro.obs.export.write_trace_json` produces, so
+``repro-obs summarize``/``stitch`` consume dumps directly), and
+:meth:`dump` writes it to a JSON artifact.  The service daemon dumps on
+SIGQUIT, on an unhandled handler exception, and on demand via
+``POST /v1/debug/dump`` -- the three moments a postmortem needs the
+last few thousand spans and events that led up to *now*.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from collections import deque
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.events import EventLog, ReservationEvent
+from repro.obs.export import observability_to_dict
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = ["DEFAULT_EVENT_CAPACITY", "DEFAULT_SPAN_CAPACITY", "FlightRecorder"]
+
+#: Ring sizes: generous enough to cover a multi-hundred-request burst
+#: (each admission emits ~5 spans and ~10 events) while keeping a dump
+#: comfortably under a few megabytes.
+DEFAULT_SPAN_CAPACITY = 4096
+DEFAULT_EVENT_CAPACITY = 16384
+
+
+class FlightRecorder:
+    """Bounded rings of recent spans, events and wire counters."""
+
+    def __init__(
+        self,
+        *,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+    ) -> None:
+        if event_capacity <= 0:
+            raise ValueError(f"event_capacity must be positive, got {event_capacity!r}")
+        #: Install this tracer (``obs.trace.install``) to feed the ring.
+        self.tracer = Tracer(capacity=span_capacity)
+        #: Recent events as to_dict() payloads, oldest first.
+        self.events = deque(maxlen=event_capacity)
+        #: Free-form transport counters (requests, bytes, errors).
+        self.wire: Dict[str, float] = {}
+        self.events_seen = 0
+        self.dump_count = 0
+        self._attached: Optional[EventLog] = None
+        self._started_unix = _time.time()
+
+    # -- event plumbing ----------------------------------------------------
+
+    def _on_event(self, event: ReservationEvent) -> None:
+        self.events.append(event.to_dict())
+        self.events_seen += 1
+
+    def attach(self, log: EventLog) -> None:
+        """Subscribe to ``log`` so every emitted event enters the ring."""
+        if self._attached is not None:
+            raise RuntimeError("flight recorder is already attached to an event log")
+        log.subscribe(self._on_event)
+        self._attached = log
+
+    def detach(self) -> None:
+        """Stop recording events (no-op when not attached)."""
+        if self._attached is not None:
+            self._attached.unsubscribe(self._on_event)
+            self._attached = None
+
+    # -- wire counters -----------------------------------------------------
+
+    def record_wire(self, key: str, amount: float = 1.0) -> None:
+        """Bump a transport counter (created at zero on first use)."""
+        self.wire[key] = self.wire.get(key, 0.0) + amount
+
+    # -- dumping -----------------------------------------------------------
+
+    def snapshot(
+        self,
+        *,
+        reason: str,
+        registry: Optional[MetricsRegistry] = None,
+        meta: Optional[dict] = None,
+    ) -> dict:
+        """The rings as a schema-v4 trace document.
+
+        ``reason`` records what triggered the dump (``sigquit``,
+        ``exception``, ``debug_endpoint``); extra ``meta`` keys merge
+        into the document's meta section.
+        """
+        document_meta = {
+            "flight_recorder": True,
+            "reason": reason,
+            "dumped_at_unix": _time.time(),
+            "recorder_started_unix": self._started_unix,
+            "span_capacity": self.tracer.capacity,
+            "event_capacity": self.events.maxlen,
+            "events_seen": self.events_seen,
+            "dump_count": self.dump_count,
+        }
+        if meta:
+            document_meta.update(meta)
+        document = observability_to_dict(self.tracer, registry, None, meta=document_meta)
+        events = list(self.events)
+        document["events"] = events
+        counts: Dict[str, int] = {}
+        for payload in events:
+            counts[payload["kind"]] = counts.get(payload["kind"], 0) + 1
+        document["event_counts"] = dict(sorted(counts.items()))
+        dropped = self.events_seen - len(events)
+        if dropped:
+            document["events_dropped"] = dropped
+        document["wire"] = dict(self.wire)
+        return document
+
+    def dump(
+        self,
+        path: Union[str, Path],
+        *,
+        reason: str,
+        registry: Optional[MetricsRegistry] = None,
+        meta: Optional[dict] = None,
+    ) -> Path:
+        """Write :meth:`snapshot` as JSON; returns the written path."""
+        self.dump_count += 1
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        document = self.snapshot(reason=reason, registry=registry, meta=meta)
+        target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+        return target

@@ -104,9 +104,16 @@ class Histogram:
 
     ``boundaries`` are inclusive upper bounds of the finite buckets; one
     implicit overflow bucket catches everything beyond the last bound.
+
+    An observation may carry an *exemplar* -- an opaque string (in
+    practice a trace_id) kept per bucket, last write wins.  Exemplars
+    live beside the distribution in :attr:`exemplars` and are exposed by
+    the Prometheus renderer; :meth:`to_dict` deliberately excludes them
+    so trace documents, ledgers and the diff gate see an unchanged
+    shape.
     """
 
-    __slots__ = ("boundaries", "bucket_counts", "count", "sum", "min", "max")
+    __slots__ = ("boundaries", "bucket_counts", "count", "sum", "min", "max", "exemplars")
 
     def __init__(self, boundaries: Tuple[float, ...]) -> None:
         if not boundaries:
@@ -119,16 +126,21 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: bucket index -> (observed value, exemplar string); last write wins.
+        self.exemplars: Dict[int, Tuple[float, str]] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.bucket_counts[bisect.bisect_left(self.boundaries, value)] += 1
+    def observe(self, value: float, *, exemplar: Optional[str] = None) -> None:
+        """Record one observation, optionally tagged with an exemplar."""
+        bucket = bisect.bisect_left(self.boundaries, value)
+        self.bucket_counts[bucket] += 1
         self.count += 1
         self.sum += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if exemplar is not None:
+            self.exemplars[bucket] = (value, exemplar)
 
     @property
     def mean(self) -> float:

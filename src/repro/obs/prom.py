@@ -14,14 +14,22 @@ scrape-compatible tooling can ingest a finished run:
 Dots in instrument names (``broker.grants``) become underscores, and the
 configured ``prefix`` namespaces everything (``repro_broker_grants``).
 No Prometheus client library is involved -- the format is plain text.
+
+Histogram *exemplars* (per-bucket trace ids recorded by
+``Histogram.observe(..., exemplar=...)``) are rendered as ``# EXEMPLAR``
+comment lines next to their bucket series.  The classic text format has
+no exemplar syntax (that is OpenMetrics) and ignores unknown comment
+lines, so the output stays scrapeable by either while a human tailing
+``/metrics`` can still jump from a slow bucket to the trace that
+landed there.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, format_labels
 
 __all__ = ["registry_exposition", "snapshot_exposition"]
 
@@ -93,17 +101,24 @@ class _Writer:
             f"{metric}{sample_suffix}{_render_labels(labels)} {_format_value(value)}"
         )
 
+    def comment(self, line: str) -> None:
+        self._lines.append(f"# {line}")
+
     def text(self) -> str:
         return "\n".join(self._lines) + ("\n" if self._lines else "")
 
 
 def snapshot_exposition(snapshot: Mapping[str, Mapping[str, dict]], *,
-                        prefix: str = DEFAULT_PREFIX) -> str:
+                        prefix: str = DEFAULT_PREFIX,
+                        exemplars: Optional[Mapping[str, Mapping[int, Tuple[float, str]]]] = None) -> str:
     """Prometheus text exposition of a ``MetricsRegistry.snapshot()`` dict.
 
     Works equally on the ``metrics`` section of a loaded trace document,
     which is the same snapshot shape -- that is what ``repro-obs
-    export-prom`` feeds it.
+    export-prom`` feeds it.  ``exemplars`` maps a histogram's snapshot
+    key (``name{labels}``) to its per-bucket ``(value, trace_id)``
+    exemplars; each is rendered as an ``# EXEMPLAR`` comment line after
+    that histogram's series (see the module docstring).
     """
     writer = _Writer()
     for key, payload in snapshot.get("counters", {}).items():
@@ -135,9 +150,32 @@ def snapshot_exposition(snapshot: Mapping[str, Mapping[str, dict]], *,
         writer.sample(metric, "histogram", labels, float(payload.get("sum", 0.0)),
                       sample_suffix="_sum")
         writer.sample(metric, "histogram", labels, total_count, sample_suffix="_count")
+        for bucket_index, (value, exemplar) in sorted(
+            (exemplars or {}).get(key, {}).items()
+        ):
+            if bucket_index < len(boundaries):
+                le = f"{float(boundaries[bucket_index]):g}"
+            else:
+                le = "+Inf"
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = le
+            writer.comment(
+                f"EXEMPLAR {metric}_bucket{_render_labels(bucket_labels)} "
+                f"trace_id={exemplar} value={_format_value(value)}"
+            )
     return writer.text()
 
 
 def registry_exposition(registry: MetricsRegistry, *, prefix: str = DEFAULT_PREFIX) -> str:
-    """Prometheus text exposition of a live :class:`MetricsRegistry`."""
-    return snapshot_exposition(registry.snapshot(), prefix=prefix)
+    """Prometheus text exposition of a live :class:`MetricsRegistry`.
+
+    Unlike the snapshot path, a live registry still holds its histograms'
+    exemplars, so they are collected here and rendered as ``# EXEMPLAR``
+    comment lines.
+    """
+    exemplars = {
+        name + format_labels(tuple(sorted(labels.items()))): dict(histogram.exemplars)
+        for name, labels, histogram in registry.iter_histograms()
+        if histogram.exemplars
+    }
+    return snapshot_exposition(registry.snapshot(), prefix=prefix, exemplars=exemplars)

@@ -5,6 +5,17 @@ the monotonic :func:`time.perf_counter` clock.  Spans nest -- a span
 opened while another is active becomes its child -- so one
 ``establish`` span contains the ``qrg_build``, ``dijkstra`` and
 ``plan`` spans of the session it admitted, each with its own wall time.
+The nesting stack lives in a :class:`contextvars.ContextVar`, so spans
+opened by concurrent asyncio tasks (the service daemon, the open-loop
+load generator's clients) nest within their own task only and never
+corrupt each other's parentage.
+
+When a request-scoped :class:`~repro.obs.context.TraceContext` is bound
+(see :mod:`repro.obs.context`), every finished span is stamped with its
+``trace_id``/``request_id`` -- the linkage ``repro-obs stitch`` uses to
+merge client- and daemon-side trace documents into one cross-process
+timeline.  Outside any request nothing is stamped and the record shape
+is unchanged.
 
 Instrumented code never talks to a tracer directly; it calls the
 module-level :func:`span` / :func:`event` helpers, which dispatch to the
@@ -20,14 +31,22 @@ Typical use::
         run_simulation(config)
     for record in tracer.records:
         print(record.name, record.duration)
+
+A ``Tracer(capacity=N)`` keeps only the N most recent records (a ring
+buffer) -- the always-on flight recorder of the service daemon runs on
+one so a long-lived process never grows without bound.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import context as _context
 
 __all__ = [
     "SpanRecord",
@@ -47,7 +66,9 @@ class SpanRecord:
 
     ``start`` is seconds since the tracer was created (monotonic clock);
     ``index`` is the span's enter order; ``parent_index`` links a nested
-    span to its enclosing one (None at top level).
+    span to its enclosing one (None at top level).  ``trace_id`` /
+    ``request_id`` carry the request context active when the span
+    finished (None outside any request).
     """
 
     name: str
@@ -57,10 +78,16 @@ class SpanRecord:
     index: int
     parent_index: Optional[int]
     attributes: Dict[str, object] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    request_id: Optional[str] = None
 
     def to_dict(self) -> dict:
-        """JSON-compatible representation (the exporter's event schema)."""
-        return {
+        """JSON-compatible representation (the exporter's event schema).
+
+        The trace-context keys appear only when stamped, so documents
+        from un-contexted runs are byte-identical to the pre-v4 shape.
+        """
+        payload = {
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
@@ -69,12 +96,17 @@ class SpanRecord:
             "parent": self.parent_index,
             "attributes": dict(self.attributes),
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
 
 
 class _ActiveSpan:
     """Context manager for one live span of a real tracer."""
 
-    __slots__ = ("_tracer", "_name", "_attributes", "_start", "_index", "_parent", "_depth")
+    __slots__ = ("_tracer", "_name", "_attributes", "_start", "_index", "_parent", "_depth", "_token")
 
     def __init__(self, tracer: "Tracer", name: str, attributes: Dict[str, object]) -> None:
         self._tracer = tracer
@@ -89,19 +121,20 @@ class _ActiveSpan:
         tracer = self._tracer
         self._index = tracer._next_index
         tracer._next_index += 1
-        stack = tracer._stack
+        stack = tracer._stack.get()
         self._parent = stack[-1] if stack else None
         self._depth = len(stack)
-        stack.append(self._index)
+        self._token = tracer._stack.set(stack + (self._index,))
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
         end = time.perf_counter()
         tracer = self._tracer
-        tracer._stack.pop()
+        tracer._stack.reset(self._token)
         if exc_type is not None:
             self._attributes["error"] = f"{exc_type.__name__}: {exc}"
+        context = _context.current_trace_context()
         tracer.records.append(
             SpanRecord(
                 name=self._name,
@@ -111,6 +144,8 @@ class _ActiveSpan:
                 index=self._index,
                 parent_index=self._parent,
                 attributes=self._attributes,
+                trace_id=context.trace_id if context is not None else None,
+                request_id=context.request_id if context is not None else None,
             )
         )
         return False
@@ -139,11 +174,21 @@ class Tracer:
 
     The tracer itself is always "on"; disabling tracing means not
     installing any tracer (see :func:`install` / :func:`tracing`).
+    ``capacity`` turns the record store into a ring buffer keeping only
+    the most recent records -- the flight-recorder mode of the service
+    daemon; None (the default) keeps everything.
     """
 
-    def __init__(self) -> None:
-        self.records: List[SpanRecord] = []
-        self._stack: List[int] = []
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = capacity
+        self.records = deque(maxlen=capacity) if capacity is not None else []
+        # The span nesting stack is task-local: concurrent asyncio tasks
+        # each see only their own open spans.
+        self._stack: ContextVar[Tuple[int, ...]] = ContextVar(
+            "repro_tracer_stack", default=()
+        )
         self._next_index = 0
         self._epoch = time.perf_counter()
 
@@ -157,15 +202,19 @@ class Tracer:
         """Record an instant (zero-duration) event."""
         index = self._next_index
         self._next_index += 1
+        stack = self._stack.get()
+        context = _context.current_trace_context()
         self.records.append(
             SpanRecord(
                 name=name,
                 start=time.perf_counter() - self._epoch,
                 duration=0.0,
-                depth=len(self._stack),
+                depth=len(stack),
                 index=index,
-                parent_index=self._stack[-1] if self._stack else None,
+                parent_index=stack[-1] if stack else None,
                 attributes=attributes,
+                trace_id=context.trace_id if context is not None else None,
+                request_id=context.request_id if context is not None else None,
             )
         )
 
@@ -189,6 +238,10 @@ class Tracer:
         for record in self.records:
             seen.setdefault(record.name, None)
         return list(seen)
+
+    def records_for_trace(self, trace_id: str) -> List[SpanRecord]:
+        """Every record stamped with the given trace id, oldest first."""
+        return [record for record in self.records if record.trace_id == trace_id]
 
     def to_dicts(self) -> List[dict]:
         """Every record as a JSON-compatible dict, in completion order."""

@@ -30,6 +30,7 @@ from repro.core.planner import BatchPlanMemo
 from repro.core.qrg import QRGSkeletonCache, price_skeleton
 from repro.core.resources import AvailabilitySnapshot, ResourceObservation
 from repro.core.translation import ScaledTranslation
+from repro.obs import context as _context
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -169,11 +170,17 @@ class ReservationCoordinator:
         """The per-session span/counter/histogram bracket of :meth:`establish`.
 
         Shared verbatim by :meth:`establish_batch` so each batched
-        arrival is accounted exactly like a sequential one.
+        arrival is accounted exactly like a sequential one.  When a
+        request-scoped trace context is bound (daemon admissions), the
+        span carries the caller's request id; the coordinator never
+        *creates* contexts, so simulation runs stay byte-identical.
         """
         registry = _metrics.active_registry()
         started = _time.perf_counter() if registry is not None else 0.0
         with _trace.span("establish", session=session_id, service=service_name) as span:
+            context = _context.current_trace_context()
+            if context is not None and context.request_id is not None:
+                span.set(request=context.request_id)
             result = compute()
             span.set(outcome="established" if result.success else result.reason)
             if registry is not None:

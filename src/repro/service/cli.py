@@ -5,6 +5,11 @@ Boots a :class:`~repro.service.daemon.ReservationDaemon` over a seeded
 API, the WebSocket event plane, and ``/metrics`` until a termination
 signal arrives; shutdown drains in-flight admissions before closing the
 listener (bounded by ``--drain-timeout``).
+
+SIGQUIT does *not* stop the daemon: it dumps the flight recorder (the
+always-on ring of recent spans, events and wire counters) to
+``--flight-dir`` and keeps serving -- the kill -QUIT postmortem idiom.
+``--access-log`` writes one structured JSON line per request to stderr.
 """
 
 from __future__ import annotations
@@ -49,6 +54,15 @@ def build_config(argv: Optional[List[str]] = None) -> DaemonConfig:
     parser.add_argument("--drain-timeout", type=float, default=10.0,
                         help="seconds to wait for in-flight admissions on "
                              "shutdown")
+    parser.add_argument("--access-log", action="store_true",
+                        help="write one JSON access-log line per request "
+                             "to stderr (method/path/status/duration/"
+                             "trace_id)")
+    parser.add_argument("--flight-dir", default=None,
+                        help="directory for flight-recorder dumps "
+                             "(SIGQUIT, unhandled exceptions, and "
+                             "POST /v1/debug/dump); unset = in-band "
+                             "snapshots only")
     args = parser.parse_args(argv)
     return DaemonConfig(
         host=args.host,
@@ -62,6 +76,8 @@ def build_config(argv: Optional[List[str]] = None) -> DaemonConfig:
         event_capacity=args.event_capacity,
         subscriber_queue=args.subscriber_queue,
         drain_timeout=args.drain_timeout,
+        access_log=args.access_log,
+        flight_dir=args.flight_dir,
     )
 
 
@@ -75,6 +91,26 @@ async def _serve(config: DaemonConfig) -> None:
             loop.add_signal_handler(signum, stop.set)
         except NotImplementedError:  # pragma: no cover - non-POSIX loops
             signal.signal(signum, lambda *_: stop.set())
+
+    def _sigquit_dump() -> None:
+        try:
+            path = daemon.service.flight_dump("sigquit")
+        except Exception as exc:  # pragma: no cover - dump must not kill us
+            print(f"repro-serve: flight dump failed: {exc}",
+                  file=sys.stderr, flush=True)
+            return
+        if path is None:
+            print("repro-serve: SIGQUIT received but --flight-dir is unset; "
+                  "no dump written", file=sys.stderr, flush=True)
+        else:
+            print(f"repro-serve: flight recorder dumped to {path}",
+                  file=sys.stderr, flush=True)
+
+    if hasattr(signal, "SIGQUIT"):
+        try:
+            loop.add_signal_handler(signal.SIGQUIT, _sigquit_dump)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
     print(
         f"repro-serve: listening on {config.host}:{daemon.port} "
         f"(algorithm={config.algorithm}, seed={config.seed}, "

@@ -9,6 +9,14 @@ plane and yields event dicts until either side closes.
 
 The client is also the reference consumer of the wire protocol: the
 daemon's tests drive every endpoint through it.
+
+When a trace context is bound (see :mod:`repro.obs.context`), every
+request carries W3C-style ``traceparent`` and ``x-request-id`` headers
+derived from it, and the exchange is recorded as a ``client.request``
+span on the installed tracer -- that is how the daemon's spans and the
+caller's spans end up sharing a trace id, which ``repro-obs stitch``
+later joins into one cross-process timeline.  Without a bound context
+the wire format is byte-for-byte what it always was.
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ import json
 from dataclasses import dataclass
 from typing import AsyncIterator, Dict, List, Optional
 
+from repro.obs import context as _context
+from repro.obs import trace as _trace
 from repro.service import http as _http
 
 __all__ = ["ServiceClient", "ServiceResponse", "ServiceClientError"]
@@ -72,19 +82,34 @@ class ServiceClient:
             f"Content-Length: {len(body)}",
             "Content-Type: application/json",
         ]
-        for name, value in (headers or {}).items():
+        merged = dict(headers or {})
+        context = _context.current_trace_context()
+        if context is not None:
+            # A fresh span id per request keeps retries distinguishable
+            # on the daemon side while staying inside the same trace.
+            child = _context.child_context(context, request_id=context.request_id)
+            merged.setdefault(_context.TRACEPARENT_HEADER, child.traceparent())
+            if child.request_id is not None:
+                merged.setdefault(_context.REQUEST_ID_HEADER, child.request_id)
+        for name, value in merged.items():
             head_lines.append(f"{name}: {value}")
-        reader, writer = await asyncio.open_connection(self.host, self.port)
-        try:
-            writer.write(("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + body)
-            await writer.drain()
-            return await _read_response(reader)
-        finally:
-            writer.close()
+        with _trace.span("client.request") as span:
+            span.set(method=method, path=path)
+            reader, writer = await asyncio.open_connection(self.host, self.port)
             try:
-                await writer.wait_closed()
-            except ConnectionError:  # pragma: no cover
-                pass
+                writer.write(
+                    ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + body
+                )
+                await writer.drain()
+                response = await _read_response(reader)
+                span.set(status=response.status)
+                return response
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except ConnectionError:  # pragma: no cover
+                    pass
 
     async def _call(self, method: str, path: str, payload: Optional[dict] = None):
         response = await self.request(method, path, payload)

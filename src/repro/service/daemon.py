@@ -16,7 +16,8 @@ configured) alive behind an admission API, and
 ``GET  /v1/query``           daemon + session + utilization state
 ``GET  /v1/events``          WebSocket stream of the causal event log
 ``GET  /metrics``            Prometheus text exposition of the live registry
-``GET  /healthz``            liveness probe
+``GET  /healthz``            liveness probe (uptime, in-flight, drain state)
+``POST /v1/debug/dump``      flight-recorder snapshot on demand
 ===========================  ==================================================
 
 Admissions execute *serialized* on the event loop under one lock, so
@@ -26,14 +27,31 @@ acceptance test pins.  The event plane fans the coordinator's causal
 :class:`~repro.obs.events.EventLog` out to WebSocket subscribers through
 bounded queues (:mod:`repro.service.events`): a slow consumer loses its
 own events behind a ``stream.truncated`` marker, never the daemon's.
+
+Every request is handled under a request-scoped
+:class:`~repro.obs.context.TraceContext` -- continued from the caller's
+``traceparent`` header when present and valid, a fresh root otherwise
+(a malformed header never fails a request).  While the context is bound,
+every span the coordinator emits and every causal event carries the
+request's ``trace_id``/``request_id``; trace ids never appear in
+response bodies, so decisions stay byte-identical to in-process calls.
+Per-phase admission latency (parse / queue_wait / plan / commit /
+serialize) lands in ``daemon.admission_phase_seconds`` histograms with
+trace-id exemplars, and an always-on :class:`~repro.obs.flight
+.FlightRecorder` keeps the most recent spans + events + wire counters
+for postmortem dumps (SIGQUIT, unhandled exception, or the debug
+endpoint).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os as _os
+import sys as _sys
 import time as _time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import ModelError, ReproError
@@ -44,9 +62,16 @@ from repro.des.rng import RandomStreams
 from repro.faults.coordinator import FaultTolerantCoordinator
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_SEED_INDEX, FaultConfig, FaultPlan
+from repro.obs import context as _context
 from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.obs.events import EventLog
+from repro.obs.flight import (
+    DEFAULT_EVENT_CAPACITY,
+    DEFAULT_SPAN_CAPACITY,
+    FlightRecorder,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import registry_exposition
 from repro.runtime.coordinator import EstablishmentResult, RenegotiationResult
@@ -95,6 +120,14 @@ class DaemonConfig:
     subscriber_queue: int = 256
     #: Seconds shutdown waits for in-flight admissions before forcing.
     drain_timeout: float = 10.0
+    #: Emit one JSON access-log line per request to stderr.
+    access_log: bool = False
+    #: Directory flight-recorder dumps are written to (None = no files;
+    #: ``POST /v1/debug/dump`` still returns the snapshot in-band).
+    flight_dir: Optional[str] = None
+    #: Flight-recorder ring sizes (most recent spans / events kept).
+    flight_spans: int = DEFAULT_SPAN_CAPACITY
+    flight_events: int = DEFAULT_EVENT_CAPACITY
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -110,6 +143,8 @@ class DaemonConfig:
             raise ModelError("subscriber_queue must be >= 2")
         if self.drain_timeout < 0:
             raise ModelError("drain_timeout must be >= 0")
+        if self.flight_spans <= 0 or self.flight_events <= 0:
+            raise ModelError("flight_spans and flight_events must be positive")
 
 
 class ReservationService:
@@ -129,6 +164,9 @@ class ReservationService:
         self.registry = MetricsRegistry()
         self.log = EventLog(capacity=config.event_capacity)
         self.plane = EventPlane(queue_size=config.subscriber_queue)
+        self.flight = FlightRecorder(
+            span_capacity=config.flight_spans, event_capacity=config.flight_events
+        )
         self.grid = GridEnvironment(
             self.env, self.streams, capacity_range=config.capacity_range
         )
@@ -156,6 +194,7 @@ class ReservationService:
         self.started_at = _time.monotonic()
         self._session_seq = 0
         self._started = False
+        self._previous_tracer = None
 
     def _make_planner(self):
         if self.config.algorithm == "basic":
@@ -167,7 +206,7 @@ class ReservationService:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        """Install the registry + event log and attach the event plane."""
+        """Install the registry + event log + flight tracer, attach planes."""
         if self._started:
             return
         _metrics.install(self.registry)
@@ -176,19 +215,59 @@ class ReservationService:
         except RuntimeError:
             _metrics.uninstall()
             raise
+        self._previous_tracer = _trace.active_tracer()
+        _trace.install(self.flight.tracer)
+        self.flight.attach(self.log)
         self.plane.attach(self.log)
         self._started = True
 
     def close(self) -> None:
-        """Detach the event plane and release the global handles."""
+        """Detach the planes and release the global handles."""
         if not self._started:
             return
         self.plane.detach()
+        self.flight.detach()
+        if _trace.active_tracer() is self.flight.tracer:
+            if self._previous_tracer is None:
+                _trace.uninstall()
+            else:
+                _trace.install(self._previous_tracer)
         if _events.active_event_log() is self.log:
             _events.uninstall()
         if _metrics.active_registry() is self.registry:
             _metrics.uninstall()
         self._started = False
+
+    def flight_dump(self, reason: str) -> Optional[Path]:
+        """Dump the flight recorder (None when no ``flight_dir`` is set).
+
+        File names carry the pid and a per-process sequence number so
+        repeated dumps (and parallel daemons sharing a directory) never
+        overwrite each other.
+        """
+        if self.config.flight_dir is None:
+            return None
+        name = f"flight-{reason}-{_os.getpid()}-{self.flight.dump_count}.json"
+        return self.flight.dump(
+            Path(self.config.flight_dir) / name,
+            reason=reason,
+            registry=self.registry,
+            meta=self._flight_meta(),
+        )
+
+    def flight_snapshot(self, reason: str) -> dict:
+        """The flight recorder's schema-v4 document, in-band."""
+        return self.flight.snapshot(
+            reason=reason, registry=self.registry, meta=self._flight_meta()
+        )
+
+    def _flight_meta(self) -> dict:
+        return {
+            "daemon_seed": self.config.seed,
+            "daemon_algorithm": self.config.algorithm,
+            "active_sessions": len(self.sessions),
+            "counters": dict(self.counters),
+        }
 
     # -- request decoding --------------------------------------------------
 
@@ -486,35 +565,96 @@ class ReservationDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        started = _time.perf_counter()
+        request: Optional[_http.Request] = None
+        context: Optional[_context.TraceContext] = None
+        response: Optional[bytes] = None
         try:
             request = await _http.read_request(reader)
             if request is None:
                 return
+            parse_seconds = _time.perf_counter() - started
             self.stats.requests += 1
+            self.service.flight.record_wire("requests")
             if request.path == "/v1/events" and request.wants_websocket:
                 await self._serve_websocket(request, reader, writer)
                 return
-            response = await self._dispatch(request)
+            context = self._context_for(request)
+            token = _context.bind_trace_context(context)
+            try:
+                response = await self._dispatch(request, parse_seconds)
+            finally:
+                _context.reset_trace_context(token)
             writer.write(response)
             await writer.drain()
+            self.service.flight.record_wire("response_bytes", len(response))
         except _http.ProtocolError as exc:
+            self.service.flight.record_wire("protocol_errors")
             try:
-                writer.write(
-                    _http.json_response_bytes(400, {"error": str(exc)})
-                )
+                response = _http.json_response_bytes(400, {"error": str(exc)})
+                writer.write(response)
                 await writer.drain()
             except (ConnectionError, RuntimeError):  # pragma: no cover
                 pass
         except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
             pass
         finally:
+            if request is not None and response is not None:
+                self._access_log(request, response, started, context)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, RuntimeError):  # pragma: no cover
                 pass
 
-    async def _dispatch(self, request: _http.Request) -> bytes:
+    def _context_for(self, request: _http.Request) -> _context.TraceContext:
+        """The request's trace context: continued or a fresh root.
+
+        A valid ``traceparent`` header continues the caller's trace; a
+        missing, truncated or malformed one silently starts a fresh root
+        -- bad propagation must never fail a request.
+        """
+        request_id = request.headers.get(_context.REQUEST_ID_HEADER) or (
+            f"req-{self.stats.requests}"
+        )
+        parent = _context.parse_traceparent(
+            request.headers.get(_context.TRACEPARENT_HEADER)
+        )
+        if parent is None:
+            return _context.new_trace_context(request_id=request_id)
+        return _context.TraceContext(
+            trace_id=parent.trace_id,
+            span_id=parent.span_id,
+            parent_id=parent.parent_id,
+            request_id=request_id,
+        )
+
+    def _access_log(
+        self,
+        request: _http.Request,
+        response: bytes,
+        started: float,
+        context: Optional[_context.TraceContext],
+    ) -> None:
+        """One structured JSON line per request, to stderr."""
+        if not self.config.access_log:
+            return
+        try:
+            status = int(response[9:12])
+        except (ValueError, IndexError):  # pragma: no cover - defensive
+            status = 0
+        line = {
+            "ts": round(_time.time(), 6),
+            "method": request.method,
+            "path": request.path,
+            "status": status,
+            "duration_ms": round(1e3 * (_time.perf_counter() - started), 3),
+            "trace_id": context.trace_id if context else None,
+            "request_id": context.request_id if context else None,
+        }
+        print(json.dumps(line, sort_keys=True), file=_sys.stderr, flush=True)
+
+    async def _dispatch(self, request: _http.Request, parse_seconds: float) -> bytes:
         route = (request.method, request.path)
         if route == ("GET", "/healthz"):
             return _http.json_response_bytes(
@@ -523,6 +663,9 @@ class ReservationDaemon:
                     "status": "draining" if self._draining else "ok",
                     "requests": self.stats.requests,
                     "websocket_clients": self.stats.websocket_clients,
+                    "uptime_seconds": _time.monotonic() - self.service.started_at,
+                    "inflight_admissions": self._inflight,
+                    "draining": self._draining,
                 },
             )
         if route == ("GET", "/metrics"):
@@ -538,6 +681,10 @@ class ReservationDaemon:
             return _http.json_response_bytes(
                 405, {"error": f"no route for {request.method} {request.path}"}
             )
+        if request.path == "/v1/debug/dump":
+            # The postmortem hatch works during drain on purpose: a
+            # wedged daemon is exactly when the flight recorder matters.
+            return self._guarded(self._debug_dump)
         handlers = {
             "/v1/establish": self.service.establish,
             "/v1/establish_batch": self.service.establish_batch,
@@ -553,36 +700,118 @@ class ReservationDaemon:
             return _http.json_response_bytes(
                 503, {"error": "daemon is shutting down"}
             )
+        decode_started = _time.perf_counter()
         payload = request.json()
-        return await self._admit(handler, payload)
+        parse_seconds += _time.perf_counter() - decode_started
+        name = request.path.rsplit("/", 1)[1]
+        return await self._admit(handler, payload, name, parse_seconds)
 
-    async def _admit(self, handler, payload: dict) -> bytes:
+    def _debug_dump(self) -> dict:
+        path = self.service.flight_dump("debug_endpoint")
+        return {
+            "path": str(path) if path is not None else None,
+            "document": self.service.flight_snapshot("debug_endpoint"),
+        }
+
+    async def _admit(
+        self, handler, payload: dict, name: str, parse_seconds: float
+    ) -> bytes:
         """Run one admission operation serialized under the lock.
 
         The in-flight window covers lock wait + execution, so shutdown's
         drain barrier sees every request that was accepted before the
-        draining flag flipped.
+        draining flag flipped.  Each phase of the admission (parse /
+        queue_wait / plan / commit / serialize) lands in the
+        ``daemon.admission_phase_seconds`` histogram, exemplared with
+        the request's trace id.
         """
+        context = _context.current_trace_context()
+        trace_id = context.trace_id if context is not None else None
         self._inflight += 1
         self._drained.clear()
+        queue_started = _time.perf_counter()
         try:
             async with self._lock:
-                return self._guarded(lambda: handler(payload))
+                queue_wait = _time.perf_counter() - queue_started
+                with _trace.span(f"daemon.{name}") as span:
+                    status, document = self._run(handler, payload)
+                    span.set(status=status)
+                plan_seconds, commit_seconds = self._planning_phases(trace_id)
+                serialize_started = _time.perf_counter()
+                response = _http.json_response_bytes(status, document)
+                serialize_seconds = _time.perf_counter() - serialize_started
+                self._observe_phases(
+                    trace_id,
+                    parse=parse_seconds,
+                    queue_wait=queue_wait,
+                    plan=plan_seconds,
+                    commit=commit_seconds,
+                    serialize=serialize_seconds,
+                )
+                return response
         finally:
             self._inflight -= 1
             if self._inflight == 0:
                 self._drained.set()
 
-    def _guarded(self, operation) -> bytes:
+    def _planning_phases(self, trace_id: Optional[str]) -> Tuple[float, float]:
+        """(plan, commit) seconds of the request that just ran.
+
+        Admissions are serialized under the lock, so this request's
+        spans sit contiguously at the tail of the flight tracer's ring;
+        walk backwards while the trace id matches.  ``plan_batch``
+        parents the per-group ``phase2_plan`` spans, so a batch counts
+        the parent only (no double counting).
+        """
+        if trace_id is None:
+            return 0.0, 0.0
+        phase2 = batch = commit = 0.0
+        for record in reversed(self.service.flight.tracer.records):
+            if record.trace_id != trace_id:
+                break
+            if record.name == "phase2_plan":
+                phase2 += record.duration
+            elif record.name == "plan_batch":
+                batch += record.duration
+            elif record.name == "phase3_dispatch":
+                commit += record.duration
+        return (batch if batch else phase2), commit
+
+    def _observe_phases(self, trace_id: Optional[str], **phases: float) -> None:
+        for phase, seconds in phases.items():
+            self.service.registry.histogram(
+                "daemon.admission_phase_seconds", phase=phase
+            ).observe(seconds, exemplar=trace_id)
+
+    def _run(self, handler, payload: dict):
+        """(status, document) of one operation; exceptions become errors."""
         try:
-            return _http.json_response_bytes(200, operation())
+            return 200, handler(payload)
         except ServiceError as exc:
-            return _http.json_response_bytes(exc.status, {"error": str(exc)})
+            return exc.status, {"error": str(exc)}
         except (ModelError, ReproError) as exc:
-            return _http.json_response_bytes(400, {"error": str(exc)})
+            return 400, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - defensive
-            return _http.json_response_bytes(
-                500, {"error": f"{type(exc).__name__}: {exc}"}
+            self._dump_on_exception(exc)
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _guarded(self, operation) -> bytes:
+        status, document = self._run(lambda _payload: operation(), None)
+        return _http.json_response_bytes(status, document)
+
+    def _dump_on_exception(self, exc: Exception) -> None:
+        """Best-effort flight dump when a handler dies unexpectedly."""
+        self.service.flight.record_wire("unhandled_exceptions")
+        try:
+            path = self.service.flight_dump("exception")
+        except Exception:  # pragma: no cover - the dump must never re-raise
+            return
+        if path is not None:
+            print(
+                f"repro-serve: unhandled {type(exc).__name__}; "
+                f"flight recorder dumped to {path}",
+                file=_sys.stderr,
+                flush=True,
             )
 
     # -- the event plane over WebSocket ------------------------------------

@@ -11,7 +11,10 @@ admission processing and every other subscriber are unaffected.
 Loss is never silent: once a subscriber's queue has room again, the next
 delivery is preceded by a single ``stream.truncated`` marker carrying the
 number of events that subscriber missed (mirroring the ``log.truncated``
-marker the bounded :class:`EventLog` itself appends at capacity).
+marker the bounded :class:`EventLog` itself appends at capacity).  Every
+drop also increments the ``service.events_dropped`` counter (labelled by
+why the queue had no room) on the installed metrics registry, so slow
+consumers are visible at ``/metrics`` without tailing any stream.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import asyncio
 import itertools
 from typing import Dict, Optional
 
+from repro.obs import metrics as _metrics
 from repro.obs.events import EventLog, ReservationEvent
 
 __all__ = ["EventPlane", "EventSubscriber", "TRUNCATION_KIND"]
@@ -131,8 +135,7 @@ class EventPlane:
             # Recovery needs room for the marker *and* this event, or the
             # marker itself would immediately re-truncate the stream.
             if queue.maxsize - queue.qsize() < 2:
-                subscriber.dropped += 1
-                subscriber.total_dropped += 1
+                self._count_drop(subscriber, "recovery_room")
                 return
             queue.put_nowait(
                 {
@@ -145,5 +148,12 @@ class EventPlane:
         try:
             queue.put_nowait(payload)
         except asyncio.QueueFull:
-            subscriber.dropped += 1
-            subscriber.total_dropped += 1
+            self._count_drop(subscriber, "queue_full")
+
+    @staticmethod
+    def _count_drop(subscriber: EventSubscriber, reason: str) -> None:
+        subscriber.dropped += 1
+        subscriber.total_dropped += 1
+        registry = _metrics.active_registry()
+        if registry is not None:
+            registry.counter("service.events_dropped", reason=reason).inc()

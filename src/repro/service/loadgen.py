@@ -34,6 +34,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.des.rng import RandomStreams
+from repro.obs import context as _context
+from repro.obs import trace as _trace
+from repro.obs.export import observability_to_dict
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.sim.workload import SessionArrival, WorkloadGenerator, WorkloadSpec
 
@@ -79,6 +82,12 @@ class LoadGenConfig:
     #: Send arrivals in establish_batch groups of this size instead of
     #: one establish per client (1 = plain per-session open loop).
     batch: int = 1
+    #: Bind a fresh root trace context per arrival (per group when
+    #: batching) so every request carries ``traceparent`` headers, and
+    #: record client-side spans into a run-local tracer; the run's
+    #: :class:`LoadReport` then carries a schema-v4 trace document ready
+    #: for ``repro-obs stitch`` against the daemon's flight dump.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.time_scale <= 0:
@@ -99,6 +108,9 @@ class LoadReport:
     wall_seconds: float
     latencies_ms: List[float]
     peak_inflight: int
+    #: Client-side schema-v4 trace document (tracing runs only); stays
+    #: out of :meth:`to_dict` so the telemetry ledger shape is untouched.
+    trace_document: Optional[dict] = None
 
     @property
     def throughput(self) -> float:
@@ -176,28 +188,51 @@ async def run_load(host: str, port: int, config: LoadGenConfig) -> LoadReport:
         arrivals = arrivals[: config.max_sessions]
     client = ServiceClient(host, port)
     tracker = _Tracker()
+    tracer = _trace.Tracer() if config.trace else None
+    previous_tracer = _trace.active_tracer()
+    if tracer is not None:
+        _trace.install(tracer)
     started = _time.perf_counter()
-    if config.batch > 1:
-        groups = [
-            arrivals[i : i + config.batch]
-            for i in range(0, len(arrivals), config.batch)
-        ]
-        tasks = [
-            asyncio.create_task(
-                _batch_client(client, group, config, tracker, started)
-            )
-            for group in groups
-        ]
-    else:
-        tasks = [
-            asyncio.create_task(
-                _one_client(client, arrival, config, tracker, started)
-            )
-            for arrival in arrivals
-        ]
-    if tasks:
-        await asyncio.gather(*tasks)
+    try:
+        if config.batch > 1:
+            groups = [
+                arrivals[i : i + config.batch]
+                for i in range(0, len(arrivals), config.batch)
+            ]
+            tasks = [
+                asyncio.create_task(
+                    _batch_client(client, group, config, tracker, started)
+                )
+                for group in groups
+            ]
+        else:
+            tasks = [
+                asyncio.create_task(
+                    _one_client(client, arrival, config, tracker, started)
+                )
+                for arrival in arrivals
+            ]
+        if tasks:
+            await asyncio.gather(*tasks)
+    finally:
+        if tracer is not None:
+            if previous_tracer is None:
+                _trace.uninstall()
+            else:
+                # In-process runs (tests) have the daemon's flight
+                # tracer installed; put it back when we are done.
+                _trace.install(previous_tracer)
     wall = _time.perf_counter() - started
+    trace_document = None
+    if tracer is not None:
+        trace_document = observability_to_dict(
+            tracer,
+            meta={
+                "side": "client",
+                "loadgen_seed": str(config.seed),
+                "loadgen_sessions": str(len(arrivals)),
+            },
+        )
     return LoadReport(
         sessions=len(arrivals),
         admitted=tracker.admitted,
@@ -207,6 +242,7 @@ async def run_load(host: str, port: int, config: LoadGenConfig) -> LoadReport:
         wall_seconds=wall,
         latencies_ms=tracker.latencies_ms,
         peak_inflight=tracker.peak_inflight,
+        trace_document=trace_document,
     )
 
 
@@ -227,10 +263,20 @@ async def _one_client(
 ) -> None:
     await _pace(arrival.arrival_time, config, started)
     tracker.enter()
+    token = None
+    if config.trace:
+        # One root context per arrival: establish, hold and teardown all
+        # share the trace id, so the stitched timeline covers the whole
+        # session lifecycle.
+        token = _context.bind_trace_context(
+            _context.new_trace_context(request_id=arrival.session_id)
+        )
     try:
         sent = _time.perf_counter()
         try:
-            outcome = await client.establish(**arrival_payload(arrival))
+            with _trace.span("loadgen.establish") as span:
+                span.set(session=arrival.session_id, service=arrival.service)
+                outcome = await client.establish(**arrival_payload(arrival))
         except (ServiceClientError, ConnectionError, OSError):
             tracker.errors += 1
             return
@@ -241,6 +287,8 @@ async def _one_client(
         tracker.admitted += 1
         await _hold_and_teardown(client, arrival, config, tracker)
     finally:
+        if token is not None:
+            _context.reset_trace_context(token)
         tracker.leave()
 
 
@@ -254,12 +302,23 @@ async def _batch_client(
     """One client submitting a whole batch at its first arrival's time."""
     await _pace(group[0].arrival_time, config, started)
     tracker.enter()
+    token = None
+    if config.trace:
+        token = _context.bind_trace_context(
+            _context.new_trace_context(
+                request_id=f"batch-{group[0].session_id}"
+            )
+        )
     try:
         sent = _time.perf_counter()
         try:
-            outcomes = await client.establish_batch(
-                [arrival_payload(arrival) for arrival in group]
-            )
+            with _trace.span("loadgen.establish_batch") as span:
+                span.set(
+                    session=group[0].session_id, batch_size=len(group)
+                )
+                outcomes = await client.establish_batch(
+                    [arrival_payload(arrival) for arrival in group]
+                )
         except (ServiceClientError, ConnectionError, OSError):
             tracker.errors += len(group)
             return
@@ -276,6 +335,8 @@ async def _batch_client(
         if holders:
             await asyncio.gather(*holders)
     finally:
+        if token is not None:
+            _context.reset_trace_context(token)
         tracker.leave()
 
 
@@ -317,6 +378,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-teardown", action="store_true")
     parser.add_argument("--out", default=None,
                         help="write the report JSON here")
+    parser.add_argument("--trace-json", default=None,
+                        help="trace every request and write the client-side "
+                             "trace document (schema v4) here; stitch it "
+                             "against the daemon's flight dump with "
+                             "'repro-obs stitch'")
     args = parser.parse_args(argv)
 
     config = LoadGenConfig(
@@ -327,6 +393,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         teardown=not args.no_teardown,
         max_sessions=args.max_sessions,
         batch=args.batch,
+        trace=args.trace_json is not None,
     )
     report = asyncio.run(run_load(args.host, args.port, config))
     document = report.to_dict()
@@ -334,6 +401,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
+    if args.trace_json and report.trace_document is not None:
+        with open(args.trace_json, "w") as handle:
+            json.dump(report.trace_document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     print(text)
     if report.errors:
         print(f"{report.errors} request error(s)", file=sys.stderr)

@@ -23,6 +23,7 @@ import pytest
 from repro.obs import ObservabilityConfig, active_event_log
 from repro.obs.analyze import adaptation_summary, load_trace
 from repro.obs.events import EventLog
+from repro.obs.export import TRACE_SCHEMA_VERSION
 from repro.obs.monitor import (
     MONITOR_EVENT_KINDS,
     AdaptationPolicy,
@@ -465,10 +466,10 @@ class TestMonitoredSimulation:
         assert stats["adaptation"]["triggered"] > 0
         assert stats["adaptation"]["sessions_renegotiated"] > 0
 
-    def test_trace_v3_round_trip_and_causality(self, adaptive_run):
+    def test_trace_round_trip_and_causality(self, adaptive_run):
         result, path = adaptive_run
         payload = json.loads(path.read_text())
-        assert payload["schema_version"] == 3
+        assert payload["schema_version"] == TRACE_SCHEMA_VERSION
         doc = load_trace(path)
         assert doc.monitoring == result.monitor_stats
         assert payload["event_counts"].get("session.renegotiated", 0) > 0

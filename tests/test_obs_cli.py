@@ -35,7 +35,7 @@ class TestSummarize:
     def test_sections_present(self, sim_trace, capsys):
         assert main(["summarize", sim_trace]) == 0
         out = capsys.readouterr().out
-        assert "schema v3" in out
+        assert "schema v4" in out
         assert "per-phase timings:" in out
         assert "reservation events:" in out
         assert "per-broker admission:" in out

@@ -237,7 +237,7 @@ class TestEmissionSites:
 
     def test_schema_document_shape(self, sim_trace_document):
         document = sim_trace_document
-        assert document["schema_version"] == TRACE_SCHEMA_VERSION == 3
+        assert document["schema_version"] == TRACE_SCHEMA_VERSION == 4
         assert set(document["event_counts"]) <= EVENT_KINDS
         for event in document["events"][:50]:
             assert event["kind"] in EVENT_KINDS

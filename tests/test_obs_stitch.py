@@ -1,0 +1,179 @@
+"""Cross-process timeline stitching and the schema-v4 golden.
+
+``stitch_traces`` joins a client-side trace document and a daemon-side
+one (typically a flight-recorder dump) purely by trace id; the report's
+``complete`` flag -- no client request left without daemon-side
+telemetry -- is the PR's acceptance gate, so these tests pin its edge
+cases: orphans on both sides, request-id/session back-fill, and the CLI
+wrapper's exit codes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import analyze
+from repro.obs.analyze import TraceDocument, stitch_traces
+from repro.obs.cli import main
+from repro.obs.export import TRACE_SCHEMA_VERSION
+
+GOLDEN_V4 = str(Path(__file__).parent / "data" / "trace_v4_golden.json")
+
+
+def make_doc(spans=(), events=()):
+    return TraceDocument.from_dict(
+        {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "spans": list(spans),
+            "events": list(events),
+        }
+    )
+
+
+def client_span(trace_id, *, request_id=None, session=None, index=0):
+    span = {
+        "name": "client.request",
+        "start": 0.0,
+        "duration": 0.01,
+        "depth": 0,
+        "index": index,
+        "parent": None,
+        "attributes": {} if session is None else {"session": session},
+        "trace_id": trace_id,
+    }
+    if request_id is not None:
+        span["request_id"] = request_id
+    return span
+
+
+def daemon_event(trace_id, *, kind="session.admitted", session="s-1"):
+    return {
+        "kind": kind,
+        "seq": 0,
+        "session": session,
+        "trace_id": trace_id,
+        "request_id": "req-d",
+    }
+
+
+# ---------------------------------------------------------------------------
+# the v4 golden
+
+
+def test_golden_v4_still_loads():
+    """Schema v4 documents (trace-context era) stay loadable forever."""
+    payload = json.loads(Path(GOLDEN_V4).read_text())
+    assert payload["schema_version"] == 4
+    doc = analyze.load_trace(GOLDEN_V4)
+    assert doc.spans and doc.events
+    # v4's defining feature: spans and events carry trace/request ids.
+    assert all("trace_id" in span for span in doc.spans)
+    assert all(event.trace_id for event in doc.events)
+    # It is a flight-recorder dump: meta + wire counters survive loading.
+    assert payload["meta"]["flight_recorder"] is True
+    assert payload["wire"]["requests"] > 0
+
+
+def test_golden_v4_self_stitches():
+    """A flight dump stitches against itself (daemon spans and events)."""
+    doc = analyze.load_trace(GOLDEN_V4)
+    report = stitch_traces(doc, doc)
+    assert report.complete
+    assert report.timelines
+    for timeline in report.timelines:
+        assert timeline.daemon_events
+
+
+# ---------------------------------------------------------------------------
+# stitch_traces unit behavior
+
+
+def test_stitch_links_by_trace_id():
+    client = make_doc(spans=[client_span("a" * 32, request_id="req-1")])
+    daemon = make_doc(events=[daemon_event("a" * 32)])
+    report = stitch_traces(client, daemon)
+    assert report.complete
+    assert len(report.timelines) == 1
+    timeline = report.timelines[0]
+    assert timeline.trace_id == "a" * 32
+    assert timeline.request_id == "req-1"
+    assert timeline.session == "s-1"  # back-filled from the daemon event
+    assert timeline.outcome == "admitted"
+
+
+def test_orphan_client_breaks_completeness():
+    client = make_doc(
+        spans=[
+            client_span("a" * 32, index=0),
+            client_span("b" * 32, index=1),
+        ]
+    )
+    daemon = make_doc(events=[daemon_event("a" * 32)])
+    report = stitch_traces(client, daemon)
+    assert not report.complete
+    assert report.orphan_client == ["b" * 32]
+    assert len(report.timelines) == 1
+
+
+def test_orphan_daemon_does_not_break_completeness():
+    client = make_doc(spans=[client_span("a" * 32)])
+    daemon = make_doc(
+        events=[daemon_event("a" * 32), daemon_event("c" * 32, session="s-2")]
+    )
+    report = stitch_traces(client, daemon)
+    assert report.complete
+    assert report.orphan_daemon == ["c" * 32]
+
+
+def test_unstamped_spans_are_ignored():
+    unstamped = client_span("x")
+    del unstamped["trace_id"]
+    report = stitch_traces(make_doc(spans=[unstamped]), make_doc())
+    assert report.complete and not report.timelines
+
+
+def test_stitch_report_serializes():
+    client = make_doc(spans=[client_span("a" * 32, request_id="req-1")])
+    daemon = make_doc(events=[daemon_event("a" * 32)])
+    payload = stitch_traces(client, daemon).to_dict()
+    assert payload["schema"] == "stitched-trace/1"
+    assert payload["complete"] is True
+    assert payload["requests"][0]["trace_id"] == "a" * 32
+    json.dumps(payload)  # JSON-clean
+
+
+# ---------------------------------------------------------------------------
+# the CLI wrapper
+
+
+def test_cli_stitch_prints_table_and_writes_report(tmp_path, capsys):
+    out_path = tmp_path / "stitched.json"
+    assert main(["stitch", GOLDEN_V4, GOLDEN_V4, "-o", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "stitched" in out
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "stitched-trace/1"
+    assert report["complete"] is True
+
+
+def test_cli_stitch_require_complete_fails_on_orphans(tmp_path, capsys):
+    client = {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "spans": [client_span("f" * 32, request_id="req-orphan")],
+        "events": [],
+    }
+    client_path = tmp_path / "client.json"
+    client_path.write_text(json.dumps(client))
+    empty_path = tmp_path / "daemon.json"
+    empty_path.write_text(
+        json.dumps({"schema_version": TRACE_SCHEMA_VERSION, "spans": [], "events": []})
+    )
+    assert main(["stitch", str(client_path), str(empty_path)]) == 0
+    assert (
+        main(
+            ["stitch", str(client_path), str(empty_path), "--require-complete"]
+        )
+        == 1
+    )
+    assert "INCOMPLETE" in capsys.readouterr().out
