@@ -1,0 +1,29 @@
+"""Sharded multi-daemon cluster layer.
+
+Partitions the single-environment broker directory into shard-owned
+registries (:mod:`repro.cluster.shardmap`), runs each shard behind its
+own reservation daemon, and routes admissions through a cluster
+coordinator that plans against a merged availability snapshot and
+executes cross-shard reservations with two-phase reserve/commit
+(:mod:`repro.cluster.router`).  ``repro-cluster``
+(:mod:`repro.cluster.cli`) serves the router over the same wire
+protocol as a single daemon.
+"""
+
+from repro.cluster.router import (
+    ClusterConfig,
+    ClusterCoordinator,
+    ClusterDaemon,
+    HttpShardClient,
+    LocalShardClient,
+)
+from repro.cluster.shardmap import ShardMap
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterDaemon",
+    "HttpShardClient",
+    "LocalShardClient",
+    "ShardMap",
+]

@@ -1,0 +1,118 @@
+"""``repro-cluster``: run the cross-shard router until SIGINT/SIGTERM.
+
+Boots a :class:`~repro.cluster.router.ClusterDaemon` fronting one shard
+daemon per ``--shard host:port`` flag.  The router plans each admission
+against a merged availability snapshot from the involved shards and
+executes it as a two-phase reserve/commit, so a shard dying mid-round
+never loses or double-grants capacity.  With a single ``--shard`` the
+router forwards requests verbatim (responses stay byte-identical to the
+daemon's own).
+
+The shards must be ``repro-serve`` instances started with the *same*
+``--seed``/capacity range and ``--shard-index i --shard-count N`` for
+``i`` in ``0..N-1`` -- every party replicates the identical grid, the
+shard map just divides who may grant what.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import List, Optional, Tuple
+
+from repro.cluster.router import ClusterConfig, ClusterDaemon
+from repro.sim.experiment import ALGORITHMS, CONTENTION_INDICES
+
+__all__ = ["build_config", "main"]
+
+
+def _shard_address(text: str) -> Tuple[str, int]:
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"shard address {text!r} is not host:port"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard address {text!r} has a non-numeric port"
+        ) from None
+    return host, port
+
+
+def build_config(argv: Optional[List[str]] = None) -> ClusterConfig:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8790,
+                        help="listen port (0 = ephemeral, printed on boot)")
+    parser.add_argument("--shard", dest="shards", action="append",
+                        type=_shard_address, metavar="HOST:PORT",
+                        help="one shard daemon address; repeat per shard, "
+                             "in shard-index order")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="grid seed -- must match every shard daemon")
+    parser.add_argument("--algorithm", default="basic",
+                        choices=sorted(ALGORITHMS))
+    parser.add_argument("--contention-index", default="ratio",
+                        choices=sorted(CONTENTION_INDICES))
+    parser.add_argument("--capacity-min", type=float, default=1000.0)
+    parser.add_argument("--capacity-max", type=float, default=4000.0)
+    parser.add_argument("--no-tie-break", action="store_true",
+                        help="disable the §4.3 load tie-break")
+    args = parser.parse_args(argv)
+    if not args.shards:
+        parser.error("at least one --shard host:port is required")
+    return ClusterConfig(
+        shards=tuple(args.shards),
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        algorithm=args.algorithm,
+        capacity_range=(args.capacity_min, args.capacity_max),
+        contention_index=args.contention_index,
+        tie_break=not args.no_tie_break,
+    )
+
+
+async def _serve(config: ClusterConfig) -> None:
+    daemon = ClusterDaemon(config)
+    await daemon.start()
+    problems = await daemon.coordinator.check()
+    for problem in problems:
+        print(f"repro-cluster: warning: {problem}", file=sys.stderr, flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            signal.signal(signum, lambda *_: stop.set())
+    print(
+        f"repro-cluster: listening on {config.host}:{daemon.port} "
+        f"(shards={len(config.shards)}, seed={config.seed}, "
+        f"algorithm={config.algorithm})",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        print("repro-cluster: shutting down", flush=True)
+        await daemon.shutdown()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    config = build_config(argv)
+    try:
+        asyncio.run(_serve(config))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

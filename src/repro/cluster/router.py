@@ -1,0 +1,897 @@
+"""The cluster router: cross-shard admission over two-phase reserve/commit.
+
+:class:`ClusterCoordinator` fronts N shard daemons, each serving the
+slice of the grid its :class:`~repro.cluster.shardmap.ShardMap` index
+assigns (every shard builds the identical same-seed grid, so capacities
+agree without a directory service).  An establishment becomes:
+
+1. **merged snapshot** -- ``GET /v1/availability`` from every involved
+   shard in parallel; resources an unreachable shard should have
+   reported are zero-filled, so planning degrades instead of crashing.
+2. **local plan** -- the paper's phase 2 runs once, in the router,
+   against the merged snapshot
+   (:meth:`~repro.runtime.coordinator.ReservationCoordinator.plan_session`).
+3. **two-phase commit** -- the plan's demand is split by owning shard;
+   each shard holds its slice on a TTL lease (``/v1/reserve``), and
+   only when every slice is held does the router ``/v1/commit`` them.
+   Any failure aborts the held leases; a shard that dies mid-round
+   leaves only TTL leases behind, which its reaper releases -- no lost
+   and no double-granted capacity, the PR 4 lease contract stretched
+   across processes.
+
+With a single shard the router forwards requests verbatim, so its
+responses are byte-identical to the daemon's (and therefore to the
+in-process coordinator) -- the property the acceptance test pins.
+
+:class:`ClusterDaemon` serves the router over the same wire protocol as
+a single daemon, so the load generator and :class:`ServiceClient` work
+unchanged against a cluster.  :class:`LocalShardClient` swaps the HTTP
+hop for direct in-process calls (with per-shard event logs and
+drain/crash switches) -- the harness the property tests race.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time as _time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ModelError, ReproError
+from repro.core.resources import AvailabilitySnapshot, ResourceObservation
+from repro.des.engine import Environment
+from repro.des.rng import RandomStreams
+from repro.obs import context as _context
+from repro.obs import events as _events
+from repro.obs import trace as _trace
+from repro.service import http as _http
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceDrainingError,
+    ServiceResponse,
+)
+from repro.service.daemon import (
+    ReservationService,
+    ServiceError,
+    _establishment_to_dict,
+)
+from repro.sim.environment import GridEnvironment
+from repro.sim.experiment import CONTENTION_INDICES
+from repro.sim.workload import SessionArrival
+
+from repro.cluster.shardmap import ShardMap
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterCoordinator",
+    "ClusterDaemon",
+    "HttpShardClient",
+    "LocalShardClient",
+]
+
+
+class HttpShardClient:
+    """One shard daemon reached over HTTP (keep-alive pooled)."""
+
+    def __init__(self, index: int, host: str, port: int) -> None:
+        self.index = index
+        self.label = f"{host}:{port}"
+        self._client = ServiceClient(host, port)
+
+    async def availability(self) -> dict:
+        return await self._client.availability()
+
+    async def reserve(self, payload: dict) -> dict:
+        return await self._client.reserve(
+            payload["session_id"], payload["demands"]
+        )
+
+    async def commit(self, payload: dict) -> dict:
+        return await self._client.commit(
+            payload["lease_id"], payload.get("session")
+        )
+
+    async def abort(self, payload: dict) -> dict:
+        return await self._client.abort(payload["lease_id"])
+
+    async def teardown(self, payload: dict) -> dict:
+        return await self._client.teardown(payload["session_id"])
+
+    async def query(self) -> dict:
+        return await self._client.query()
+
+    async def forward_raw(
+        self, method: str, target: str, payload: Optional[dict]
+    ) -> ServiceResponse:
+        """Verbatim pass-through (single-shard byte-identity path)."""
+        return await self._client.request(method, target, payload)
+
+    async def aclose(self) -> None:
+        await self._client.aclose()
+
+
+class LocalShardClient:
+    """In-process stand-in for a shard daemon (tests, benchmarks).
+
+    Wraps a bare (not :meth:`~ReservationService.start`-ed) service;
+    every call runs under ``event_logging(self.log)`` so each shard
+    keeps its own causal event log exactly as separate processes would.
+    ``draining``/``crashed`` flags (and :attr:`crash_on_next_reserve`,
+    the lost-ack case: capacity held, acknowledgement never arrives)
+    simulate the failures the router must absorb.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        service: ReservationService,
+        *,
+        log: Optional[_events.EventLog] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self.index = index
+        self.service = service
+        self.log = log
+        self.label = label or f"local-{index}"
+        self.draining = False
+        self.crashed = False
+        self.crash_on_next_reserve = False
+
+    @contextmanager
+    def _logged(self):
+        if self.log is not None:
+            with _events.event_logging(self.log):
+                yield
+        else:
+            yield
+
+    def _check(self, *, admission: bool) -> None:
+        if self.crashed:
+            raise ConnectionError(f"shard {self.label} is down")
+        if admission and self.draining:
+            raise ServiceDrainingError(
+                503, {"error": "daemon is shutting down", "draining": True}
+            )
+
+    async def _call(self, thunk, *, admission: bool = False):
+        self._check(admission=admission)
+        await asyncio.sleep(0)  # the network hop: an interleave point
+        self._check(admission=admission)
+        with self._logged():
+            try:
+                return thunk()
+            except ServiceError as exc:
+                raise ServiceClientError(exc.status, {"error": str(exc)}) from exc
+            except (ModelError, ReproError) as exc:
+                raise ServiceClientError(400, {"error": str(exc)}) from exc
+
+    async def availability(self) -> dict:
+        return await self._call(self.service.availability)
+
+    async def reserve(self, payload: dict) -> dict:
+        if self.crash_on_next_reserve:
+            # Lost ack: the shard grants the capacity, then dies before
+            # answering.  Only its TTL reaper can free the lease now.
+            self._check(admission=True)
+            with self._logged():
+                self.service.reserve(payload)
+            self.crash_on_next_reserve = False
+            self.crashed = True
+            raise ConnectionError(f"shard {self.label} crashed mid-reserve")
+        return await self._call(
+            lambda: self.service.reserve(payload), admission=True
+        )
+
+    async def commit(self, payload: dict) -> dict:
+        # Commit/abort finish an already-held round: drain-exempt,
+        # mirroring the daemon's routing.
+        return await self._call(lambda: self.service.commit(payload))
+
+    async def abort(self, payload: dict) -> dict:
+        return await self._call(lambda: self.service.abort(payload))
+
+    async def teardown(self, payload: dict) -> dict:
+        # Drain-exempt like commit/abort: a draining shard still
+        # releases capacity, else the round's holds would strand.
+        return await self._call(lambda: self.service.teardown(payload))
+
+    async def query(self) -> dict:
+        return await self._call(lambda: self.service.query())
+
+    async def reap(self, now: Optional[float] = None) -> int:
+        """Run the shard's lease reaper (the daemon does this on a timer)."""
+        if self.log is not None:
+            with _events.event_logging(self.log):
+                return self.service.reap_expired_leases(now)
+        return self.service.reap_expired_leases(now)
+
+    async def forward_raw(
+        self, method: str, target: str, payload: Optional[dict]
+    ) -> ServiceResponse:
+        path, _, query_text = target.partition("?")
+        def run() -> Tuple[int, object]:
+            try:
+                if (method, path) == ("GET", "/v1/query"):
+                    session_id = None
+                    for pair in query_text.split("&"):
+                        name, _, value = pair.partition("=")
+                        if name == "session_id":
+                            session_id = value
+                    return 200, self.service.query(session_id)
+                handlers = {
+                    "/v1/establish": self.service.establish,
+                    "/v1/establish_batch": self.service.establish_batch,
+                    "/v1/renegotiate": self.service.renegotiate,
+                    "/v1/teardown": self.service.teardown,
+                }
+                handler = handlers.get(path)
+                if handler is None or method != "POST":
+                    return 404, {"error": f"unknown path {path!r}"}
+                return 200, handler(payload)
+            except ServiceError as exc:
+                return exc.status, {"error": str(exc)}
+            except (ModelError, ReproError) as exc:
+                return 400, {"error": str(exc)}
+
+        self._check(admission=method == "POST")
+        await asyncio.sleep(0)
+        self._check(admission=method == "POST")
+        with self._logged():
+            status, document = run()
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        return ServiceResponse(status=status, headers={}, body=body)
+
+    async def aclose(self) -> None:
+        return None
+
+
+def _json_body(document: object) -> bytes:
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+_UNREACHABLE = (ConnectionError, OSError, _http.ProtocolError, asyncio.TimeoutError)
+
+
+class ClusterCoordinator:
+    """Routes admissions across shard clients (HTTP or in-process).
+
+    Holds its own same-seed planning replica of the grid -- used only
+    for placement (:meth:`~repro.sim.environment.GridEnvironment
+    .binding_for`) and phase-2 planning; it never reserves locally.
+    All methods return ``(status, body_bytes)`` so the serving layer
+    can pass shard responses through untouched in single-shard mode.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence,
+        *,
+        seed: int = 0,
+        algorithm: str = "basic",
+        capacity_range: Tuple[float, float] = (1000.0, 4000.0),
+        contention_index: str = "ratio",
+        tie_break: bool = True,
+    ) -> None:
+        if not shards:
+            raise ModelError("a cluster needs at least one shard")
+        self.shards = list(shards)
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.grid = GridEnvironment(
+            self.env, self.streams, capacity_range=capacity_range
+        )
+        self.shard_map = ShardMap.from_topology(
+            self.grid.topology, len(self.shards)
+        )
+        self.planner = _make_planner(algorithm, tie_break, self.streams)
+        self.contention_index = CONTENTION_INDICES[contention_index]
+        self.seed = seed
+        self.algorithm = algorithm
+        #: session_id -> {"shards": [...], ...} for teardown routing.
+        self.sessions: Dict[str, dict] = {}
+        self.counters = {"established": 0, "rejected": 0, "torn_down": 0}
+        self.reject_reasons: Dict[str, int] = {}
+        #: session_id -> shard indexes whose teardown failed while the
+        #: shard was unreachable; retried by flush_pending_teardowns.
+        self.pending_teardowns: Dict[str, List[int]] = {}
+        self._session_seq = 0
+
+    # -- request decoding --------------------------------------------------
+
+    def _fresh_session_id(self) -> str:
+        self._session_seq += 1
+        return f"svc-{self._session_seq}"
+
+    def _arrival_from(self, payload: dict) -> SessionArrival:
+        try:
+            service = str(payload["service"])
+            domain = str(payload["domain"])
+        except (KeyError, TypeError) as exc:
+            raise ServiceError("missing required field 'service'/'domain'") from exc
+        session_id = str(payload.get("session_id") or self._fresh_session_id())
+        try:
+            demand_scale = float(payload.get("demand_scale", 1.0))
+            duration = float(payload.get("duration", 1.0))
+            arrival_time = float(payload.get("arrival_time", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"non-numeric field: {exc}") from exc
+        if demand_scale <= 0:
+            raise ServiceError(f"demand_scale must be positive, got {demand_scale!r}")
+        return SessionArrival(
+            session_id=session_id,
+            arrival_time=arrival_time,
+            domain=domain,
+            service=service,
+            demand_scale=demand_scale,
+            duration=duration,
+        )
+
+    # -- single-shard pass-through -----------------------------------------
+
+    async def forward(
+        self, method: str, target: str, payload: Optional[dict]
+    ) -> Tuple[int, bytes]:
+        """Verbatim proxying to the only shard (byte-identity path)."""
+        try:
+            response = await self.shards[0].forward_raw(method, target, payload)
+        except _UNREACHABLE:
+            return 503, _json_body({"error": "shard unreachable"})
+        return response.status, response.body
+
+    # -- cross-shard establishment -----------------------------------------
+
+    async def establish(self, payload: dict) -> Tuple[int, bytes]:
+        if len(self.shards) == 1:
+            return await self.forward("POST", "/v1/establish", payload)
+        try:
+            return await self._establish_cross_shard(payload)
+        except ServiceError as exc:
+            return exc.status, _json_body({"error": str(exc)})
+        except (ModelError, ReproError) as exc:
+            return 400, _json_body({"error": str(exc)})
+
+    async def _establish_cross_shard(self, payload: dict) -> Tuple[int, bytes]:
+        arrival = self._arrival_from(payload)
+        session_id = arrival.session_id
+        if session_id in self.sessions:
+            raise ServiceError(
+                f"session {session_id!r} already established", status=409
+            )
+        binding = self.grid.binding_for(arrival.service, arrival.domain)
+        resource_ids = sorted(binding.resource_ids())
+        shard_for = {rid: self.shard_map.shard_of(rid) for rid in resource_ids}
+        involved = sorted(set(shard_for.values()))
+
+        with _trace.span("cluster.establish", session=session_id) as span:
+            span.set(shards=len(involved))
+            snapshot = await self._merged_snapshot(resource_ids, involved)
+            plan, failure = self.grid.coordinator.plan_session(
+                session_id,
+                arrival.service,
+                binding,
+                self.planner,
+                snapshot,
+                demand_scale=arrival.demand_scale,
+                contention_index=self.contention_index,
+            )
+            if failure is not None:
+                return 200, self._rejected(_establishment_to_dict(failure))
+            demand = plan.demand
+            per_shard: Dict[int, Dict[str, float]] = {}
+            for rid in sorted(demand):
+                per_shard.setdefault(shard_for[rid], {})[rid] = demand[rid]
+            outcome = await self._two_phase_commit(
+                session_id, arrival, plan, per_shard
+            )
+            span.set(outcome=json.loads(outcome[1])["reason"] or "established")
+            return outcome
+
+    async def _merged_snapshot(
+        self, resource_ids: List[str], involved: List[int]
+    ) -> AvailabilitySnapshot:
+        """Phase 1 over the wire: gather availability from every shard.
+
+        Resources a dead shard should have covered are zero-filled --
+        the same degrade-not-crash stance the fault-tolerant
+        coordinator takes on a timed-out proxy.
+        """
+        wanted = set(resource_ids)
+        with _trace.span("cluster.snapshot", shards=len(involved)):
+            responses = await asyncio.gather(
+                *(self.shards[index].availability() for index in involved),
+                return_exceptions=True,
+            )
+        observations: Dict[str, ResourceObservation] = {}
+        for response in responses:
+            if isinstance(response, BaseException):
+                continue
+            for rid, fields in response.get("resources", {}).items():
+                if rid not in wanted:
+                    continue
+                observations[rid] = ResourceObservation(
+                    available=max(0.0, float(fields.get("available", 0.0))),
+                    alpha=float(fields.get("alpha", 1.0)),
+                    observed_at=fields.get("observed_at"),
+                )
+        for rid in resource_ids:
+            if rid not in observations:
+                observations[rid] = ResourceObservation(
+                    available=0.0, alpha=1.0, observed_at=None
+                )
+        return AvailabilitySnapshot(observations)
+
+    async def _two_phase_commit(
+        self,
+        session_id: str,
+        arrival: SessionArrival,
+        plan,
+        per_shard: Dict[int, Dict[str, float]],
+    ) -> Tuple[int, bytes]:
+        leases: List[Tuple[int, str]] = []
+        reason: Optional[str] = None
+        failed_resource: Optional[str] = None
+        with _trace.span("cluster.reserve", shards=len(per_shard)):
+            for shard_index in sorted(per_shard):
+                try:
+                    outcome = await self.shards[shard_index].reserve(
+                        {
+                            "session_id": session_id,
+                            "demands": per_shard[shard_index],
+                        }
+                    )
+                except ServiceDrainingError:
+                    reason = "shard_draining"
+                    break
+                except ServiceClientError:
+                    reason = "shard_error"
+                    break
+                except _UNREACHABLE:
+                    reason = "shard_unreachable"
+                    break
+                if not outcome.get("reserved"):
+                    reason = "admission_failed"
+                    failed_resource = outcome.get("failed_resource")
+                    break
+                leases.append((shard_index, outcome["lease_id"]))
+        if reason is not None:
+            await self._abort_leases(leases)
+            return 200, self._rejected(
+                {
+                    "session_id": session_id,
+                    "success": False,
+                    "reason": reason,
+                    "failed_resource": failed_resource,
+                    "level": None,
+                    "label": None,
+                    "psi": None,
+                }
+            )
+
+        meta = {
+            "service": arrival.service,
+            "domain": arrival.domain,
+            "demand_scale": arrival.demand_scale,
+            "duration": arrival.duration,
+            "level": plan.numeric_level,
+        }
+        committed: List[int] = []
+        with _trace.span("cluster.commit", shards=len(leases)):
+            for position, (shard_index, lease_id) in enumerate(leases):
+                try:
+                    await self.shards[shard_index].commit(
+                        {"lease_id": lease_id, "session": meta}
+                    )
+                except (ServiceClientError,) + _UNREACHABLE:
+                    # Commit is drain-exempt, so a failure here means a
+                    # dead shard (or an expired lease).  Undo the rest:
+                    # abort the still-held leases, tear the committed
+                    # slices back down.  The dead shard's own holds are
+                    # the TTL reaper's problem.
+                    await self._abort_leases(leases[position:])
+                    await self._teardown_on(committed, session_id)
+                    return 200, self._rejected(
+                        {
+                            "session_id": session_id,
+                            "success": False,
+                            "reason": "shard_unreachable",
+                            "failed_resource": None,
+                            "level": None,
+                            "label": None,
+                            "psi": None,
+                        }
+                    )
+                committed.append(shard_index)
+        self.sessions[session_id] = {
+            "service": arrival.service,
+            "domain": arrival.domain,
+            "level": plan.numeric_level,
+            "shards": sorted(per_shard),
+        }
+        self.counters["established"] += 1
+        return 200, _json_body(
+            {
+                "session_id": session_id,
+                "success": True,
+                "reason": "",
+                "failed_resource": None,
+                "level": plan.numeric_level,
+                "label": plan.end_to_end_label,
+                "psi": plan.psi,
+            }
+        )
+
+    def _rejected(self, document: dict) -> bytes:
+        self.counters["rejected"] += 1
+        reason = document.get("reason") or "rejected"
+        self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+        return _json_body(document)
+
+    async def _abort_leases(self, leases: List[Tuple[int, str]]) -> None:
+        """Best-effort rollback; unreachable shards are left to their TTL."""
+        for shard_index, lease_id in leases:
+            try:
+                await self.shards[shard_index].abort({"lease_id": lease_id})
+            except (ServiceClientError,) + _UNREACHABLE:
+                continue
+
+    async def _teardown_on(self, shard_indexes: List[int], session_id: str) -> None:
+        for shard_index in shard_indexes:
+            try:
+                await self.shards[shard_index].teardown({"session_id": session_id})
+            except (ServiceClientError,) + _UNREACHABLE:
+                continue
+
+    # -- teardown / query --------------------------------------------------
+
+    async def teardown(self, payload: dict) -> Tuple[int, bytes]:
+        if len(self.shards) == 1:
+            return await self.forward("POST", "/v1/teardown", payload)
+        session_id = str(payload.get("session_id") or "")
+        if not session_id:
+            return 400, _json_body({"error": "missing required field 'session_id'"})
+        record = self.sessions.pop(session_id, None)
+        targets = (
+            record["shards"] if record is not None else range(len(self.shards))
+        )
+        released = 0
+        unreachable: List[int] = []
+        for shard_index in targets:
+            try:
+                outcome = await self.shards[shard_index].teardown(
+                    {"session_id": session_id}
+                )
+                released += int(outcome.get("released", 0))
+            except ServiceClientError:
+                continue
+            except _UNREACHABLE:
+                unreachable.append(shard_index)
+        if record is not None and unreachable:
+            # The session is gone from the router's view, but a shard
+            # we could not reach may still hold its capacity (e.g. a
+            # partition, not a crash-restart).  Remember the debt and
+            # settle it when the shard is reachable again.
+            pending = set(self.pending_teardowns.get(session_id, []))
+            self.pending_teardowns[session_id] = sorted(
+                pending | set(unreachable)
+            )
+        if record is None and released == 0:
+            return 404, _json_body({"error": f"unknown session {session_id!r}"})
+        self.counters["torn_down"] += 1
+        return 200, _json_body({"session_id": session_id, "released": released})
+
+    async def flush_pending_teardowns(self) -> int:
+        """Retry teardowns that earlier failed against unreachable shards.
+
+        A healed partition leaves the shard still holding capacity for
+        sessions the router already tore down everywhere else; this
+        anti-entropy pass releases them.  A shard that instead crashed
+        and restarted answers 404 (its memory of the session died with
+        the process), which settles the debt too.  Returns the amount
+        released; shards still unreachable keep their entry for the
+        next pass.
+        """
+        released = 0
+        for session_id in sorted(self.pending_teardowns):
+            remaining: List[int] = []
+            for shard_index in self.pending_teardowns[session_id]:
+                try:
+                    outcome = await self.shards[shard_index].teardown(
+                        {"session_id": session_id}
+                    )
+                    released += int(outcome.get("released", 0))
+                except ServiceClientError:
+                    continue
+                except _UNREACHABLE:
+                    remaining.append(shard_index)
+            if remaining:
+                self.pending_teardowns[session_id] = remaining
+            else:
+                del self.pending_teardowns[session_id]
+        return released
+
+    async def query(self) -> Tuple[int, bytes]:
+        if len(self.shards) == 1:
+            return await self.forward("GET", "/v1/query", None)
+        per_shard: List[dict] = []
+        for shard in self.shards:
+            entry: dict = {"label": shard.label}
+            try:
+                document = await shard.query()
+            except (ServiceClientError,) + _UNREACHABLE:
+                entry["reachable"] = False
+            else:
+                entry["reachable"] = True
+                entry["active_sessions"] = document.get("active_sessions")
+                entry["shard"] = document.get("shard")
+            per_shard.append(entry)
+        return 200, _json_body(
+            {
+                "shards": len(self.shards),
+                "seed": self.seed,
+                "algorithm": self.algorithm,
+                "active_sessions": len(self.sessions),
+                "counters": dict(self.counters),
+                "reject_reasons": dict(self.reject_reasons),
+                "per_shard": per_shard,
+            }
+        )
+
+    async def check(self) -> List[str]:
+        """Boot-time sanity: every reachable shard must share our config."""
+        problems: List[str] = []
+        for shard in self.shards:
+            try:
+                document = await shard.query()
+            except (ServiceClientError,) + _UNREACHABLE as exc:
+                problems.append(f"{shard.label}: unreachable ({exc})")
+                continue
+            if document.get("seed") != self.seed:
+                problems.append(
+                    f"{shard.label}: seed {document.get('seed')} != {self.seed} "
+                    "(shards must replicate the router's grid)"
+                )
+        return problems
+
+    async def aclose(self) -> None:
+        for shard in self.shards:
+            await shard.aclose()
+
+
+def _make_planner(algorithm: str, tie_break: bool, streams: RandomStreams):
+    from repro.core.planner import BasicPlanner, RandomPlanner
+    from repro.core.tradeoff import TradeoffPlanner
+
+    if algorithm == "basic":
+        return BasicPlanner(tie_break=tie_break)
+    if algorithm == "tradeoff":
+        return TradeoffPlanner(tie_break=tie_break)
+    return RandomPlanner(rng=streams.stream("random-planner"))
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One router instance: where to listen and which shards to front."""
+
+    shards: Tuple[Tuple[str, int], ...]
+    host: str = "127.0.0.1"
+    port: int = 8790
+    seed: int = 0
+    algorithm: str = "basic"
+    capacity_range: Tuple[float, float] = (1000.0, 4000.0)
+    contention_index: str = "ratio"
+    tie_break: bool = True
+    drain_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ModelError("a cluster needs at least one shard address")
+
+
+class ClusterDaemon:
+    """Serves a :class:`ClusterCoordinator` over the daemon wire protocol.
+
+    Establishments and teardowns run serialized under one lock (like the
+    shard daemons' own admission lock), so router decisions for a given
+    request order are deterministic.  Keep-alive, trace propagation and
+    the drain-refusal body all match :class:`ReservationDaemon`, which
+    is what lets the load generator point at a cluster unchanged.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        *,
+        coordinator: Optional[ClusterCoordinator] = None,
+    ) -> None:
+        self.config = config
+        self.coordinator = coordinator or ClusterCoordinator(
+            [
+                HttpShardClient(index, host, port)
+                for index, (host, port) in enumerate(config.shards)
+            ],
+            seed=config.seed,
+            algorithm=config.algorithm,
+            capacity_range=config.capacity_range,
+            contention_index=config.contention_index,
+            tie_break=config.tie_break,
+        )
+        self.requests = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._lock = asyncio.Lock()
+        self._draining = False
+        self._connections: set = set()
+        self._started_at = _time.monotonic()
+        self._flush_task: Optional[asyncio.Task] = None
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise RuntimeError("cluster daemon is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        if len(self.coordinator.shards) > 1:
+            self._flush_task = asyncio.create_task(self._flush_loop())
+
+    async def _flush_loop(self) -> None:
+        """Anti-entropy: settle teardowns owed to once-unreachable shards."""
+        while True:
+            await asyncio.sleep(1.0)
+            if self.coordinator.pending_teardowns:
+                async with self._lock:
+                    await self.coordinator.flush_pending_teardowns()
+
+    async def shutdown(self) -> None:
+        self._draining = True
+        if self._flush_task is not None:
+            self._flush_task.cancel()
+            try:
+                await self._flush_task
+            except asyncio.CancelledError:
+                pass
+            self._flush_task = None
+        if self._server is not None:
+            self._server.close()
+            for writer in list(self._connections):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.coordinator.aclose()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _http.read_request(reader)
+                    if request is None:
+                        return
+                    self.requests += 1
+                    close = (
+                        self._draining
+                        or request.headers.get("connection", "").lower() == "close"
+                    )
+                    context = self._context_for(request)
+                    token = _context.bind_trace_context(context)
+                    try:
+                        response = await self._dispatch(request, close)
+                    finally:
+                        _context.reset_trace_context(token)
+                    writer.write(response)
+                    await writer.drain()
+                except _http.ProtocolError as exc:
+                    try:
+                        writer.write(
+                            _http.json_response_bytes(400, {"error": str(exc)})
+                        )
+                        await writer.drain()
+                    except (ConnectionError, RuntimeError):  # pragma: no cover
+                        pass
+                    return
+                except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
+                    return
+                if close:
+                    return
+        finally:
+            self._connections.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass
+
+    def _context_for(self, request: _http.Request) -> _context.TraceContext:
+        request_id = request.headers.get(_context.REQUEST_ID_HEADER) or (
+            f"cluster-req-{self.requests}"
+        )
+        parent = _context.parse_traceparent(
+            request.headers.get(_context.TRACEPARENT_HEADER)
+        )
+        if parent is None:
+            return _context.new_trace_context(request_id=request_id)
+        return _context.TraceContext(
+            trace_id=parent.trace_id,
+            span_id=parent.span_id,
+            parent_id=parent.parent_id,
+            request_id=request_id,
+        )
+
+    async def _dispatch(self, request: _http.Request, close: bool) -> bytes:
+        single = len(self.coordinator.shards) == 1
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return _http.json_response_bytes(
+                200,
+                {
+                    "status": "draining" if self._draining else "ok",
+                    "role": "cluster-router",
+                    "shards": len(self.coordinator.shards),
+                    "requests": self.requests,
+                    "uptime_seconds": _time.monotonic() - self._started_at,
+                    "draining": self._draining,
+                },
+                close=close,
+            )
+        if route == ("GET", "/v1/query"):
+            status, body = await self.coordinator.query()
+            return _http.response_bytes(status, body, close=close)
+        if request.method != "POST":
+            return _http.json_response_bytes(
+                405,
+                {"error": f"no route for {request.method} {request.path}"},
+                close=close,
+            )
+        if self._draining:
+            return _http.json_response_bytes(
+                503,
+                {"error": "daemon is shutting down", "draining": True},
+                close=close,
+            )
+        try:
+            payload = request.json()
+        except _http.ProtocolError:
+            raise
+        if request.path == "/v1/establish":
+            async with self._lock:
+                status, body = await self.coordinator.establish(payload)
+            return _http.response_bytes(status, body, close=close)
+        if request.path == "/v1/teardown":
+            async with self._lock:
+                status, body = await self.coordinator.teardown(payload)
+            return _http.response_bytes(status, body, close=close)
+        if request.path in ("/v1/establish_batch", "/v1/renegotiate"):
+            if single:
+                async with self._lock:
+                    status, body = await self.coordinator.forward(
+                        "POST", request.path, payload
+                    )
+                return _http.response_bytes(status, body, close=close)
+            return _http.json_response_bytes(
+                501,
+                {
+                    "error": f"{request.path} is not supported by the "
+                    "multi-shard router"
+                },
+                close=close,
+            )
+        return _http.json_response_bytes(
+            404, {"error": f"unknown path {request.path!r}"}, close=close
+        )

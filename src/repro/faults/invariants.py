@@ -40,8 +40,10 @@ from repro.core.errors import ReproError
 __all__ = [
     "CapacityConservationError",
     "ConservationReport",
+    "ReconcileReport",
     "capacity_conservation",
     "assert_capacity_conserved",
+    "reconcile_shard_events",
 ]
 
 #: Absolute slack for float accumulation over many reserve/release pairs.
@@ -137,4 +139,190 @@ def assert_capacity_conserved(
     report = capacity_conservation(registry, proxies)
     if not report.ok:
         raise CapacityConservationError(report.describe())
+    return report
+
+
+# -- offline cross-shard reconciliation ---------------------------------------
+#
+# The live checker above needs the broker and proxy objects in hand; a
+# cluster spreads them over N processes.  What every shard *does* export
+# is its causal event log (``repro-serve --flight-dir`` + SIGQUIT, or a
+# trace document), and the lifecycle events carry enough arithmetic to
+# re-derive each shard's books offline:
+#
+#     broker.grant     requested / available / capacity
+#     broker.release   amount
+#     lease.reserved / lease.committed / lease.aborted / lease.expired
+#
+# :func:`reconcile_shard_events` merges the per-shard logs and verifies
+# the *global* conservation story of the two-phase protocol: no shard
+# released more than it granted, no resource was granted by two shards
+# (ownership is exclusive by construction of the shard map), no grant
+# exceeded the availability the broker reported at that instant, and
+# every 2PC round that ended in an abort or an expired lease left zero
+# net capacity behind on that shard.  Positive net balances are *not*
+# violations -- they are the sessions still live when the log was
+# dumped -- but they are reported so a leak that survives teardown has
+# somewhere to show up.
+
+
+@dataclass
+class ReconcileReport:
+    """The merged cross-shard ledger and every global-invariant breach."""
+
+    #: Shard labels, in the order given.
+    shards: List[str] = field(default_factory=list)
+    #: label -> number of broker.grant / broker.release events seen.
+    grants: Dict[str, int] = field(default_factory=dict)
+    releases: Dict[str, int] = field(default_factory=dict)
+    #: label -> resource -> net granted-minus-released units still out.
+    outstanding: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Shards whose logs hit their capacity bound (checks are partial).
+    truncated: List[str] = field(default_factory=list)
+    #: Sessions whose events span more than one shard (trace-id joined).
+    cross_shard_sessions: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no global invariant is broken."""
+        return not self.violations
+
+    def describe(self) -> str:
+        """Human-readable verdict (CI gate output, test messages)."""
+        total_grants = sum(self.grants.values())
+        total_releases = sum(self.releases.values())
+        still_out = sum(
+            amount for per in self.outstanding.values() for amount in per.values()
+        )
+        lines = [
+            f"reconciled {len(self.shards)} shard log(s): "
+            f"{total_grants} grants, {total_releases} releases, "
+            f"{still_out:g} units outstanding, "
+            f"{self.cross_shard_sessions} cross-shard session(s)"
+        ]
+        for label in self.truncated:
+            lines.append(
+                f"  note: {label} log is truncated; its balances are partial"
+            )
+        if self.ok:
+            lines.append("  conservation holds across shards")
+        else:
+            lines.append(f"  {len(self.violations)} violation(s):")
+            for violation in self.violations:
+                lines.append(f"    {violation}")
+        return "\n".join(lines)
+
+
+def _event_field(event: object, name: str, default: object = None) -> object:
+    """Read a field off a ReservationEvent or its to_dict() form."""
+    if isinstance(event, Mapping):
+        return event.get(name, default)
+    return getattr(event, name, default)
+
+
+def reconcile_shard_events(
+    shard_events: Mapping[str, Iterable[object]]
+) -> ReconcileReport:
+    """Verify global conservation over merged per-shard event logs.
+
+    ``shard_events`` maps a shard label to that shard's causally ordered
+    events -- :class:`~repro.obs.events.ReservationEvent` instances or
+    their ``to_dict()`` form (flight dumps, trace documents); the two
+    may be mixed freely.  Pure inspection: nothing is mutated.
+    """
+    report = ReconcileReport(shards=list(shard_events))
+    #: resource -> set of shard labels that granted on it.
+    granting_shards: Dict[str, set] = {}
+    #: (label, session) -> net units; (label, session) -> lease outcomes.
+    session_net: Dict[Tuple[str, str], float] = {}
+    session_leases: Dict[Tuple[str, str], set] = {}
+    #: session -> set of shard labels it touched (cross-shard count).
+    session_shards: Dict[str, set] = {}
+
+    for label, events in shard_events.items():
+        report.grants[label] = 0
+        report.releases[label] = 0
+        balances: Dict[str, float] = {}
+        truncated = False
+        for event in events:
+            kind = _event_field(event, "kind")
+            session = _event_field(event, "session")
+            resource = _event_field(event, "resource")
+            attributes = _event_field(event, "attributes", {}) or {}
+            if kind == "log.truncated":
+                truncated = True
+                continue
+            if session:
+                session_shards.setdefault(str(session), set()).add(label)
+            if kind == "broker.grant":
+                requested = float(attributes.get("requested", 0.0))
+                available = attributes.get("available")
+                report.grants[label] += 1
+                balances[resource] = balances.get(resource, 0.0) + requested
+                granting_shards.setdefault(resource, set()).add(label)
+                if session:
+                    key = (label, str(session))
+                    session_net[key] = session_net.get(key, 0.0) + requested
+                if available is not None and requested > float(available) + _TOLERANCE:
+                    report.violations.append(
+                        f"{label}: {resource} granted {requested:g} with only "
+                        f"{float(available):g} available (over-grant)"
+                    )
+            elif kind == "broker.release":
+                amount = float(attributes.get("amount", 0.0))
+                report.releases[label] += 1
+                balances[resource] = balances.get(resource, 0.0) - amount
+                if session:
+                    key = (label, str(session))
+                    session_net[key] = session_net.get(key, 0.0) - amount
+            elif kind in ("lease.aborted", "lease.expired"):
+                if session:
+                    session_leases.setdefault((label, str(session)), set()).add(
+                        "rolled_back"
+                    )
+            elif kind == "lease.committed":
+                if session:
+                    session_leases.setdefault((label, str(session)), set()).add(
+                        "committed"
+                    )
+        if truncated:
+            report.truncated.append(label)
+        per_resource: Dict[str, float] = {}
+        for resource in sorted(balances):
+            net = balances[resource]
+            if net < -_TOLERANCE and not truncated:
+                report.violations.append(
+                    f"{label}: {resource} released {-net:g} more than was "
+                    "granted (double release)"
+                )
+            elif net > _TOLERANCE:
+                per_resource[resource] = net
+        report.outstanding[label] = per_resource
+
+    for resource in sorted(granting_shards):
+        owners = granting_shards[resource]
+        if len(owners) > 1:
+            report.violations.append(
+                f"{resource}: granted by {len(owners)} shards "
+                f"({', '.join(sorted(owners))}); shard ownership is exclusive"
+            )
+
+    # A 2PC round that ended in an abort or a reaped lease (and was
+    # never committed on that shard) must have returned every unit it
+    # held there -- a positive remainder is a leaked lease, a negative
+    # one a double rollback.
+    for (label, session), outcomes in sorted(session_leases.items()):
+        if "committed" in outcomes or label in report.truncated:
+            continue
+        net = session_net.get((label, session), 0.0)
+        if abs(net) > _TOLERANCE:
+            report.violations.append(
+                f"{label}: session {session} was rolled back but nets "
+                f"{net:g} units (lease leak)"
+            )
+
+    report.cross_shard_sessions = sum(
+        1 for labels in session_shards.values() if len(labels) > 1
+    )
     return report

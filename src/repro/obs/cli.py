@@ -26,7 +26,12 @@ v1 and v2 both load):
   document (e.g. the loadgen's ``--trace-json`` output and a flight-
   recorder dump) into one cross-process timeline per request, joined on
   the propagated ``trace_id``; ``--require-complete`` exits non-zero
-  when any client request has no daemon-side telemetry.
+  when any client request has no daemon-side telemetry;
+* ``reconcile``     -- merge per-shard causal event logs (flight dumps
+  or trace exports, one document per shard) and verify the cluster's
+  global conservation invariants offline: no double release, no
+  over-grant, no resource granted by two shards, every aborted or
+  expired 2PC lease fully rolled back; non-zero exit on any violation.
 
 Installed as a console script via ``[project.scripts]``; also runnable
 as ``python -m repro.obs.cli``.
@@ -612,6 +617,26 @@ def _cmd_stitch(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- reconcile -----------------------------------------------------------------
+
+
+def _cmd_reconcile(args: argparse.Namespace) -> int:
+    from repro.faults.invariants import reconcile_shard_events
+
+    names = [Path(path).name for path in args.traces]
+    labels = [
+        name if names.count(name) == 1 else path
+        for name, path in zip(names, args.traces)
+    ]
+    shard_events = {
+        label: _load_trace(path).events
+        for label, path in zip(labels, args.traces)
+    }
+    report = reconcile_shard_events(shard_events)
+    _print(report.describe().splitlines())
+    return 0 if report.ok else 1
+
+
 # -- parser --------------------------------------------------------------------
 
 
@@ -757,6 +782,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any client request lacks daemon-side telemetry",
     )
     stitch.set_defaults(func=_cmd_stitch)
+
+    reconcile = sub.add_parser(
+        "reconcile",
+        help="verify global capacity conservation across per-shard event "
+        "logs (flight dumps or trace documents, one per shard)",
+    )
+    reconcile.add_argument(
+        "traces", nargs="+", metavar="TRACE",
+        help="one event-carrying JSON document per shard",
+    )
+    reconcile.set_defaults(func=_cmd_reconcile)
 
     return parser
 

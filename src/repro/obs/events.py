@@ -92,6 +92,9 @@ EVENT_KINDS = frozenset(
         "segment.timeout",
         "segment.retry",
         "session.replanned",
+        "lease.reserved",
+        "lease.committed",
+        "lease.aborted",
         "lease.expired",
         "broker.observed",
         "session.drift",

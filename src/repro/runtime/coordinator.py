@@ -161,6 +161,46 @@ class ReservationCoordinator:
             ),
         )
 
+    def plan_session(
+        self,
+        session_id: str,
+        service_name: str,
+        binding: Binding,
+        planner,
+        snapshot: AvailabilitySnapshot,
+        *,
+        source_label: Optional[str] = None,
+        demand_scale: float = 1.0,
+        contention_index=None,
+    ):
+        """Phase 2 alone: price and plan against an external snapshot.
+
+        The cluster router collects availability from the owning shard
+        daemons itself (phase 1 happens over the wire) and then needs
+        exactly the paper's local plan computation -- no reservations
+        are made here and no phase-3 events fire.  Returns the same
+        ``(plan, None)`` / ``(None, EstablishmentResult)`` pair as the
+        internal phase-2 helper.
+        """
+        service = self._service_at_scale(service_name, demand_scale)
+        observed_instant = max(
+            (obs.observed_at for obs in snapshot.values()
+             if obs.observed_at is not None),
+            default=None,
+        )
+        return self._phase2_plan(
+            session_id,
+            service,
+            service_name,
+            binding,
+            planner,
+            snapshot,
+            observed_instant,
+            source_label=source_label,
+            demand_scale=demand_scale,
+            contention_index=contention_index,
+        )
+
     def _with_establish_accounting(
         self,
         session_id: str,

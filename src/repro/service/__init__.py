@@ -15,7 +15,12 @@ of a single in-process driver:
   both sides share.
 """
 
-from repro.service.client import ServiceClient, ServiceClientError, ServiceResponse
+from repro.service.client import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceDrainingError,
+    ServiceResponse,
+)
 from repro.service.daemon import (
     DaemonConfig,
     ReservationDaemon,
@@ -35,6 +40,7 @@ __all__ = [
     "ReservationService",
     "ServiceClient",
     "ServiceClientError",
+    "ServiceDrainingError",
     "ServiceError",
     "ServiceResponse",
     "TRUNCATION_KIND",

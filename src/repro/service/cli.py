@@ -63,6 +63,16 @@ def build_config(argv: Optional[List[str]] = None) -> DaemonConfig:
                              "(SIGQUIT, unhandled exceptions, and "
                              "POST /v1/debug/dump); unset = in-band "
                              "snapshots only")
+    parser.add_argument("--shard-index", type=int, default=None,
+                        help="serve only the ShardMap slice of the grid "
+                             "with this index (cluster mode; requires "
+                             "--shard-count)")
+    parser.add_argument("--shard-count", type=int, default=1,
+                        help="total number of shards in the cluster")
+    parser.add_argument("--lease-ttl", type=float, default=5.0,
+                        help="wall-clock TTL (seconds) of cross-shard "
+                             "reserve leases before the reaper "
+                             "releases them")
     args = parser.parse_args(argv)
     return DaemonConfig(
         host=args.host,
@@ -78,6 +88,9 @@ def build_config(argv: Optional[List[str]] = None) -> DaemonConfig:
         drain_timeout=args.drain_timeout,
         access_log=args.access_log,
         flight_dir=args.flight_dir,
+        shard_index=args.shard_index,
+        shard_count=args.shard_count,
+        lease_ttl=args.lease_ttl,
     )
 
 
@@ -111,10 +124,15 @@ async def _serve(config: DaemonConfig) -> None:
             loop.add_signal_handler(signal.SIGQUIT, _sigquit_dump)
         except NotImplementedError:  # pragma: no cover - non-POSIX loops
             pass
+    shard = (
+        f", shard={config.shard_index}/{config.shard_count}"
+        if config.shard_index is not None
+        else ""
+    )
     print(
         f"repro-serve: listening on {config.host}:{daemon.port} "
         f"(algorithm={config.algorithm}, seed={config.seed}, "
-        f"faults={'on' if config.faults else 'off'})",
+        f"faults={'on' if config.faults else 'off'}{shard})",
         flush=True,
     )
     try:

@@ -1,9 +1,17 @@
 """Asyncio client for the reservation daemon's admission API.
 
-One :class:`ServiceClient` talks to one daemon.  Admission calls use a
-fresh ``Connection: close`` exchange each (the daemon serializes
-admissions anyway, so connection reuse buys nothing and per-request
-sockets keep the open-loop load generator honest about concurrency);
+One :class:`ServiceClient` talks to one daemon.  Admission calls share
+a small keep-alive connection pool: a socket is opened on demand,
+parked after a ``Connection: keep-alive`` response, and reused by the
+next request (``keep_alive=False`` restores the historical
+``Connection: close`` exchange per request).  A request that finds its
+pooled socket already closed by the daemon is retried once on a fresh
+connection -- only when the old socket died before yielding any
+response bytes, so the request cannot have been executed twice.
+:attr:`ServiceClient.connections_opened` and
+:attr:`ServiceClient.connections_reused` count the raw socket traffic
+(the load generator surfaces them in its report).
+
 :meth:`events` upgrades a dedicated connection to the WebSocket event
 plane and yields event dicts until either side closes.
 
@@ -24,13 +32,18 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass
-from typing import AsyncIterator, Dict, List, Optional
+from typing import AsyncIterator, Dict, List, Optional, Tuple
 
 from repro.obs import context as _context
 from repro.obs import trace as _trace
 from repro.service import http as _http
 
-__all__ = ["ServiceClient", "ServiceResponse", "ServiceClientError"]
+__all__ = [
+    "ServiceClient",
+    "ServiceResponse",
+    "ServiceClientError",
+    "ServiceDrainingError",
+]
 
 
 class ServiceClientError(RuntimeError):
@@ -40,6 +53,28 @@ class ServiceClientError(RuntimeError):
         super().__init__(f"HTTP {status}: {payload}")
         self.status = status
         self.payload = payload
+
+
+class ServiceDrainingError(ServiceClientError):
+    """The daemon refused the request because it is shutting down.
+
+    A drain refusal is not an admission verdict: the cluster router
+    treats it as "this shard is leaving, don't count the session as
+    rejected on merit" and callers may retry elsewhere.
+    """
+
+
+def _is_draining(status: int, payload: object) -> bool:
+    """Recognize the daemon's 503 drain-refusal body."""
+    if status != 503 or not isinstance(payload, dict):
+        return False
+    if payload.get("draining") is True:
+        return True
+    return "shutting down" in str(payload.get("error", ""))
+
+
+class _ConnectionLost(Exception):
+    """A (pooled) socket died before any response bytes arrived."""
 
 
 @dataclass(frozen=True)
@@ -57,9 +92,39 @@ class ServiceResponse:
 class ServiceClient:
     """Talks to one :class:`~repro.service.daemon.ReservationDaemon`."""
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(self, host: str, port: int, *, keep_alive: bool = True) -> None:
         self.host = host
         self.port = port
+        self.keep_alive = keep_alive
+        self._pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        #: Raw sockets opened so far (pool misses + ``Connection: close``).
+        self.connections_opened = 0
+        #: Requests served over a previously used socket.
+        self.connections_reused = 0
+
+    # -- connection pool ---------------------------------------------------
+
+    async def _acquire(self) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter, bool]:
+        """A (reader, writer, reused) triple: pooled if possible."""
+        while self._pool:
+            reader, writer = self._pool.pop()
+            if writer.is_closing():
+                await _close_writer(writer)
+                continue
+            self.connections_reused += 1
+            return reader, writer, True
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        self.connections_opened += 1
+        return reader, writer, False
+
+    def _release(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._pool.append((reader, writer))
+
+    async def aclose(self) -> None:
+        """Close every pooled connection (call when done with the client)."""
+        while self._pool:
+            _, writer = self._pool.pop()
+            await _close_writer(writer)
 
     # -- raw exchange ------------------------------------------------------
 
@@ -71,14 +136,14 @@ class ServiceClient:
         *,
         headers: Optional[Dict[str, str]] = None,
     ) -> ServiceResponse:
-        """One request/response exchange on a fresh connection."""
+        """One request/response exchange (pooled connection when possible)."""
         body = b""
         if payload is not None:
             body = json.dumps(payload, sort_keys=True).encode("utf-8")
         head_lines = [
             f"{method} {path} HTTP/1.1",
             f"Host: {self.host}:{self.port}",
-            "Connection: close",
+            "Connection: keep-alive" if self.keep_alive else "Connection: close",
             f"Content-Length: {len(body)}",
             "Content-Type: application/json",
         ]
@@ -93,28 +158,43 @@ class ServiceClient:
                 merged.setdefault(_context.REQUEST_ID_HEADER, child.request_id)
         for name, value in merged.items():
             head_lines.append(f"{name}: {value}")
+        wire = ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + body
         with _trace.span("client.request") as span:
             span.set(method=method, path=path)
-            reader, writer = await asyncio.open_connection(self.host, self.port)
-            try:
-                writer.write(
-                    ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + body
+            for attempt in (0, 1):
+                reader, writer, reused = await self._acquire()
+                try:
+                    writer.write(wire)
+                    await writer.drain()
+                    response = await _read_response(reader)
+                except (_ConnectionLost, ConnectionError, OSError):
+                    # The daemon may close an idle pooled socket at any
+                    # time; that is only safe to retry when no response
+                    # bytes arrived (the request never executed).
+                    if reused:
+                        self.connections_reused -= 1
+                    await _close_writer(writer)
+                    if reused and attempt == 0:
+                        continue
+                    raise
+                keep = (
+                    self.keep_alive
+                    and response.headers.get("connection", "").lower() != "close"
                 )
-                await writer.drain()
-                response = await _read_response(reader)
+                if keep:
+                    self._release(reader, writer)
+                else:
+                    await _close_writer(writer)
                 span.set(status=response.status)
                 return response
-            finally:
-                writer.close()
-                try:
-                    await writer.wait_closed()
-                except ConnectionError:  # pragma: no cover
-                    pass
+            raise AssertionError("unreachable")  # pragma: no cover
 
     async def _call(self, method: str, path: str, payload: Optional[dict] = None):
         response = await self.request(method, path, payload)
         document = response.json()
         if response.status != 200:
+            if _is_draining(response.status, document):
+                raise ServiceDrainingError(response.status, document)
             raise ServiceClientError(response.status, document)
         return document
 
@@ -137,6 +217,29 @@ class ServiceClient:
 
     async def teardown(self, session_id: str) -> dict:
         return await self._call("POST", "/v1/teardown", {"session_id": session_id})
+
+    # -- cluster 2PC API ---------------------------------------------------
+
+    async def availability(self) -> dict:
+        """``GET /v1/availability`` -- the daemon's owned-resource view."""
+        return await self._call("GET", "/v1/availability")
+
+    async def reserve(self, session_id: str, demands: Dict[str, float]) -> dict:
+        """``POST /v1/reserve`` -- hold capacity on a TTL lease."""
+        return await self._call(
+            "POST", "/v1/reserve", {"session_id": session_id, "demands": demands}
+        )
+
+    async def commit(self, lease_id: str, session: Optional[dict] = None) -> dict:
+        """``POST /v1/commit`` -- make a lease permanent."""
+        payload: dict = {"lease_id": lease_id}
+        if session is not None:
+            payload["session"] = session
+        return await self._call("POST", "/v1/commit", payload)
+
+    async def abort(self, lease_id: str) -> dict:
+        """``POST /v1/abort`` -- release a lease's holds (idempotent)."""
+        return await self._call("POST", "/v1/abort", {"lease_id": lease_id})
 
     async def query(self, session_id: Optional[str] = None) -> dict:
         path = "/v1/query"
@@ -216,11 +319,21 @@ class ServiceClient:
                 pass
 
 
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):  # pragma: no cover
+        pass
+
+
 async def _read_response(reader: asyncio.StreamReader) -> ServiceResponse:
-    """Parse one ``Connection: close`` HTTP response."""
+    """Parse one HTTP response (Content-Length framed)."""
     try:
         head = await reader.readuntil(b"\r\n\r\n")
     except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise _ConnectionLost() from exc
         raise _http.ProtocolError("connection closed before response head") from exc
     lines = head.decode("latin-1").split("\r\n")
     try:

@@ -46,6 +46,7 @@ endpoint).
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import os as _os
 import sys as _sys
@@ -54,12 +55,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.errors import ModelError, ReproError
+from repro.core.errors import AdmissionError, ModelError, ReproError
 from repro.core.planner import BasicPlanner, RandomPlanner
 from repro.core.tradeoff import TradeoffPlanner
 from repro.des.engine import Environment
 from repro.des.rng import RandomStreams
-from repro.faults.coordinator import FaultTolerantCoordinator
+from repro.faults.coordinator import FaultTolerantCoordinator, Lease
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_SEED_INDEX, FaultConfig, FaultPlan
 from repro.obs import context as _context
@@ -75,6 +76,7 @@ from repro.obs.flight import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.prom import registry_exposition
 from repro.runtime.coordinator import EstablishmentResult, RenegotiationResult
+from repro.runtime.messages import PlanSegment
 from repro.service import http as _http
 from repro.service.events import EventPlane
 from repro.sim.environment import GridEnvironment
@@ -128,6 +130,17 @@ class DaemonConfig:
     #: Flight-recorder ring sizes (most recent spans / events kept).
     flight_spans: int = DEFAULT_SPAN_CAPACITY
     flight_events: int = DEFAULT_EVENT_CAPACITY
+    #: Cluster sharding: this daemon owns the resources the
+    #: :class:`~repro.cluster.shardmap.ShardMap` assigns to
+    #: ``shard_index`` out of ``shard_count`` shards.  ``None`` (the
+    #: default) keeps the historical single-daemon behaviour: the
+    #: daemon owns every resource of its grid.
+    shard_index: Optional[int] = None
+    shard_count: int = 1
+    #: Wall-clock TTL (seconds) of a two-phase ``/v1/reserve`` lease;
+    #: leases neither committed nor aborted in time are reaped so a
+    #: dead router never strands capacity.
+    lease_ttl: float = 5.0
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -145,6 +158,17 @@ class DaemonConfig:
             raise ModelError("drain_timeout must be >= 0")
         if self.flight_spans <= 0 or self.flight_events <= 0:
             raise ModelError("flight_spans and flight_events must be positive")
+        if self.shard_count < 1:
+            raise ModelError("shard_count must be >= 1")
+        if self.shard_index is not None and not (
+            0 <= self.shard_index < self.shard_count
+        ):
+            raise ModelError(
+                f"shard_index {self.shard_index} out of range for "
+                f"shard_count {self.shard_count}"
+            )
+        if self.lease_ttl <= 0:
+            raise ModelError("lease_ttl must be positive")
 
 
 class ReservationService:
@@ -195,6 +219,33 @@ class ReservationService:
         self._session_seq = 0
         self._started = False
         self._previous_tracer = None
+        # Cluster sharding: which slice of the grid this daemon owns.
+        # Every shard builds the identical same-seed grid (capacities
+        # come from the seeded draw), but only grants reservations on
+        # the resources the shard map assigns to it.
+        self.shard_map = None
+        self._owned_resources: Optional[frozenset] = None
+        self.shard_registry = self.grid.registry
+        if config.shard_index is not None:
+            from repro.cluster.shardmap import ShardMap
+
+            self.shard_map = ShardMap.from_topology(
+                self.grid.topology, config.shard_count
+            )
+            self._owned_resources = frozenset(
+                rid
+                for rid in self.grid.registry.resource_ids()
+                if self.shard_map.shard_of(rid) == config.shard_index
+            )
+            self.shard_registry = self.grid.registry.subset(
+                sorted(self._owned_resources)
+            )
+        #: Two-phase reserve/commit leases (lease_id -> (lease, hosts)).
+        self._shard_leases: Dict[str, Tuple[Lease, Tuple[str, ...]]] = {}
+        self._lease_seq = itertools.count(1)
+        self.lease_counters = {
+            "reserved": 0, "committed": 0, "aborted": 0, "expired": 0
+        }
 
     def _make_planner(self):
         if self.config.algorithm == "basic":
@@ -417,6 +468,218 @@ class ReservationService:
         self.counters["torn_down"] += 1
         return {"session_id": str(session_id), "released": released}
 
+    # -- cross-shard two-phase reserve/commit ------------------------------
+
+    @property
+    def shard_label(self) -> str:
+        index = self.config.shard_index
+        return f"shard-{index}" if index is not None else "shard-solo"
+
+    def _check_owned(self, resource_id: str) -> None:
+        if resource_id not in self.grid.registry:
+            raise ServiceError(f"unknown resource {resource_id!r}")
+        if (
+            self._owned_resources is not None
+            and resource_id not in self._owned_resources
+        ):
+            raise ServiceError(
+                f"resource {resource_id!r} is not owned by shard "
+                f"{self.config.shard_index}",
+                status=409,
+            )
+
+    def reserve(self, payload: dict) -> dict:
+        """Phase one of a cross-shard admission: hold capacity on a lease.
+
+        Applies the demanded amounts through this shard's owning proxies
+        atomically (all or nothing) and parks them on a TTL lease.  The
+        router commits or aborts the lease; a router that dies first is
+        covered by the reaper, which releases expired leases -- the
+        PR 4 orphan-reaping contract applied across processes.
+        """
+        session_id = str(payload.get("session_id") or "")
+        if not session_id:
+            raise ServiceError("missing required field 'session_id'")
+        demands_payload = payload.get("demands")
+        if not isinstance(demands_payload, dict) or not demands_payload:
+            raise ServiceError("'demands' must be a non-empty object")
+        try:
+            demands = {
+                str(rid): float(amount)
+                for rid, amount in demands_payload.items()
+            }
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(f"non-numeric demand: {exc}") from exc
+        per_proxy: Dict[str, Dict[str, float]] = {}
+        for resource_id in sorted(demands):
+            self._check_owned(resource_id)
+            proxy = self.coordinator.proxy_for(resource_id)
+            per_proxy.setdefault(proxy.host, {})[resource_id] = demands[resource_id]
+        applied: List[Tuple[str, Tuple]] = []
+        try:
+            for host in sorted(per_proxy):
+                proxy = self.grid.proxies[host]
+                before = len(proxy.held_for(session_id))
+                proxy.apply_segment(
+                    PlanSegment(
+                        session_id=session_id,
+                        proxy_host=host,
+                        demands=per_proxy[host],
+                    )
+                )
+                applied.append(
+                    (host, tuple(proxy.held_for(session_id)[before:]))
+                )
+        except AdmissionError as exc:
+            for host, reservations in applied:
+                self.grid.proxies[host].release_reservations(
+                    session_id, reservations
+                )
+            return {
+                "session_id": session_id,
+                "reserved": False,
+                "failed_resource": exc.resource_id,
+            }
+        reservations = tuple(
+            reservation for _, held in applied for reservation in held
+        )
+        lease = Lease(
+            lease_id=f"{session_id}@{self.shard_label}#{next(self._lease_seq)}",
+            session_id=session_id,
+            host=self.shard_label,
+            reservations=reservations,
+            reserved_at=_time.monotonic(),
+            ttl=self.config.lease_ttl,
+        )
+        self._shard_leases[lease.lease_id] = (lease, tuple(sorted(per_proxy)))
+        self.lease_counters["reserved"] += 1
+        _events.emit(
+            "lease.reserved",
+            session=session_id,
+            lease=lease.lease_id,
+            shard=self.shard_label,
+            resources=sorted(demands),
+        )
+        return {
+            "session_id": session_id,
+            "reserved": True,
+            "lease_id": lease.lease_id,
+            "ttl": self.config.lease_ttl,
+        }
+
+    def commit(self, payload: dict) -> dict:
+        """Phase two: make a lease's reservations permanent."""
+        lease_id = str(payload.get("lease_id") or "")
+        if not lease_id:
+            raise ServiceError("missing required field 'lease_id'")
+        entry = self._shard_leases.pop(lease_id, None)
+        if entry is None:
+            raise ServiceError(
+                f"unknown lease {lease_id!r} (expired or never reserved)",
+                status=404,
+            )
+        lease, _hosts = entry
+        meta = payload.get("session")
+        record = {"cluster": True, "established_at": _time.monotonic()}
+        if isinstance(meta, dict):
+            for key in ("service", "domain", "demand_scale", "duration", "level"):
+                if key in meta:
+                    record[key] = meta[key]
+        self.sessions.setdefault(lease.session_id, record)
+        self.counters["established"] += 1
+        self.lease_counters["committed"] += 1
+        _events.emit(
+            "lease.committed",
+            session=lease.session_id,
+            lease=lease_id,
+            shard=self.shard_label,
+        )
+        return {
+            "lease_id": lease_id,
+            "session_id": lease.session_id,
+            "committed": True,
+        }
+
+    def abort(self, payload: dict) -> dict:
+        """Abort a lease, releasing its holds (idempotent on unknowns)."""
+        lease_id = str(payload.get("lease_id") or "")
+        if not lease_id:
+            raise ServiceError("missing required field 'lease_id'")
+        entry = self._shard_leases.pop(lease_id, None)
+        if entry is None:
+            return {"lease_id": lease_id, "aborted": False, "released": 0}
+        lease, hosts = entry
+        released = sum(
+            self.grid.proxies[host].release_reservations(
+                lease.session_id, lease.reservations
+            )
+            for host in hosts
+        )
+        self.lease_counters["aborted"] += 1
+        _events.emit(
+            "lease.aborted",
+            session=lease.session_id,
+            lease=lease_id,
+            shard=self.shard_label,
+            released=released,
+        )
+        return {"lease_id": lease_id, "aborted": True, "released": released}
+
+    def reap_expired_leases(self, now: Optional[float] = None) -> int:
+        """Release every lease past its TTL; returns the count reaped."""
+        now = _time.monotonic() if now is None else now
+        reaped = 0
+        for lease_id in sorted(self._shard_leases):
+            lease, hosts = self._shard_leases[lease_id]
+            if now < lease.expires_at:
+                continue
+            del self._shard_leases[lease_id]
+            released = sum(
+                self.grid.proxies[host].release_reservations(
+                    lease.session_id, lease.reservations
+                )
+                for host in hosts
+            )
+            self.lease_counters["expired"] += 1
+            _events.emit(
+                "lease.expired",
+                session=lease.session_id,
+                host=self.shard_label,
+                lease=lease_id,
+                released=released,
+            )
+            reaped += 1
+        return reaped
+
+    def availability(self) -> dict:
+        """Observed availability of this shard's demand-addressable slice.
+
+        Covers the cpu and end-to-end path brokers the shard owns (the
+        resources plans name); link brokers stay internal to the paths.
+        """
+        observations: Dict[str, dict] = {}
+        addressable = list(self.grid.cpu_brokers.values()) + list(
+            self.grid.path_brokers.values()
+        )
+        for broker in addressable:
+            if (
+                self._owned_resources is not None
+                and broker.resource_id not in self._owned_resources
+            ):
+                continue
+            observation = broker.observe()
+            observations[broker.resource_id] = {
+                "available": observation.available,
+                "alpha": observation.alpha,
+                "observed_at": observation.observed_at,
+            }
+        return {
+            "shard": self.config.shard_index,
+            "shard_count": self.config.shard_count,
+            "seed": self.config.seed,
+            "resources": observations,
+        }
+
     # -- read-only views ---------------------------------------------------
 
     def query(self, session_id: Optional[str] = None) -> dict:
@@ -430,7 +693,7 @@ class ReservationService:
                 {k: v for k, v in session.items() if k != "established_at"}
             )
             return document
-        return {
+        document = {
             "uptime_seconds": _time.monotonic() - self.started_at,
             "algorithm": self.config.algorithm,
             "seed": self.config.seed,
@@ -448,6 +711,20 @@ class ReservationService:
                 for broker in self.grid.registry.brokers()
             },
         }
+        # The shard section appears only for sharded daemons (or once
+        # the 2PC endpoints have been used), so plain single-daemon
+        # query responses stay byte-identical to the pre-cluster wire.
+        if self.config.shard_index is not None or any(
+            self.lease_counters.values()
+        ):
+            document["shard"] = {
+                "index": self.config.shard_index,
+                "count": self.config.shard_count,
+                "owned_resources": len(self.shard_registry.resource_ids()),
+                "pending_leases": len(self._shard_leases),
+                "lease_counters": dict(self.lease_counters),
+            }
+        return document
 
     def metrics_exposition(self) -> str:
         """The ``/metrics`` body (Prometheus text format)."""
@@ -504,6 +781,10 @@ class ReservationDaemon:
         self._drained.set()
         self._draining = False
         self._ws_tasks: set = set()
+        #: Open keep-alive connections (closed forcibly on shutdown so
+        #: idle clients never stall ``Server.wait_closed``).
+        self._connections: set = set()
+        self._reaper_task: Optional[asyncio.Task] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -524,6 +805,19 @@ class ReservationDaemon:
         except BaseException:
             self.service.close()
             raise
+        self._reaper_task = asyncio.create_task(self._reap_leases_forever())
+
+    async def _reap_leases_forever(self) -> None:
+        """Release expired 2PC leases in the background.
+
+        Runs under the admission lock so a reap never interleaves with
+        a commit/abort of the same lease.
+        """
+        interval = max(0.05, min(1.0, self.config.lease_ttl / 4))
+        while True:
+            await asyncio.sleep(interval)
+            async with self._lock:
+                self.service.reap_expired_leases()
 
     async def shutdown(self, *, drain: Optional[bool] = True) -> None:
         """Stop accepting work, drain in-flight admissions, release state.
@@ -531,7 +825,8 @@ class ReservationDaemon:
         New admissions are refused with 503 the moment shutdown begins;
         requests already inside the admission lock complete (bounded by
         ``config.drain_timeout``).  WebSocket streams are closed, the
-        socket is closed, and the observability handles are uninstalled.
+        socket and any idle keep-alive connections are closed, and the
+        observability handles are uninstalled.
         """
         self._draining = True
         if drain:
@@ -541,8 +836,17 @@ class ReservationDaemon:
                 )
             except asyncio.TimeoutError:  # pragma: no cover - pathological
                 pass
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except asyncio.CancelledError:
+                pass
+            self._reaper_task = None
         if self._server is not None:
             self._server.close()
+            for writer in list(self._connections):
+                writer.close()
             await self._server.wait_closed()
             self._server = None
         for task in list(self._ws_tasks):
@@ -565,42 +869,63 @@ class ReservationDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        started = _time.perf_counter()
-        request: Optional[_http.Request] = None
-        context: Optional[_context.TraceContext] = None
-        response: Optional[bytes] = None
+        """Serve requests until the client closes or asks us to.
+
+        HTTP/1.1 keep-alive: the loop reads back-to-back requests off
+        one socket; a clean EOF between requests ends it, a
+        ``Connection: close`` request header (or drain) makes the next
+        response the last one.
+        """
+        self._connections.add(writer)
         try:
-            request = await _http.read_request(reader)
-            if request is None:
-                return
-            parse_seconds = _time.perf_counter() - started
-            self.stats.requests += 1
-            self.service.flight.record_wire("requests")
-            if request.path == "/v1/events" and request.wants_websocket:
-                await self._serve_websocket(request, reader, writer)
-                return
-            context = self._context_for(request)
-            token = _context.bind_trace_context(context)
-            try:
-                response = await self._dispatch(request, parse_seconds)
-            finally:
-                _context.reset_trace_context(token)
-            writer.write(response)
-            await writer.drain()
-            self.service.flight.record_wire("response_bytes", len(response))
-        except _http.ProtocolError as exc:
-            self.service.flight.record_wire("protocol_errors")
-            try:
-                response = _http.json_response_bytes(400, {"error": str(exc)})
-                writer.write(response)
-                await writer.drain()
-            except (ConnectionError, RuntimeError):  # pragma: no cover
-                pass
-        except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
-            pass
+            while True:
+                started = _time.perf_counter()
+                request: Optional[_http.Request] = None
+                context: Optional[_context.TraceContext] = None
+                response: Optional[bytes] = None
+                try:
+                    request = await _http.read_request(reader)
+                    if request is None:
+                        return
+                    parse_seconds = _time.perf_counter() - started
+                    self.stats.requests += 1
+                    self.service.flight.record_wire("requests")
+                    if request.path == "/v1/events" and request.wants_websocket:
+                        await self._serve_websocket(request, reader, writer)
+                        return
+                    close = (
+                        self._draining
+                        or request.headers.get("connection", "").lower() == "close"
+                    )
+                    context = self._context_for(request)
+                    token = _context.bind_trace_context(context)
+                    try:
+                        response = await self._dispatch(
+                            request, parse_seconds, close
+                        )
+                    finally:
+                        _context.reset_trace_context(token)
+                    writer.write(response)
+                    await writer.drain()
+                    self.service.flight.record_wire("response_bytes", len(response))
+                except _http.ProtocolError as exc:
+                    self.service.flight.record_wire("protocol_errors")
+                    try:
+                        response = _http.json_response_bytes(400, {"error": str(exc)})
+                        writer.write(response)
+                        await writer.drain()
+                    except (ConnectionError, RuntimeError):  # pragma: no cover
+                        pass
+                    return
+                except (ConnectionError, asyncio.CancelledError):  # pragma: no cover
+                    return
+                finally:
+                    if request is not None and response is not None:
+                        self._access_log(request, response, started, context)
+                if close:
+                    return
         finally:
-            if request is not None and response is not None:
-                self._access_log(request, response, started, context)
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -654,7 +979,9 @@ class ReservationDaemon:
         }
         print(json.dumps(line, sort_keys=True), file=_sys.stderr, flush=True)
 
-    async def _dispatch(self, request: _http.Request, parse_seconds: float) -> bytes:
+    async def _dispatch(
+        self, request: _http.Request, parse_seconds: float, close: bool = True
+    ) -> bytes:
         route = (request.method, request.path)
         if route == ("GET", "/healthz"):
             return _http.json_response_bytes(
@@ -667,44 +994,61 @@ class ReservationDaemon:
                     "inflight_admissions": self._inflight,
                     "draining": self._draining,
                 },
+                close=close,
             )
         if route == ("GET", "/metrics"):
             body = self.service.metrics_exposition().encode("utf-8")
             return _http.response_bytes(
-                200, body, content_type="text/plain; version=0.0.4"
+                200, body, content_type="text/plain; version=0.0.4", close=close
             )
         if route == ("GET", "/v1/query"):
             return self._guarded(
-                lambda: self.service.query(request.query.get("session_id"))
+                lambda: self.service.query(request.query.get("session_id")),
+                close=close,
             )
+        if route == ("GET", "/v1/availability"):
+            return self._guarded(self.service.availability, close=close)
         if request.method != "POST":
             return _http.json_response_bytes(
-                405, {"error": f"no route for {request.method} {request.path}"}
+                405,
+                {"error": f"no route for {request.method} {request.path}"},
+                close=close,
             )
         if request.path == "/v1/debug/dump":
             # The postmortem hatch works during drain on purpose: a
             # wedged daemon is exactly when the flight recorder matters.
-            return self._guarded(self._debug_dump)
+            return self._guarded(self._debug_dump, close=close)
         handlers = {
             "/v1/establish": self.service.establish,
             "/v1/establish_batch": self.service.establish_batch,
             "/v1/renegotiate": self.service.renegotiate,
             "/v1/teardown": self.service.teardown,
+            "/v1/reserve": self.service.reserve,
+            "/v1/commit": self.service.commit,
+            "/v1/abort": self.service.abort,
         }
         handler = handlers.get(request.path)
         if handler is None:
             return _http.json_response_bytes(
-                404, {"error": f"unknown path {request.path!r}"}
+                404, {"error": f"unknown path {request.path!r}"}, close=close
             )
-        if self._draining:
+        # Drain refuses *new* admissions.  Commit/abort finish a 2PC
+        # round already holding capacity, and teardown releases held
+        # capacity, so they stay available -- a draining shard must not
+        # wedge another shard's decision or strand a session's holds.
+        if self._draining and request.path not in (
+            "/v1/commit", "/v1/abort", "/v1/teardown"
+        ):
             return _http.json_response_bytes(
-                503, {"error": "daemon is shutting down"}
+                503,
+                {"error": "daemon is shutting down", "draining": True},
+                close=close,
             )
         decode_started = _time.perf_counter()
         payload = request.json()
         parse_seconds += _time.perf_counter() - decode_started
         name = request.path.rsplit("/", 1)[1]
-        return await self._admit(handler, payload, name, parse_seconds)
+        return await self._admit(handler, payload, name, parse_seconds, close)
 
     def _debug_dump(self) -> dict:
         path = self.service.flight_dump("debug_endpoint")
@@ -714,7 +1058,12 @@ class ReservationDaemon:
         }
 
     async def _admit(
-        self, handler, payload: dict, name: str, parse_seconds: float
+        self,
+        handler,
+        payload: dict,
+        name: str,
+        parse_seconds: float,
+        close: bool = True,
     ) -> bytes:
         """Run one admission operation serialized under the lock.
 
@@ -738,7 +1087,7 @@ class ReservationDaemon:
                     span.set(status=status)
                 plan_seconds, commit_seconds = self._planning_phases(trace_id)
                 serialize_started = _time.perf_counter()
-                response = _http.json_response_bytes(status, document)
+                response = _http.json_response_bytes(status, document, close=close)
                 serialize_seconds = _time.perf_counter() - serialize_started
                 self._observe_phases(
                     trace_id,
@@ -795,9 +1144,9 @@ class ReservationDaemon:
             self._dump_on_exception(exc)
             return 500, {"error": f"{type(exc).__name__}: {exc}"}
 
-    def _guarded(self, operation) -> bytes:
+    def _guarded(self, operation, *, close: bool = True) -> bytes:
         status, document = self._run(lambda _payload: operation(), None)
-        return _http.json_response_bytes(status, document)
+        return _http.json_response_bytes(status, document, close=close)
 
     def _dump_on_exception(self, exc: Exception) -> None:
         """Best-effort flight dump when a handler dies unexpectedly."""

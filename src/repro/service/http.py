@@ -69,6 +69,7 @@ _STATUS_PHRASES = {
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    501: "Not Implemented",
     503: "Service Unavailable",
 }
 
@@ -165,24 +166,30 @@ def response_bytes(
     *,
     content_type: str = "application/json",
     extra_headers: Optional[Mapping[str, str]] = None,
+    close: bool = True,
 ) -> bytes:
-    """Serialize one ``Connection: close`` HTTP response."""
+    """Serialize one HTTP response.
+
+    ``close=False`` advertises ``Connection: keep-alive`` so the peer
+    may reuse the socket; bodies always carry ``Content-Length``, which
+    is what makes reuse safe to frame.
+    """
     phrase = _STATUS_PHRASES.get(status, "Unknown")
     lines = [
         f"HTTP/1.1 {status} {phrase}",
         f"Content-Type: {content_type}",
         f"Content-Length: {len(body)}",
-        "Connection: close",
+        "Connection: close" if close else "Connection: keep-alive",
     ]
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
 
 
-def json_response_bytes(status: int, payload: object) -> bytes:
+def json_response_bytes(status: int, payload: object, *, close: bool = True) -> bytes:
     """A JSON response with deterministic key order."""
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
-    return response_bytes(status, body)
+    return response_bytes(status, body, close=close)
 
 
 # -- WebSocket ---------------------------------------------------------------

@@ -108,6 +108,10 @@ class LoadReport:
     wall_seconds: float
     latencies_ms: List[float]
     peak_inflight: int
+    #: Raw sockets the client opened vs. requests served over a reused
+    #: keep-alive connection (the satellite win this report evidences).
+    connections_opened: int = 0
+    connection_reuses: int = 0
     #: Client-side schema-v4 trace document (tracing runs only); stays
     #: out of :meth:`to_dict` so the telemetry ledger shape is untouched.
     trace_document: Optional[dict] = None
@@ -152,6 +156,8 @@ class LoadReport:
             "errors": str(self.errors),
             "torn_down": str(self.torn_down),
             "peak_inflight": str(self.peak_inflight),
+            "connections_opened": str(self.connections_opened),
+            "connection_reuses": str(self.connection_reuses),
         }
 
     def to_dict(self) -> dict:
@@ -215,6 +221,7 @@ async def run_load(host: str, port: int, config: LoadGenConfig) -> LoadReport:
         if tasks:
             await asyncio.gather(*tasks)
     finally:
+        await client.aclose()
         if tracer is not None:
             if previous_tracer is None:
                 _trace.uninstall()
@@ -242,6 +249,8 @@ async def run_load(host: str, port: int, config: LoadGenConfig) -> LoadReport:
         wall_seconds=wall,
         latencies_ms=tracker.latencies_ms,
         peak_inflight=tracker.peak_inflight,
+        connections_opened=client.connections_opened,
+        connection_reuses=client.connections_reused,
         trace_document=trace_document,
     )
 

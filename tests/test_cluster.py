@@ -1,0 +1,570 @@
+"""The sharded cluster: shard map, 2PC router, reconciliation, identity.
+
+Covers the PR's acceptance properties: the shard map partitions every
+resource exactly once and deterministically, a single-shard cluster
+router returns responses byte-identical to the bare daemon (and hence to
+the in-process coordinator), cross-shard establishments either commit on
+every involved shard or leave zero net capacity behind under admission
+failure / drain / crash, stranded leases are reaped by TTL, and the
+offline reconciler verifies global conservation from merged per-shard
+event logs -- catching each violation class when fed corrupted books.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.faults.invariants import (
+    capacity_conservation,
+    reconcile_shard_events,
+)
+from repro.obs.events import EventLog
+from repro.service import (
+    DaemonConfig,
+    ReservationDaemon,
+    ReservationService,
+    ServiceClient,
+    ServiceClientError,
+)
+from repro.cluster import (
+    ClusterConfig,
+    ClusterCoordinator,
+    ClusterDaemon,
+    LocalShardClient,
+    ShardMap,
+)
+from repro.sim.environment import GridEnvironment
+from repro.des.engine import Environment
+from repro.des.rng import RandomStreams
+
+from tests.test_service_daemon import VALID_PAIRS, _seeded_operations
+
+
+def _topology(seed: int = 0):
+    return GridEnvironment(Environment(), RandomStreams(seed)).topology
+
+
+def make_local_shards(count: int, seed: int = 7, **overrides):
+    """``count`` in-process shard services with per-shard event logs."""
+    shards = []
+    for index in range(count):
+        config = DaemonConfig(
+            seed=seed, shard_index=index, shard_count=count, **overrides
+        )
+        shards.append(
+            LocalShardClient(
+                index, ReservationService(config), log=EventLog()
+            )
+        )
+    return shards
+
+
+def assert_cluster_clean(shards, *, session_ids=()):
+    """Every shard conserves capacity and holds nothing for the sessions."""
+    for shard in shards:
+        report = capacity_conservation(
+            shard.service.grid.registry, shard.service.grid.proxies
+        )
+        assert report.ok, f"{shard.label}: {report.describe()}"
+        for session_id in session_ids:
+            for host, proxy in shard.service.grid.proxies.items():
+                held = proxy.held_for(session_id)
+                assert not held, (shard.label, host, session_id, held)
+
+
+# ---------------------------------------------------------------------------
+# the shard map
+
+
+def test_shard_map_partitions_every_resource_exactly_once():
+    topology = _topology()
+    grid = GridEnvironment(Environment(), RandomStreams(0))
+    for count in (1, 2, 3, 4):
+        shard_map = ShardMap.from_topology(topology, count)
+        owners = {}
+        for rid in grid.registry.resource_ids():
+            shard = shard_map.shard_of(rid)
+            assert 0 <= shard < count
+            owners[rid] = shard
+        for index in range(count):
+            owned = shard_map.owned_resource_ids(index, grid.registry.resource_ids())
+            assert set(owned) == {r for r, s in owners.items() if s == index}
+        assert set(owners.values()) == set(range(count))
+
+
+def test_shard_map_is_deterministic_and_groups_domains_with_hosts():
+    topology = _topology()
+    a = ShardMap.from_topology(topology, 3)
+    b = ShardMap.from_topology(topology, 3)
+    assert a.assignments == b.assignments
+    # A domain's access path lives with its proxy host's shard, so
+    # cpu:H and the net: paths that end at H's domains can only split
+    # across shards when the *other* endpoint owns the path.
+    for domain, host in a.domain_proxy_hosts.items():
+        assert a.shard_of_node(domain) == a.shard_of_node(host)
+
+
+def test_shard_map_rejects_bad_counts_and_unknown_resources():
+    topology = _topology()
+    with pytest.raises(ModelError):
+        ShardMap.from_topology(topology, 0)
+    with pytest.raises(ModelError):
+        ShardMap.from_topology(topology, 99)
+    shard_map = ShardMap.from_topology(topology, 2)
+    with pytest.raises(ModelError):
+        shard_map.shard_of("link:L999")
+
+
+# ---------------------------------------------------------------------------
+# single-shard byte-identity
+
+
+def test_single_shard_router_byte_identical_to_bare_service():
+    operations = _seeded_operations()
+
+    async def through_router():
+        shard = LocalShardClient(
+            0, ReservationService(DaemonConfig(seed=23)), log=EventLog()
+        )
+        coordinator = ClusterCoordinator([shard], seed=23)
+        bodies = []
+        for op, payload in operations:
+            if op == "establish":
+                status, body = await coordinator.establish(payload)
+            else:
+                status, body = await coordinator.teardown(payload)
+            assert status == 200
+            bodies.append(body)
+        return bodies
+
+    router_bodies = asyncio.run(through_router())
+
+    service = ReservationService(DaemonConfig(seed=23))
+    local_bodies = []
+    for op, payload in operations:
+        document = getattr(service, op)(payload)
+        local_bodies.append(json.dumps(document, sort_keys=True).encode("utf-8"))
+
+    assert router_bodies == local_bodies
+
+
+def test_single_shard_router_over_http_byte_identical():
+    operations = _seeded_operations(count=10)
+
+    async def scenario():
+        daemon = ReservationDaemon(DaemonConfig(port=0, seed=23))
+        await daemon.start()
+        router = ClusterDaemon(
+            ClusterConfig(shards=(("127.0.0.1", daemon.port),), port=0, seed=23)
+        )
+        await router.start()
+        try:
+            client = ServiceClient("127.0.0.1", router.port)
+            bodies = []
+            for op, payload in operations:
+                response = await client.request("POST", f"/v1/{op}", payload)
+                assert response.status == 200
+                bodies.append(response.body)
+            await client.aclose()
+            return bodies
+        finally:
+            await router.shutdown()
+            await daemon.shutdown()
+
+    api_bodies = asyncio.run(scenario())
+
+    service = ReservationService(DaemonConfig(seed=23))
+    local_bodies = []
+    for op, payload in operations:
+        document = getattr(service, op)(payload)
+        local_bodies.append(json.dumps(document, sort_keys=True).encode("utf-8"))
+
+    assert api_bodies == local_bodies
+
+
+# ---------------------------------------------------------------------------
+# cross-shard two-phase commit
+
+
+def test_cross_shard_establish_commits_on_every_involved_shard():
+    async def scenario():
+        shards = make_local_shards(3)
+        coordinator = ClusterCoordinator(shards, seed=7)
+        outcomes = []
+        for index, (service_name, domain) in enumerate(VALID_PAIRS[:4]):
+            status, body = await coordinator.establish(
+                {
+                    "service": service_name,
+                    "domain": domain,
+                    "session_id": f"s-{index}",
+                }
+            )
+            assert status == 200
+            outcomes.append(json.loads(body))
+        admitted = [o for o in outcomes if o["success"]]
+        assert admitted, outcomes
+        for outcome in admitted:
+            assert outcome["level"] in {1, 2, 3}
+            assert outcome["psi"] is not None
+        # Leases all settled: nothing pending on any shard.
+        for shard in shards:
+            assert not shard.service._shard_leases
+        for shard in shards:
+            report = capacity_conservation(
+                shard.service.grid.registry, shard.service.grid.proxies
+            )
+            assert report.ok, report.describe()
+        # Teardown returns the grid to empty on every shard.
+        for outcome in admitted:
+            status, body = await coordinator.teardown(
+                {"session_id": outcome["session_id"]}
+            )
+            assert status == 200
+            assert json.loads(body)["released"] > 0
+        assert_cluster_clean(
+            shards, session_ids=[o["session_id"] for o in outcomes]
+        )
+        # The merged logs reconcile with zero violations.
+        report = reconcile_shard_events(
+            {shard.label: list(shard.log) for shard in shards}
+        )
+        assert report.ok, report.describe()
+        assert report.cross_shard_sessions >= 1
+
+    asyncio.run(scenario())
+
+
+def test_rejected_plan_reserves_nothing_anywhere():
+    async def scenario():
+        shards = make_local_shards(3)
+        coordinator = ClusterCoordinator(shards, seed=7)
+        status, body = await coordinator.establish(
+            {
+                "service": "S1",
+                "domain": "D3",
+                "session_id": "too-big",
+                "demand_scale": 1e9,
+            }
+        )
+        assert status == 200
+        outcome = json.loads(body)
+        assert outcome["success"] is False
+        assert outcome["reason"] == "no_feasible_plan"
+        for shard in shards:
+            assert shard.service.lease_counters["reserved"] == 0
+        assert_cluster_clean(shards, session_ids=["too-big"])
+
+    asyncio.run(scenario())
+
+
+def test_draining_shard_aborts_the_round_cleanly():
+    async def scenario():
+        shards = make_local_shards(3)
+        coordinator = ClusterCoordinator(shards, seed=7)
+        # Find a pair that spans at least two shards, then drain one of
+        # the involved shards and re-try: the round must abort with
+        # nothing held anywhere.
+        for service_name, domain in VALID_PAIRS:
+            binding = coordinator.grid.binding_for(service_name, domain)
+            involved = sorted(
+                {
+                    coordinator.shard_map.shard_of(rid)
+                    for rid in binding.resource_ids()
+                }
+            )
+            if len(involved) >= 2:
+                break
+        else:
+            pytest.skip("no cross-shard pair in this topology")
+        shards[involved[-1]].draining = True
+        status, body = await coordinator.establish(
+            {"service": service_name, "domain": domain, "session_id": "drained"}
+        )
+        assert status == 200
+        outcome = json.loads(body)
+        assert outcome["success"] is False
+        assert outcome["reason"] == "shard_draining"
+        assert_cluster_clean(shards, session_ids=["drained"])
+        report = reconcile_shard_events(
+            {shard.label: list(shard.log) for shard in shards}
+        )
+        assert report.ok, report.describe()
+
+    asyncio.run(scenario())
+
+
+def test_shard_crash_mid_reserve_strands_only_a_ttl_lease():
+    async def scenario():
+        shards = make_local_shards(3)
+        coordinator = ClusterCoordinator(shards, seed=7)
+        for service_name, domain in VALID_PAIRS:
+            binding = coordinator.grid.binding_for(service_name, domain)
+            involved = sorted(
+                {
+                    coordinator.shard_map.shard_of(rid)
+                    for rid in binding.resource_ids()
+                }
+            )
+            if len(involved) >= 2:
+                break
+        else:
+            pytest.skip("no cross-shard pair in this topology")
+        # The *first* involved shard grants, then dies before its ack
+        # reaches the router (the lost-ack case).
+        victim = shards[involved[0]]
+        victim.crash_on_next_reserve = True
+        status, body = await coordinator.establish(
+            {"service": service_name, "domain": domain, "session_id": "lost"}
+        )
+        outcome = json.loads(body)
+        assert outcome["success"] is False
+        assert outcome["reason"] == "shard_unreachable"
+        # The dead shard holds the lease the router could not abort --
+        # no capacity is lost for longer than the TTL.
+        assert len(victim.service._shard_leases) == 1
+        reaped = await victim.reap(now=float("inf"))
+        assert reaped == 1
+        assert_cluster_clean(shards, session_ids=["lost"])
+        report = reconcile_shard_events(
+            {shard.label: list(shard.log) for shard in shards}
+        )
+        assert report.ok, report.describe()
+        # The other involved shards never committed anything.
+        for shard in shards:
+            assert shard.service.lease_counters["committed"] == 0
+
+    asyncio.run(scenario())
+
+
+def test_unknown_session_teardown_is_404_multi_shard():
+    async def scenario():
+        shards = make_local_shards(2)
+        coordinator = ClusterCoordinator(shards, seed=7)
+        status, body = await coordinator.teardown({"session_id": "ghost"})
+        assert status == 404
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# the 2PC wire endpoints on a daemon
+
+
+def test_reserve_commit_abort_over_http():
+    async def scenario():
+        daemon = ReservationDaemon(DaemonConfig(port=0, seed=3, lease_ttl=30.0))
+        await daemon.start()
+        try:
+            client = ServiceClient("127.0.0.1", daemon.port)
+            availability = await client.availability()
+            assert availability["resources"]
+            rid, fields = next(iter(sorted(availability["resources"].items())))
+            amount = min(1.0, fields["available"] / 2)
+            # reserve -> commit
+            outcome = await client.reserve("lease-a", {rid: amount})
+            assert outcome["reserved"] is True
+            committed = await client.commit(
+                outcome["lease_id"], session={"service": "S1", "domain": "D3"}
+            )
+            assert committed["committed"] is True
+            state = await client.query()
+            assert state["shard"]["lease_counters"]["committed"] == 1
+            released = await client.teardown("lease-a")
+            assert released["released"] > 0
+            # reserve -> abort
+            outcome = await client.reserve("lease-b", {rid: amount})
+            aborted = await client.abort(outcome["lease_id"])
+            assert aborted["aborted"] is True and aborted["released"] > 0
+            # abort is idempotent; commit of an unknown lease is 404
+            again = await client.abort(outcome["lease_id"])
+            assert again["aborted"] is False
+            with pytest.raises(ServiceClientError) as unknown:
+                await client.commit("no-such-lease")
+            assert unknown.value.status == 404
+            # unknown resource is a 400
+            with pytest.raises(ServiceClientError) as bad:
+                await client.reserve("lease-c", {"cpu:H999": 1.0})
+            assert bad.value.status == 400
+            await client.aclose()
+            report = capacity_conservation(
+                daemon.service.grid.registry, daemon.service.grid.proxies
+            )
+            assert report.ok, report.describe()
+        finally:
+            await daemon.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_sharded_daemon_refuses_unowned_resources():
+    async def scenario():
+        daemon = ReservationDaemon(
+            DaemonConfig(port=0, seed=3, shard_index=0, shard_count=3)
+        )
+        await daemon.start()
+        try:
+            client = ServiceClient("127.0.0.1", daemon.port)
+            shard_map = daemon.service.shard_map
+            all_ids = daemon.service.grid.registry.resource_ids()
+            foreign = next(
+                rid for rid in all_ids if shard_map.shard_of(rid) != 0
+            )
+            with pytest.raises(ServiceClientError) as unowned:
+                await client.reserve("s-x", {foreign: 1.0})
+            assert unowned.value.status == 409
+            # availability reports only the owned slice
+            availability = await client.availability()
+            assert availability["shard"] == 0
+            for rid in availability["resources"]:
+                assert shard_map.shard_of(rid) == 0
+            await client.aclose()
+        finally:
+            await daemon.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_expired_lease_is_reaped_by_the_daemon():
+    async def scenario():
+        daemon = ReservationDaemon(DaemonConfig(port=0, seed=3, lease_ttl=0.05))
+        await daemon.start()
+        try:
+            client = ServiceClient("127.0.0.1", daemon.port)
+            availability = await client.availability()
+            rid, fields = next(iter(sorted(availability["resources"].items())))
+            outcome = await client.reserve("orphan", {rid: 1.0})
+            assert outcome["reserved"] is True
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while daemon.service.lease_counters["expired"] == 0:
+                assert asyncio.get_running_loop().time() < deadline, (
+                    "reaper never fired"
+                )
+                await asyncio.sleep(0.02)
+            # The lease is gone and its capacity is back.
+            with pytest.raises(ServiceClientError) as late:
+                await client.commit(outcome["lease_id"])
+            assert late.value.status == 404
+            report = capacity_conservation(
+                daemon.service.grid.registry, daemon.service.grid.proxies
+            )
+            assert report.ok, report.describe()
+            assert daemon.service.log.count("lease.expired") == 1
+            await client.aclose()
+        finally:
+            await daemon.shutdown()
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# offline reconciliation
+
+
+def _grant(resource, requested, *, session="s", available=100.0, shard=None):
+    attributes = {"requested": requested, "available": available, "capacity": 100.0}
+    return {
+        "kind": "broker.grant",
+        "seq": 1,
+        "wall": 0.0,
+        "session": session,
+        "resource": resource,
+        "attributes": attributes,
+    }
+
+
+def _release(resource, amount, *, session="s"):
+    return {
+        "kind": "broker.release",
+        "seq": 2,
+        "wall": 0.0,
+        "session": session,
+        "resource": resource,
+        "attributes": {"amount": amount},
+    }
+
+
+def test_reconcile_flags_double_release():
+    report = reconcile_shard_events({"a": [_release("cpu:H1", 5.0)]})
+    assert not report.ok
+    assert "double release" in report.violations[0]
+
+
+def test_reconcile_flags_exclusive_ownership_breach():
+    report = reconcile_shard_events(
+        {
+            "a": [_grant("cpu:H1", 1.0, session="s1")],
+            "b": [_grant("cpu:H1", 1.0, session="s2")],
+        }
+    )
+    assert not report.ok
+    assert "exclusive" in report.violations[0]
+
+
+def test_reconcile_flags_leaked_aborted_lease():
+    events = [
+        _grant("cpu:H1", 3.0),
+        {
+            "kind": "lease.aborted",
+            "seq": 3,
+            "wall": 0.0,
+            "session": "s",
+            "resource": None,
+            "attributes": {},
+        },
+    ]
+    report = reconcile_shard_events({"a": events})
+    assert not report.ok
+    assert "lease leak" in report.violations[0]
+
+
+def test_reconcile_flags_over_grant():
+    report = reconcile_shard_events({"a": [_grant("cpu:H1", 500.0)]})
+    assert not report.ok
+    assert "over-grant" in report.violations[0]
+
+
+def test_reconcile_accepts_balanced_books_and_counts_cross_shard():
+    report = reconcile_shard_events(
+        {
+            "a": [_grant("cpu:H1", 3.0), _release("cpu:H1", 3.0)],
+            "b": [_grant("cpu:H2", 2.0)],
+        }
+    )
+    assert report.ok, report.describe()
+    assert report.outstanding["b"] == {"cpu:H2": 2.0}
+    assert report.cross_shard_sessions == 1  # "s" touched both shards
+
+
+def test_reconcile_truncated_log_skips_balance_checks():
+    events = [
+        _release("cpu:H1", 5.0),
+        {
+            "kind": "log.truncated",
+            "seq": 9,
+            "wall": 0.0,
+            "session": None,
+            "resource": None,
+            "attributes": {},
+        },
+    ]
+    report = reconcile_shard_events({"a": events})
+    assert report.truncated == ["a"]
+    assert report.ok, report.describe()
+
+
+def test_reconcile_cli_gates_on_violations(tmp_path):
+    from repro.obs.cli import main as obs_main
+
+    clean = {
+        "schema_version": 4,
+        "events": [_grant("cpu:H1", 3.0), _release("cpu:H1", 3.0)],
+    }
+    dirty = {"schema_version": 4, "events": [_release("cpu:H2", 5.0)]}
+    clean_path = tmp_path / "shard0.json"
+    dirty_path = tmp_path / "shard1.json"
+    clean_path.write_text(json.dumps(clean))
+    dirty_path.write_text(json.dumps(dirty))
+    assert obs_main(["reconcile", str(clean_path)]) == 0
+    assert obs_main(["reconcile", str(clean_path), str(dirty_path)]) == 1
