@@ -46,6 +46,8 @@ from repro.des.rng import RandomStreams
 from repro.obs import context as _context
 from repro.obs import events as _events
 from repro.obs import trace as _trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prom import registry_exposition
 from repro.service import http as _http
 from repro.service.client import (
     ServiceClient,
@@ -254,6 +256,13 @@ def _json_body(document: object) -> bytes:
 
 _UNREACHABLE = (ConnectionError, OSError, _http.ProtocolError, asyncio.TimeoutError)
 
+#: Reject reasons that are the infrastructure failing, not admission
+#: control saying a QoS-aware "no" -- the distinction the cluster
+#: availability SLO burns its budget on.
+INFRA_REJECT_REASONS = frozenset(
+    {"shard_unreachable", "shard_error", "shard_draining"}
+)
+
 
 class ClusterCoordinator:
     """Routes admissions across shard clients (HTTP or in-process).
@@ -298,6 +307,39 @@ class ClusterCoordinator:
         #: shard was unreachable; retried by flush_pending_teardowns.
         self.pending_teardowns: Dict[str, List[int]] = {}
         self._session_seq = 0
+        #: The router's own scrape surface (NOT globally installed --
+        #: the router may share a process with shard services in tests).
+        self.registry = MetricsRegistry()
+        self.shard_reachable: Dict[int, bool] = {}
+        for index in range(len(self.shards)):
+            # Optimistic until proven otherwise, so every shard's
+            # reachability series exists from the first scrape on.
+            self._note_shard(index, True)
+
+    def _note_shard(self, shard_index: int, reachable: bool) -> None:
+        """Record the latest reachability verdict for one shard."""
+        self.shard_reachable[shard_index] = reachable
+        self.registry.gauge(
+            "cluster.shard_reachable", shard=f"shard-{shard_index}"
+        ).set(1.0 if reachable else 0.0)
+
+    def metrics_exposition(self) -> str:
+        """The router's ``/metrics`` body (Prometheus text format).
+
+        Point-in-time state -- active sessions, the anti-entropy flush
+        debt still owed to once-unreachable shards -- is synced into
+        gauges at render time; the admission/reject counters are kept
+        live on the decision paths.
+        """
+        self.registry.gauge("cluster.shard_count").set(len(self.shards))
+        self.registry.gauge("cluster.active_sessions").set(len(self.sessions))
+        self.registry.gauge("cluster.pending_teardown_sessions").set(
+            len(self.pending_teardowns)
+        )
+        self.registry.gauge("cluster.pending_teardown_shards").set(
+            sum(len(debt) for debt in self.pending_teardowns.values())
+        )
+        return registry_exposition(self.registry)
 
     # -- request decoding --------------------------------------------------
 
@@ -345,7 +387,9 @@ class ClusterCoordinator:
 
     async def establish(self, payload: dict) -> Tuple[int, bytes]:
         if len(self.shards) == 1:
-            return await self.forward("POST", "/v1/establish", payload)
+            status, body = await self.forward("POST", "/v1/establish", payload)
+            self._count_forwarded_establish(status, body)
+            return status, body
         try:
             return await self._establish_cross_shard(payload)
         except ServiceError as exc:
@@ -378,7 +422,16 @@ class ClusterCoordinator:
                 contention_index=self.contention_index,
             )
             if failure is not None:
-                return 200, self._rejected(_establishment_to_dict(failure))
+                failure_dict = _establishment_to_dict(failure)
+                if any(
+                    not self.shard_reachable.get(index, True)
+                    for index in involved
+                ):
+                    # The planner saw zero-filled availability for a dead
+                    # shard; that is an infrastructure failure, not a
+                    # QoS-aware "no".
+                    failure_dict["reason"] = "shard_unreachable"
+                return 200, self._rejected(failure_dict)
             demand = plan.demand
             per_shard: Dict[int, Dict[str, float]] = {}
             for rid in sorted(demand):
@@ -405,6 +458,8 @@ class ClusterCoordinator:
                 return_exceptions=True,
             )
         observations: Dict[str, ResourceObservation] = {}
+        for shard_index, response in zip(involved, responses):
+            self._note_shard(shard_index, not isinstance(response, _UNREACHABLE))
         for response in responses:
             if isinstance(response, BaseException):
                 continue
@@ -449,8 +504,10 @@ class ClusterCoordinator:
                     reason = "shard_error"
                     break
                 except _UNREACHABLE:
+                    self._note_shard(shard_index, False)
                     reason = "shard_unreachable"
                     break
+                self._note_shard(shard_index, True)
                 if not outcome.get("reserved"):
                     reason = "admission_failed"
                     failed_resource = outcome.get("failed_resource")
@@ -484,7 +541,10 @@ class ClusterCoordinator:
                     await self.shards[shard_index].commit(
                         {"lease_id": lease_id, "session": meta}
                     )
-                except (ServiceClientError,) + _UNREACHABLE:
+                except (ServiceClientError,) + _UNREACHABLE as exc:
+                    self._note_shard(
+                        shard_index, isinstance(exc, ServiceClientError)
+                    )
                     # Commit is drain-exempt, so a failure here means a
                     # dead shard (or an expired lease).  Undo the rest:
                     # abort the still-held leases, tear the committed
@@ -511,6 +571,7 @@ class ClusterCoordinator:
             "shards": sorted(per_shard),
         }
         self.counters["established"] += 1
+        self.registry.counter("cluster.admissions", verdict="established").inc()
         return 200, _json_body(
             {
                 "session_id": session_id,
@@ -523,10 +584,56 @@ class ClusterCoordinator:
             }
         )
 
+    def _count_forwarded_establish(self, status: int, body: bytes) -> None:
+        """Keep the admission verdict counters live on the single-shard
+        pass-through path, where the shard's response bytes are proxied
+        verbatim and never run through :meth:`_rejected`."""
+        if status == 503:
+            self.counters["rejected"] += 1
+            self.reject_reasons["shard_unreachable"] = (
+                self.reject_reasons.get("shard_unreachable", 0) + 1
+            )
+            self.registry.counter(
+                "cluster.admissions", verdict="rejected_infra"
+            ).inc()
+            self.registry.counter(
+                "cluster.rejects", reason="shard_unreachable"
+            ).inc()
+            self._note_shard(0, False)
+            return
+        if status != 200:
+            return  # request errors (400s) are not admission decisions
+        self._note_shard(0, True)
+        try:
+            document = json.loads(body)
+        except ValueError:
+            return
+        if document.get("success"):
+            self.counters["established"] += 1
+            self.registry.counter(
+                "cluster.admissions", verdict="established"
+            ).inc()
+            return
+        reason = document.get("reason") or "rejected"
+        self.counters["rejected"] += 1
+        self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+        verdict = (
+            "rejected_infra" if reason in INFRA_REJECT_REASONS
+            else "rejected_merit"
+        )
+        self.registry.counter("cluster.admissions", verdict=verdict).inc()
+        self.registry.counter("cluster.rejects", reason=reason).inc()
+
     def _rejected(self, document: dict) -> bytes:
         self.counters["rejected"] += 1
         reason = document.get("reason") or "rejected"
         self.reject_reasons[reason] = self.reject_reasons.get(reason, 0) + 1
+        verdict = (
+            "rejected_infra" if reason in INFRA_REJECT_REASONS
+            else "rejected_merit"
+        )
+        self.registry.counter("cluster.admissions", verdict=verdict).inc()
+        self.registry.counter("cluster.rejects", reason=reason).inc()
         return _json_body(document)
 
     async def _abort_leases(self, leases: List[Tuple[int, str]]) -> None:
@@ -564,9 +671,12 @@ class ClusterCoordinator:
                     {"session_id": session_id}
                 )
                 released += int(outcome.get("released", 0))
+                self._note_shard(shard_index, True)
             except ServiceClientError:
+                self._note_shard(shard_index, True)
                 continue
             except _UNREACHABLE:
+                self._note_shard(shard_index, False)
                 unreachable.append(shard_index)
         if record is not None and unreachable:
             # The session is gone from the router's view, but a shard
@@ -602,9 +712,12 @@ class ClusterCoordinator:
                         {"session_id": session_id}
                     )
                     released += int(outcome.get("released", 0))
+                    self._note_shard(shard_index, True)
                 except ServiceClientError:
+                    self._note_shard(shard_index, True)
                     continue
                 except _UNREACHABLE:
+                    self._note_shard(shard_index, False)
                     remaining.append(shard_index)
             if remaining:
                 self.pending_teardowns[session_id] = remaining
@@ -620,10 +733,12 @@ class ClusterCoordinator:
             entry: dict = {"label": shard.label}
             try:
                 document = await shard.query()
-            except (ServiceClientError,) + _UNREACHABLE:
+            except (ServiceClientError,) + _UNREACHABLE as exc:
                 entry["reachable"] = False
+                self._note_shard(shard.index, isinstance(exc, ServiceClientError))
             else:
                 entry["reachable"] = True
+                self._note_shard(shard.index, True)
                 entry["active_sessions"] = document.get("active_sessions")
                 entry["shard"] = document.get("shard")
             per_shard.append(entry)
@@ -849,6 +964,11 @@ class ClusterDaemon:
                     "draining": self._draining,
                 },
                 close=close,
+            )
+        if route == ("GET", "/metrics"):
+            body = self.coordinator.metrics_exposition().encode("utf-8")
+            return _http.response_bytes(
+                200, body, content_type="text/plain; version=0.0.4", close=close
             )
         if route == ("GET", "/v1/query"):
             status, body = await self.coordinator.query()

@@ -31,7 +31,15 @@ v1 and v2 both load):
   or trace exports, one document per shard) and verify the cluster's
   global conservation invariants offline: no double release, no
   over-grant, no resource granted by two shards, every aborted or
-  expired 2PC lease fully rolled back; non-zero exit on any violation.
+  expired 2PC lease fully rolled back; non-zero exit on any violation;
+* ``dashboard``     -- the one *live* subcommand: scrape every given
+  shard/router ``host:port`` on an interval into a
+  :class:`~repro.obs.telemetry.TimeSeriesStore`, evaluate burn-rate
+  SLOs (:mod:`repro.obs.burn`), and render per-shard admission rates,
+  merged p50/p99 phase latencies, lease counters, error-budget
+  remaining and firing alerts as an ANSI terminal view;
+  ``--snapshot-json`` writes a machine-readable final state (the CI
+  smoke's artifact) including every ``slo.*`` event the run emitted.
 
 Installed as a console script via ``[project.scripts]``; also runnable
 as ``python -m repro.obs.cli``.
@@ -637,6 +645,241 @@ def _cmd_reconcile(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+# -- dashboard (live cluster telemetry) ----------------------------------------
+
+
+def _parse_target(text: str) -> Tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise SystemExit(
+            f"repro-obs: malformed target {text!r}; expected HOST:PORT"
+        )
+    return host, int(port_text)
+
+
+def _load_burn_slos(args: argparse.Namespace) -> list:
+    from repro.obs.burn import default_cluster_slos
+    from repro.obs.slo import BurnRateSLO
+
+    if not args.slo_config:
+        return default_cluster_slos(
+            short_window=args.short_window,
+            long_window=args.long_window,
+            budget_window=args.budget_window,
+        )
+    try:
+        payload = json.loads(Path(args.slo_config).read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"repro-obs: no such file: {args.slo_config}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"repro-obs: {args.slo_config} is not valid JSON: {exc}")
+    entries = payload.get("slos") if isinstance(payload, dict) else payload
+    if not isinstance(entries, list) or not entries:
+        raise SystemExit(
+            f"repro-obs: {args.slo_config} must be a JSON list of SLO "
+            'objects (or {"slos": [...]})'
+        )
+    try:
+        return [BurnRateSLO.from_dict(entry) for entry in entries]
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"repro-obs: {args.slo_config}: {exc}")
+
+
+def _quantile_cell(histogram, q: float) -> str:
+    if histogram is None or histogram.count <= 0:
+        return "-"
+    return f"{1e3 * histogram.quantile(q):.1f}"
+
+
+def _dashboard_lines(store, statuses, log, result, sweep: int,
+                     window: float) -> List[str]:
+    now = result.ts
+    total = result.reachable + result.unreachable
+    lines = [
+        f"cluster telemetry  sweep {sweep}  "
+        f"{result.reachable}/{total} targets up  "
+        f"(rates over the last {window:g}s)",
+        "",
+        f"  {'target':<22} {'role':<15} {'shard':<11} {'up':>3} "
+        f"{'admit/s':>8} {'rej/s':>7} {'sess':>6} {'leases':>7} "
+        f"{'p50ms':>7} {'p99ms':>7}",
+    ]
+    for meta in sorted(store.targets(), key=lambda m: (m.role, m.target)):
+        if meta.role == "cluster-router":
+            admit = store.counter_rate(
+                ['repro_cluster_admissions_total{verdict="established"}'],
+                window=window, now=now, target=meta.target,
+            )
+            reject = store.counter_rate(
+                ['repro_cluster_admissions_total{verdict="rejected_merit"}',
+                 'repro_cluster_admissions_total{verdict="rejected_infra"}'],
+                window=window, now=now, target=meta.target,
+            )
+            sessions = store.latest(meta.target, "repro_cluster_active_sessions")
+            leases = None
+            phases = None
+        else:
+            admit = store.counter_rate(
+                ['repro_daemon_sessions_total{outcome="established"}'],
+                window=window, now=now, target=meta.target,
+            )
+            reject = store.counter_rate(
+                ['repro_daemon_sessions_total{outcome="rejected"}'],
+                window=window, now=now, target=meta.target,
+            )
+            sessions = store.latest(meta.target, "repro_daemon_active_sessions")
+            leases = store.latest(
+                meta.target,
+                'repro_daemon_lease_operations_total{op="committed"}',
+            )
+            phases = store.histogram_window(
+                "repro_daemon_admission_phase_seconds", window=window,
+                now=now, target=meta.target, labels={"phase": "plan"},
+            )
+        lines.append(
+            f"  {meta.target:<22} {meta.role or '?':<15} "
+            f"{meta.shard or '-':<11} {'1' if meta.up else '0':>3} "
+            f"{admit:>8.2f} {reject:>7.2f} "
+            f"{'-' if sessions is None else format(int(sessions), 'd'):>6} "
+            f"{'-' if leases is None else format(int(leases), 'd'):>7} "
+            f"{_quantile_cell(phases, 0.50):>7} "
+            f"{_quantile_cell(phases, 0.99):>7}"
+        )
+    lines += [
+        "",
+        f"  {'slo':<26} {'kind':<13} {'state':<8} {'burn_s':>8} "
+        f"{'burn_l':>8} {'thresh':>7} {'budget':>8}",
+    ]
+    for status in statuses:
+        lines.append(
+            f"  {status.slo:<26} {status.kind:<13} {status.state:<8} "
+            f"{status.burn_short:>8.2f} {status.burn_long:>8.2f} "
+            f"{status.threshold:>7.1f} {status.budget_remaining:>7.0%}"
+        )
+    alerts = [e for e in log if e.kind.startswith("slo.")]
+    if alerts:
+        lines += ["", "alerts:"]
+        for event in alerts[-6:]:
+            attributes = event.attributes
+            detail = " ".join(
+                f"{key}={attributes[key]}"
+                for key in ("state", "burn_short", "burn_long",
+                            "budget_remaining")
+                if key in attributes
+            )
+            lines.append(
+                f"  [{event.wall:>7.1f}s] {event.kind:<22} "
+                f"{attributes.get('slo', '-'):<26} {detail}"
+            )
+    unreachable = [m for m in store.targets() if not m.up]
+    if unreachable:
+        lines += [""] + [
+            f"  DOWN {meta.target}: {meta.last_error or 'unreachable'} "
+            f"(x{meta.consecutive_failures})"
+            for meta in unreachable
+        ]
+    return lines
+
+
+def _dashboard_snapshot(store, engine, log, sweeps: int,
+                        interval: float) -> dict:
+    return {
+        "schema": "telemetry-dashboard/1",
+        "sweeps": sweeps,
+        "interval": interval,
+        "targets": [
+            {
+                "target": meta.target,
+                "role": meta.role,
+                "shard": meta.shard,
+                "up": meta.up,
+                "consecutive_failures": meta.consecutive_failures,
+                "last_error": meta.last_error,
+            }
+            for meta in store.targets()
+        ],
+        "slos": [status.to_dict() for status in engine.last_statuses],
+        "min_budget": {
+            slo.name: engine.min_budget(slo.name) for slo in engine.slos
+        },
+        "firing": engine.firing(),
+        "events": log.to_dicts(),
+        "event_counts": {kind: log.count(kind) for kind in log.kinds()},
+    }
+
+
+def _cmd_dashboard(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import events as _events
+    from repro.obs.burn import BurnRateEngine
+    from repro.obs.telemetry import TelemetryScraper, TimeSeriesStore
+
+    targets = [_parse_target(text) for text in args.targets]
+    slos = _load_burn_slos(args)
+    window = max(slo.long_window for slo in slos) if slos else 20.0
+    store = TimeSeriesStore()
+    log = _events.EventLog()
+    engine = BurnRateEngine(slos, store, event_log=log)
+    scraper = TelemetryScraper(targets, store, interval=args.interval)
+    sweeps = {"count": 0}
+
+    def on_scrape(result) -> None:
+        sweeps["count"] += 1
+        statuses = engine.evaluate(result.ts)
+        if args.quiet:
+            return
+        frame = _dashboard_lines(
+            store, statuses, log, result, sweeps["count"], window
+        )
+        if not args.no_ansi:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        sys.stdout.write("\n".join(frame) + "\n")
+        sys.stdout.flush()
+
+    async def _run() -> None:
+        # SIGTERM/SIGINT stop the sweep loop cleanly so the snapshot
+        # below is still written -- CI backgrounds the dashboard and
+        # kill -TERMs it once the scenario (and its recovery) is over.
+        import signal
+
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, ValueError):
+                pass
+        run_task = asyncio.create_task(
+            scraper.run(iterations=args.iterations, on_scrape=on_scrape)
+        )
+        stop_task = asyncio.create_task(stop.wait())
+        done, pending = await asyncio.wait(
+            {run_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        await asyncio.gather(*pending, return_exceptions=True)
+        if run_task in done:
+            await run_task
+        await scraper.aclose()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    if args.snapshot_json:
+        document = _dashboard_snapshot(
+            store, engine, log, sweeps["count"], args.interval
+        )
+        target = Path(args.snapshot_json)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        _print([f"dashboard snapshot written to {args.snapshot_json}"])
+    return 0
+
+
 # -- parser --------------------------------------------------------------------
 
 
@@ -793,6 +1036,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="one event-carrying JSON document per shard",
     )
     reconcile.set_defaults(func=_cmd_reconcile)
+
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="live cluster telemetry: scrape shard/router /metrics on an "
+        "interval, evaluate burn-rate SLOs, render admission rates, "
+        "phase latencies and alerts",
+    )
+    dashboard.add_argument(
+        "targets", nargs="+", metavar="HOST:PORT",
+        help="shard daemons and/or the cluster router to scrape",
+    )
+    dashboard.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="scrape interval (default 1.0)",
+    )
+    dashboard.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N sweeps (default: run until interrupted)",
+    )
+    dashboard.add_argument(
+        "--snapshot-json", default=None, metavar="PATH",
+        help="on exit, write the final dashboard state -- targets, SLO "
+        "statuses, budget low-water marks, every slo.* event -- as JSON "
+        "(the CI artifact)",
+    )
+    dashboard.add_argument(
+        "--slo-config", default=None, metavar="PATH",
+        help="JSON list of BurnRateSLO objects replacing the built-in "
+        "cluster SLOs (see docs/observability.md for the schema)",
+    )
+    dashboard.add_argument(
+        "--short-window", type=float, default=6.0, metavar="SECONDS",
+        help="short burn window for the built-in SLOs (default 6)",
+    )
+    dashboard.add_argument(
+        "--long-window", type=float, default=20.0, metavar="SECONDS",
+        help="long burn window for the built-in SLOs (default 20)",
+    )
+    dashboard.add_argument(
+        "--budget-window", type=float, default=30.0, metavar="SECONDS",
+        help="rolling error-budget window for the built-in SLOs (default 30)",
+    )
+    dashboard.add_argument(
+        "--no-ansi", action="store_true",
+        help="append frames as plain text instead of clearing the screen",
+    )
+    dashboard.add_argument(
+        "--quiet", action="store_true",
+        help="render no frames (useful with --snapshot-json in CI)",
+    )
+    dashboard.set_defaults(func=_cmd_dashboard)
 
     return parser
 

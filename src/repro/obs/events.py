@@ -28,6 +28,11 @@ reservation-lifecycle events:
   broker, detected divergence between a session's planned-against
   availability and the live one, declarative SLO violations, and the
   §5 adaptation loop's renegotiations;
+* ``slo.burn_rate`` / ``slo.budget_exhausted`` -- the cluster telemetry
+  plane of :mod:`repro.obs.burn`: SRE-style multi-window burn-rate alert
+  transitions (``state="firing"`` / ``state="resolved"``) and the moment
+  a rolling error budget runs dry, both computed over scraped fleet
+  metrics rather than any single process;
 * ``log.truncated`` -- the single marker this log emits when its
   capacity bound is first hit (see :class:`EventLog`).
 
@@ -100,6 +105,8 @@ EVENT_KINDS = frozenset(
         "session.drift",
         "slo.violated",
         "session.renegotiated",
+        "slo.burn_rate",
+        "slo.budget_exhausted",
         "log.truncated",
     }
 )

@@ -727,8 +727,34 @@ class ReservationService:
         return document
 
     def metrics_exposition(self) -> str:
-        """The ``/metrics`` body (Prometheus text format)."""
+        """The ``/metrics`` body (Prometheus text format).
+
+        Synced against the raw dict counters first, so cluster state --
+        session outcomes, 2PC lease operations, shard identity -- is
+        scrapeable without hitting ``/v1/query``.
+        """
+        self._sync_scrape_instruments()
         return registry_exposition(self.registry)
+
+    def _sync_scrape_instruments(self) -> None:
+        """Mirror dict-based state into registry instruments.
+
+        The admission path keeps its counters in plain dicts (they
+        predate the registry and ride on ``/v1/query``); scrape time is
+        the one place both views must agree, so the mirror runs here --
+        incrementing by the delta keeps the instruments monotone.
+        """
+        for outcome, value in self.counters.items():
+            instrument = self.registry.counter("daemon.sessions", outcome=outcome)
+            instrument.inc(max(0.0, value - instrument.value))
+        for op, value in self.lease_counters.items():
+            instrument = self.registry.counter("daemon.lease_operations", op=op)
+            instrument.inc(max(0.0, value - instrument.value))
+        self.registry.gauge("daemon.active_sessions").set(len(self.sessions))
+        self.registry.gauge("daemon.pending_leases").set(len(self._shard_leases))
+        if self.config.shard_index is not None:
+            self.registry.gauge("daemon.shard_index").set(self.config.shard_index)
+        self.registry.gauge("daemon.shard_count").set(self.config.shard_count)
 
 
 def _establishment_to_dict(result: EstablishmentResult) -> dict:
@@ -988,6 +1014,10 @@ class ReservationDaemon:
                 200,
                 {
                     "status": "draining" if self._draining else "ok",
+                    "role": "shard",
+                    "shard": self.service.shard_label,
+                    "shard_index": self.service.config.shard_index,
+                    "shard_count": self.service.config.shard_count,
                     "requests": self.stats.requests,
                     "websocket_clients": self.stats.websocket_clients,
                     "uptime_seconds": _time.monotonic() - self.service.started_at,

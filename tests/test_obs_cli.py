@@ -359,3 +359,99 @@ class TestExportProm:
         out = capsys.readouterr().out
         assert "# TYPE repro_coordinator_establish_seconds histogram" in out
         assert 'le="+Inf"' in out
+
+
+class TestDashboard:
+    """The live fleet dashboard, against real subprocess daemons.
+
+    The fleet must live in other processes: the dashboard command owns
+    its own event loop, and an in-process daemon's listening socket
+    dies with the loop that created it.
+    """
+
+    @pytest.fixture
+    def fleet(self):
+        import os
+        import re
+        import subprocess
+        import sys as _sys
+
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+
+        def spawn(argv, pattern):
+            process = subprocess.Popen(
+                [_sys.executable, "-m"] + argv, cwd=repo, env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                text=True,
+            )
+            line = process.stdout.readline()
+            match = re.search(pattern, line)
+            assert match, f"no boot line: {line!r}"
+            return process, int(match.group(1))
+
+        shard, shard_port = spawn(
+            ["repro.service.cli", "--port", "0", "--seed", "11"],
+            r"repro-serve: listening on [^:]+:(\d+) ",
+        )
+        router, router_port = spawn(
+            ["repro.cluster.cli", "--port", "0", "--seed", "11",
+             "--shard", f"127.0.0.1:{shard_port}"],
+            r"repro-cluster: listening on [^:]+:(\d+) ",
+        )
+        try:
+            yield shard_port, router_port
+        finally:
+            for process in (router, shard):
+                process.terminate()
+            for process in (router, shard):
+                process.wait(timeout=10)
+
+    def test_snapshot_one_shot(self, fleet, tmp_path, capsys):
+        shard_port, router_port = fleet
+        snapshot = tmp_path / "telemetry.json"
+        assert main([
+            "dashboard",
+            f"127.0.0.1:{shard_port}", f"127.0.0.1:{router_port}",
+            "--interval", "0.05", "--iterations", "2",
+            "--snapshot-json", str(snapshot), "--no-ansi",
+        ]) == 0
+        out = capsys.readouterr().out
+        # rendered frames + the snapshot confirmation
+        assert "admission-availability" in out
+        assert "snapshot written" in out
+        document = json.loads(snapshot.read_text())
+        assert document["schema"] == "telemetry-dashboard/1"
+        assert document["sweeps"] == 2
+        targets = {t["role"]: t for t in document["targets"]}
+        assert set(targets) == {"shard", "cluster-router"}
+        assert targets["shard"]["up"] and targets["shard"]["shard"]
+        assert document["firing"] == []
+        slos = {s["slo"] for s in document["slos"]}
+        assert slos == {"admission-availability", "admission-latency"}
+
+    def test_slo_config_loads_and_validates(self, fleet, tmp_path):
+        _, router_port = fleet
+        config = tmp_path / "slos.json"
+        config.write_text(json.dumps({"slos": [{
+            "name": "custom-avail", "kind": "availability", "target": 0.9,
+            "good": ['repro_cluster_admissions_total{verdict="established"}'],
+            "bad": ['repro_cluster_admissions_total{verdict="rejected_infra"}'],
+            "short_window": 1.0, "long_window": 2.0, "budget_window": 4.0,
+        }]}))
+        snapshot = tmp_path / "telemetry.json"
+        assert main([
+            "dashboard", f"127.0.0.1:{router_port}",
+            "--interval", "0.05", "--iterations", "1",
+            "--slo-config", str(config),
+            "--snapshot-json", str(snapshot), "--no-ansi", "--quiet",
+        ]) == 0
+        document = json.loads(snapshot.read_text())
+        assert [s["slo"] for s in document["slos"]] == ["custom-avail"]
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"slos": [{"name": "x"}]}))
+        with pytest.raises(SystemExit):
+            main(["dashboard", "127.0.0.1:1", "--iterations", "1",
+                  "--slo-config", str(bad)])
